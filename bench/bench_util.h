@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared helpers for the figure/table benchmark binaries.
+ *
+ * Each binary regenerates one table or figure of the paper and
+ * prints its rows. Environment variables scale the runs:
+ *   HH_REQUESTS  arrival budget per Primary VM   (default 800)
+ *   HH_SERVERS   servers in cluster experiments  (default 2)
+ *   HH_SAMPLING  memory-access sampling factor   (default 6)
+ *   HH_SEED      experiment seed                 (default 1)
+ */
+
+#ifndef HH_BENCH_UTIL_H
+#define HH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cluster/experiment.h"
+#include "cluster/system_config.h"
+
+namespace hh::bench {
+
+/** Read an environment variable as unsigned with a default. */
+inline unsigned
+envUnsigned(const char *name, unsigned def)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return def;
+    const long parsed = std::strtol(v, nullptr, 10);
+    return parsed > 0 ? static_cast<unsigned>(parsed) : def;
+}
+
+/** Scale knobs shared by all benches. */
+struct BenchScale
+{
+    unsigned requests = envUnsigned("HH_REQUESTS", 400);
+    unsigned servers = envUnsigned("HH_SERVERS", 2);
+    unsigned sampling = envUnsigned("HH_SAMPLING", 8);
+    std::uint64_t seed = envUnsigned("HH_SEED", 1);
+};
+
+/** Apply the scale knobs to a system configuration. */
+inline void
+applyScale(hh::cluster::SystemConfig &cfg, const BenchScale &s)
+{
+    cfg.requestsPerVm = s.requests;
+    cfg.accessSampling = s.sampling;
+    cfg.seed = s.seed;
+}
+
+/** Print a standard header naming the experiment. */
+inline void
+printHeader(const char *figure, const char *title)
+{
+    std::printf("================================================"
+                "====\n");
+    std::printf("%s: %s\n", figure, title);
+    std::printf("================================================"
+                "====\n");
+}
+
+/**
+ * Print a per-service metric table: one row per service plus the
+ * average, one column per labelled series.
+ */
+inline void
+printServiceTable(
+    const std::vector<std::string> &series,
+    const std::vector<std::vector<hh::cluster::ServiceResult>> &runs,
+    const char *metric, double (*get)(const hh::cluster::ServiceResult &))
+{
+    std::printf("%-10s", metric);
+    for (const auto &name : series)
+        std::printf(" %18s", name.c_str());
+    std::printf("\n");
+    if (runs.empty() || runs[0].empty())
+        return;
+    const std::size_t n_services = runs[0].size();
+    std::vector<double> avg(series.size(), 0.0);
+    for (std::size_t i = 0; i < n_services; ++i) {
+        std::printf("%-10s", runs[0][i].name.c_str());
+        for (std::size_t s = 0; s < runs.size(); ++s) {
+            const double v = get(runs[s][i]);
+            avg[s] += v;
+            std::printf(" %18.3f", v);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-10s", "Average");
+    for (std::size_t s = 0; s < runs.size(); ++s) {
+        std::printf(" %18.3f",
+                    avg[s] / static_cast<double>(n_services));
+    }
+    std::printf("\n");
+}
+
+} // namespace hh::bench
+
+#endif // HH_BENCH_UTIL_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 2: CDF of the average and maximum core utilization of
+ * Alibaba's microservice instances.
+ *
+ * Paper anchors: 50% of instances below 16.1% average utilization;
+ * 90% below 40.7% maximum utilization.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "stats/percentile.h"
+#include "workload/alibaba.h"
+
+int
+main()
+{
+    hh::bench::printHeader(
+        "Figure 2", "core utilization CDF of Alibaba-like instances");
+
+    hh::workload::AlibabaTrace trace(hh::bench::BenchScale{}.seed);
+    const auto inst = trace.instances(10000);
+
+    std::vector<double> avg;
+    std::vector<double> mx;
+    for (const auto &u : inst) {
+        avg.push_back(u.avgUtil);
+        mx.push_back(u.maxUtil);
+    }
+
+    std::vector<double> xs;
+    for (double x = 0.0; x <= 1.0001; x += 0.05)
+        xs.push_back(x);
+    const auto cdf_avg = hh::stats::empiricalCdf(avg, xs);
+    const auto cdf_max = hh::stats::empiricalCdf(mx, xs);
+
+    std::printf("%-12s %12s %12s\n", "utilization", "CDF(avg)",
+                "CDF(max)");
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        std::printf("%-12.2f %12.3f %12.3f\n", xs[i], cdf_avg[i],
+                    cdf_max[i]);
+    }
+
+    const auto at = [&](std::vector<double> v, double p) {
+        std::sort(v.begin(), v.end());
+        return v[static_cast<std::size_t>(p * (v.size() - 1))];
+    };
+    std::printf("\nmedian avg util: %.3f (paper: 0.161)\n",
+                at(avg, 0.5));
+    std::printf("P90 max util:    %.3f (paper: 0.407)\n",
+                at(mx, 0.9));
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 4: P99 tail latency of Primary-VM microservices with the
+ * hypervisor overheads of core reassignment (no cache flushing; the
+ * Harvest VM is always idle).
+ *
+ * Bars: No-Move, KVM-Term, KVM-Block, Opt-Term, Opt-Block.
+ * Paper: 3.2x, 3.8x, 2.7x, 3.1x average tail increase.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace hh::bench;
+    using namespace hh::cluster;
+
+    BenchScale scale;
+    printHeader("Figure 4",
+                "P99 tail with hypervisor reassignment only [ms]");
+
+    struct Variant
+    {
+        const char *name;
+        bool harvesting;
+        bool onBlock;
+        hh::vm::ReassignImpl impl;
+    };
+    const Variant variants[] = {
+        {"No-Move", false, false, hh::vm::ReassignImpl::Kvm},
+        {"KVM-Term", true, false, hh::vm::ReassignImpl::Kvm},
+        {"KVM-Block", true, true, hh::vm::ReassignImpl::Kvm},
+        {"Opt-Term", true, false, hh::vm::ReassignImpl::Optimized},
+        {"Opt-Block", true, true, hh::vm::ReassignImpl::Optimized},
+    };
+
+    std::vector<std::string> series;
+    std::vector<std::vector<ServiceResult>> runs;
+    std::vector<double> avg;
+    for (const auto &v : variants) {
+        SystemConfig cfg = makeSystem(v.harvesting
+                                          ? SystemKind::HarvestTerm
+                                          : SystemKind::NoHarvest);
+        applyScale(cfg, scale);
+        cfg.harvesting = v.harvesting;
+        cfg.harvestOnBlock = v.onBlock;
+        cfg.swImpl = v.impl;
+        // Fig 4 isolates reassignment: the Harvest VM is idle and
+        // caches are NOT flushed on a core move.
+        cfg.harvestVmIdle = true;
+        cfg.swFlushOnReassign = false;
+        const auto res = runServer(cfg, "BFS", scale.seed);
+        series.emplace_back(v.name);
+        runs.push_back(res.services);
+        avg.push_back(res.avgP99Ms());
+    }
+
+    printServiceTable(series, runs, "p99[ms]",
+                      [](const ServiceResult &r) { return r.p99Ms; });
+    std::printf("\nTail increase vs No-Move (paper: 3.2x 3.8x 2.7x "
+                "3.1x):\n");
+    for (std::size_t i = 1; i < series.size(); ++i)
+        std::printf("  %-10s %.2fx\n", series[i].c_str(),
+                    avg[i] / avg[0]);
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 5: P99 tail latency with cache/TLB flushing (wbinvd) and,
+ * for the last two bars, both flushing and hypervisor reassignment.
+ *
+ * Bars: No-Flush, Flush-Term, Flush-Block, Harvest-Term,
+ * Harvest-Block. Paper: 2.7x, 3.3x, 3.6x, 4.2x average increase.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace hh::bench;
+    using namespace hh::cluster;
+
+    BenchScale scale;
+    printHeader("Figure 5",
+                "P99 tail with cache/TLB flushing [ms]");
+
+    struct Variant
+    {
+        const char *name;
+        bool harvesting;
+        bool onBlock;
+        bool flush;
+        bool reassignFree; //!< true = flush cost only (Flush-*).
+    };
+    const Variant variants[] = {
+        {"No-Flush", false, false, false, true},
+        {"Flush-Term", true, false, true, true},
+        {"Flush-Block", true, true, true, true},
+        {"Harvest-Term", true, false, true, false},
+        {"Harvest-Block", true, true, true, false},
+    };
+
+    std::vector<std::string> series;
+    std::vector<std::vector<ServiceResult>> runs;
+    std::vector<double> avg;
+    for (const auto &v : variants) {
+        SystemConfig cfg = makeSystem(v.harvesting
+                                          ? SystemKind::HarvestTerm
+                                          : SystemKind::NoHarvest);
+        applyScale(cfg, scale);
+        cfg.harvesting = v.harvesting;
+        cfg.harvestOnBlock = v.onBlock;
+        cfg.swFlushOnReassign = v.flush;
+        cfg.swReassignFree = v.reassignFree;
+        const auto res = runServer(cfg, "BFS", scale.seed);
+        series.emplace_back(v.name);
+        runs.push_back(res.services);
+        avg.push_back(res.avgP99Ms());
+    }
+
+    printServiceTable(series, runs, "p99[ms]",
+                      [](const ServiceResult &r) { return r.p99Ms; });
+    std::printf("\nTail increase vs No-Flush (paper: 2.7x 3.3x 3.6x "
+                "4.2x):\n");
+    for (std::size_t i = 1; i < series.size(); ++i)
+        std::printf("  %-14s %.2fx\n", series[i].c_str(),
+                    avg[i] / avg[0]);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 6: execution time of a single service request in steady
+ * state without core harvesting (left) and with software core
+ * harvesting (right), broken into core reassignment, flush /
+ * invalidation, and execution.
+ *
+ * Paper: requests take 1.9x longer with software harvesting, and
+ * execution itself is 1.2x longer due to cold structures.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace hh::bench;
+    using namespace hh::cluster;
+
+    BenchScale scale;
+    printHeader("Figure 6",
+                "single-request time breakdown (mean) [ms]");
+
+    SystemConfig no = makeSystem(SystemKind::NoHarvest);
+    applyScale(no, scale);
+    const auto base = runServer(no, "BFS", scale.seed);
+
+    SystemConfig hv = makeSystem(SystemKind::HarvestBlock);
+    applyScale(hv, scale);
+    const auto harv = runServer(hv, "BFS", scale.seed);
+
+    std::printf("%-10s %-12s %10s %10s %10s %10s\n", "service",
+                "system", "reassign", "flush", "exec", "total");
+    double base_total = 0;
+    double harv_total = 0;
+    double base_exec = 0;
+    double harv_exec = 0;
+    for (std::size_t i = 0; i < base.services.size(); ++i) {
+        const auto &b = base.services[i];
+        const auto &h = harv.services[i];
+        std::printf("%-10s %-12s %10.3f %10.3f %10.3f %10.3f\n",
+                    b.name.c_str(), "NoHarvest", b.reassignMs,
+                    b.flushMs, b.execMs,
+                    b.reassignMs + b.flushMs + b.execMs);
+        std::printf("%-10s %-12s %10.3f %10.3f %10.3f %10.3f\n", "",
+                    "Harvesting", h.reassignMs, h.flushMs, h.execMs,
+                    h.reassignMs + h.flushMs + h.execMs);
+        base_total += b.reassignMs + b.flushMs + b.execMs;
+        harv_total += h.reassignMs + h.flushMs + h.execMs;
+        base_exec += b.execMs;
+        harv_exec += h.execMs;
+    }
+    std::printf("\nAvg request time with harvesting: %.2fx (paper: "
+                "1.9x)\n", harv_total / base_total);
+    std::printf("Avg execution (cold structures):  %.2fx (paper: "
+                "1.2x)\n", harv_exec / base_exec);
+    return 0;
+}

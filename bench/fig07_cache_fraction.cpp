@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 7: tail latency of microservices on a system with a
+ * fraction of the whole cache and TLB hierarchy (Inf, 100%, 75%,
+ * 50%, 25% of ways, sets constant).
+ *
+ * Paper: even at 50% of the hierarchy the impact is very small —
+ * microservice working sets are small.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace hh::bench;
+    using namespace hh::cluster;
+
+    BenchScale scale;
+    printHeader("Figure 7",
+                "P99 tail vs cache/TLB size fraction [ms]");
+
+    struct Variant
+    {
+        const char *name;
+        bool infinite;
+        double fraction;
+    };
+    const Variant variants[] = {
+        {"Inf", true, 1.0},   {"100%", false, 1.0},
+        {"75%", false, 0.75}, {"50%", false, 0.5},
+        {"25%", false, 0.25},
+    };
+
+    std::vector<std::string> series;
+    std::vector<std::vector<ServiceResult>> runs;
+    std::vector<double> avg;
+    for (const auto &v : variants) {
+        SystemConfig cfg = makeSystem(SystemKind::NoHarvest);
+        applyScale(cfg, scale);
+        cfg.infiniteCaches = v.infinite;
+        cfg.waysFraction = v.fraction;
+        const auto res = runServer(cfg, "BFS", scale.seed);
+        series.emplace_back(v.name);
+        runs.push_back(res.services);
+        avg.push_back(res.avgP99Ms());
+    }
+
+    printServiceTable(series, runs, "p99[ms]",
+                      [](const ServiceResult &r) { return r.p99Ms; });
+    std::printf("\nAvg tail vs 100%% (paper: small impact even at "
+                "50%%):\n");
+    for (std::size_t i = 0; i < series.size(); ++i)
+        std::printf("  %-5s %.2fx\n", series[i].c_str(),
+                    avg[i] / avg[1]);
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 11: P99 tail latency of microservices in Primary VMs for
+ * the five evaluated architectures (lower is better).
+ *
+ * Paper headline: Harvest-Term / Harvest-Block average 3.4x / 4.1x
+ * NoHarvest; HardHarvest-Term/Block reduce Harvest-Term's tail by
+ * ~83% and land 30.5% / 28.4% below NoHarvest.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace hh::bench;
+    using namespace hh::cluster;
+
+    BenchScale scale;
+    printHeader("Figure 11",
+                "P99 tail latency of Primary VMs, 5 systems [ms]");
+
+    const SystemKind kinds[] = {
+        SystemKind::NoHarvest, SystemKind::HarvestTerm,
+        SystemKind::HarvestBlock, SystemKind::HardHarvestTerm,
+        SystemKind::HardHarvestBlock};
+
+    std::vector<std::string> series;
+    std::vector<std::vector<ServiceResult>> runs;
+    std::vector<double> avg_p99;
+    std::vector<ServerResults> full;
+    for (const SystemKind kind : kinds) {
+        SystemConfig cfg = makeSystem(kind);
+        applyScale(cfg, scale);
+        const ServerResults res =
+            runServer(cfg, "BFS", scale.seed);
+        series.emplace_back(systemName(kind));
+        runs.push_back(res.services);
+        avg_p99.push_back(res.avgP99Ms());
+        full.push_back(res);
+    }
+
+    printServiceTable(series, runs, "p99[ms]",
+                      [](const ServiceResult &r) { return r.p99Ms; });
+
+    std::printf("\nRatios vs NoHarvest (paper: 3.4x, 4.1x, 0.70x, "
+                "0.72x):\n");
+    for (std::size_t i = 1; i < series.size(); ++i) {
+        std::printf("  %-18s %.2fx\n", series[i].c_str(),
+                    avg_p99[i] / avg_p99[0]);
+    }
+    std::printf("Reduction of HardHarvest-Block vs Harvest-Term "
+                "(paper: 83.3%%): %.1f%%\n",
+                100.0 * (1.0 - avg_p99[4] / avg_p99[1]));
+
+    std::printf("\n%-18s %10s %10s %10s\n", "system", "busyCores",
+                "loans", "reclaims");
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        std::printf("%-18s %10.1f %10llu %10llu\n", series[i].c_str(),
+                    full[i].avgBusyCores,
+                    static_cast<unsigned long long>(full[i].coreLoans),
+                    static_cast<unsigned long long>(
+                        full[i].coreReclaims));
+    }
+    return 0;
+}

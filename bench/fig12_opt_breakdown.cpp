@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 12: cumulative impact of individual HardHarvest
+ * optimizations on the P99 tail latency of Primary VMs, starting
+ * from software Harvest-Block and adding, in order: hardware request
+ * scheduler (+Sched), hardware queues (+Queue), in-hardware context
+ * switching (+CtxtSw), cache/TLB partitioning with LRU (+Part),
+ * efficient flushing (+Flush), and the optimized replacement policy
+ * (HardHarvest).
+ *
+ * Paper: cumulative reductions of 25.6%, 35.5%, 61.1%, 80.1%,
+ * 83.6%, 85.6% relative to Harvest-Block.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace hh::bench;
+    using namespace hh::cluster;
+
+    BenchScale scale;
+    printHeader("Figure 12",
+                "cumulative optimization breakdown, P99 [ms]");
+
+    enum Step
+    {
+        HarvestTermBar,
+        HarvestBlockBar,
+        Sched,
+        Queue,
+        CtxtSw,
+        Part,
+        Flush,
+        Repl,
+    };
+    const char *names[] = {"HarvestTerm", "HarvestBlock", "+Sched",
+                           "+Queue",      "+CtxtSw",      "+Part",
+                           "+Flush",      "HardHarvest"};
+
+    std::vector<std::string> series;
+    std::vector<std::vector<ServiceResult>> runs;
+    std::vector<double> avg;
+    for (int step = HarvestTermBar; step <= Repl; ++step) {
+        SystemConfig cfg = makeSystem(step == HarvestTermBar
+                                          ? SystemKind::HarvestTerm
+                                          : SystemKind::HarvestBlock);
+        applyScale(cfg, scale);
+        cfg.hwSched = step >= Sched;
+        cfg.hwQueue = step >= Queue;
+        cfg.hwCtxtSwitch = step >= CtxtSw;
+        cfg.partitioning = step >= Part;
+        cfg.efficientFlush = step >= Flush;
+        cfg.repl = step >= Repl ? hh::cache::ReplKind::HardHarvest
+                                : hh::cache::ReplKind::LRU;
+        const auto res = runServer(cfg, "BFS", scale.seed);
+        series.emplace_back(names[step]);
+        runs.push_back(res.services);
+        avg.push_back(res.avgP99Ms());
+    }
+
+    printServiceTable(series, runs, "p99[ms]",
+                      [](const ServiceResult &r) { return r.p99Ms; });
+    std::printf("\nCumulative reduction vs Harvest-Block (paper: "
+                "25.6 35.5 61.1 80.1 83.6 85.6 %%):\n");
+    for (std::size_t i = Sched; i < series.size(); ++i) {
+        std::printf("  %-12s %.1f%%\n", series[i].c_str(),
+                    100.0 * (1.0 - avg[i] / avg[HarvestBlockBar]));
+    }
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 13: ablation on the effectiveness of in-hardware context
+ * switching (+CtxtSw) and hardware request scheduling (+Sched),
+ * applied to Harvest-Block individually and together.
+ *
+ * Paper: the two have similar impact and are partially additive.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace hh::bench;
+    using namespace hh::cluster;
+
+    BenchScale scale;
+    printHeader("Figure 13",
+                "Sched vs CtxtSw ablation, P99 [ms]");
+
+    struct Variant
+    {
+        const char *name;
+        bool sched;
+        bool ctxsw;
+    };
+    const Variant variants[] = {
+        {"HarvestBlock", false, false},
+        {"+CtxtSw", false, true},
+        {"+Sched", true, false},
+        {"+CtxtSw&Sched", true, true},
+    };
+
+    std::vector<std::string> series;
+    std::vector<std::vector<ServiceResult>> runs;
+    std::vector<double> avg;
+    for (const auto &v : variants) {
+        SystemConfig cfg = makeSystem(SystemKind::HarvestBlock);
+        applyScale(cfg, scale);
+        cfg.hwSched = v.sched;
+        cfg.hwCtxtSwitch = v.ctxsw;
+        const auto res = runServer(cfg, "BFS", scale.seed);
+        series.emplace_back(v.name);
+        runs.push_back(res.services);
+        avg.push_back(res.avgP99Ms());
+    }
+
+    printServiceTable(series, runs, "p99[ms]",
+                      [](const ServiceResult &r) { return r.p99Ms; });
+    std::printf("\nReduction vs HarvestBlock:\n");
+    for (std::size_t i = 1; i < series.size(); ++i)
+        std::printf("  %-14s %.1f%%\n", series[i].c_str(),
+                    100.0 * (1.0 - avg[i] / avg[0]));
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 16: median latency of microservices in Primary VMs for the
+ * five evaluated architectures.
+ *
+ * Paper: Harvest-Term's median is only 7.9% above NoHarvest (the
+ * software damage is at the tail); HardHarvest-Block's median is
+ * 26.1% below NoHarvest.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace hh::bench;
+    using namespace hh::cluster;
+
+    BenchScale scale;
+    printHeader("Figure 16", "median latency, 5 systems [ms]");
+
+    const SystemKind kinds[] = {
+        SystemKind::NoHarvest, SystemKind::HarvestTerm,
+        SystemKind::HarvestBlock, SystemKind::HardHarvestTerm,
+        SystemKind::HardHarvestBlock};
+
+    std::vector<std::string> series;
+    std::vector<std::vector<ServiceResult>> runs;
+    std::vector<double> avg;
+    for (const SystemKind kind : kinds) {
+        SystemConfig cfg = makeSystem(kind);
+        applyScale(cfg, scale);
+        const auto res = runServer(cfg, "BFS", scale.seed);
+        series.emplace_back(systemName(kind));
+        runs.push_back(res.services);
+        avg.push_back(res.avgP50Ms());
+    }
+
+    printServiceTable(series, runs, "p50[ms]",
+                      [](const ServiceResult &r) { return r.p50Ms; });
+    std::printf("\nMedian vs NoHarvest (paper: +7.9%% for "
+                "Harvest-Term, -26.1%% for HardHarvest-Block):\n");
+    for (std::size_t i = 1; i < series.size(); ++i)
+        std::printf("  %-18s %+0.1f%%\n", series[i].c_str(),
+                    100.0 * (avg[i] / avg[0] - 1.0));
+    return 0;
+}

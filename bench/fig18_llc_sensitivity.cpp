@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 18: P99 tail latency of Primary VMs with HardHarvest-Block
+ * and different LLC sizes (2.5, 2, 1, 0.5 MB per core).
+ *
+ * Paper: changes are small because microservice footprints are
+ * modest; bigger LLC slightly lowers the tail.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace hh::bench;
+    using namespace hh::cluster;
+
+    BenchScale scale;
+    printHeader("Figure 18",
+                "HardHarvest-Block P99 vs LLC size [ms]");
+
+    const double sizes[] = {2.5, 2.0, 1.0, 0.5};
+    std::vector<std::string> series;
+    std::vector<std::vector<ServiceResult>> runs;
+    std::vector<double> avg;
+    for (const double mb : sizes) {
+        SystemConfig cfg = makeSystem(SystemKind::HardHarvestBlock);
+        applyScale(cfg, scale);
+        cfg.llcMbPerCore = mb;
+        const auto res = runServer(cfg, "BFS", scale.seed);
+        char label[32];
+        std::snprintf(label, sizeof label, "%.1fMB/core", mb);
+        series.emplace_back(label);
+        runs.push_back(res.services);
+        avg.push_back(res.avgP99Ms());
+    }
+
+    printServiceTable(series, runs, "p99[ms]",
+                      [](const ServiceResult &r) { return r.p99Ms; });
+    std::printf("\nAvg tail vs 2MB/core (paper: small changes):\n");
+    for (std::size_t i = 0; i < series.size(); ++i)
+        std::printf("  %-10s %.3fx\n", series[i].c_str(),
+                    avg[i] / avg[1]);
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the HardHarvest hardware
+ * structures: RQ enqueue/dequeue, Queue Manager bookkeeping,
+ * replacement-policy victim selection, and full hierarchy accesses.
+ *
+ * These measure simulator (host) cost, useful for keeping the
+ * simulation fast; they are not simulated-latency numbers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/hierarchy.h"
+#include "cache/set_assoc.h"
+#include "core/controller.h"
+#include "sim/rng.h"
+#include "workload/service.h"
+
+using namespace hh::cache;
+
+static void
+BM_RqEnqueueDequeue(benchmark::State &state)
+{
+    hh::core::HardHarvestController ctrl(hh::core::ControllerConfig{},
+                                         36);
+    ctrl.registerVm(0, true, 4);
+    std::uint64_t id = 1;
+    for (auto _ : state) {
+        ctrl.enqueue(0, id);
+        const auto r = ctrl.dequeue(0);
+        benchmark::DoNotOptimize(r);
+        ctrl.complete(0, *r);
+        ++id;
+    }
+}
+BENCHMARK(BM_RqEnqueueDequeue);
+
+static void
+BM_ControllerRegisterRemove(benchmark::State &state)
+{
+    for (auto _ : state) {
+        hh::core::HardHarvestController ctrl(
+            hh::core::ControllerConfig{}, 36);
+        for (std::uint32_t vm = 0; vm < 9; ++vm)
+            ctrl.registerVm(vm, vm < 8, 4);
+        benchmark::DoNotOptimize(ctrl.totalWeight());
+    }
+}
+BENCHMARK(BM_ControllerRegisterRemove);
+
+static void
+BM_SetAssocAccess(benchmark::State &state)
+{
+    const auto kind = static_cast<ReplKind>(state.range(0));
+    SetAssocArray arr(kL2, makePolicy(kind));
+    arr.setHarvestWayCount(4);
+    if (kind == ReplKind::HardHarvest)
+        arr.setCandidateFraction(0.75);
+    hh::sim::Rng rng(1, 2);
+    for (auto _ : state) {
+        const Addr key = rng.uniformInt(std::uint64_t{32768});
+        benchmark::DoNotOptimize(
+            arr.access(key, rng.bernoulli(0.6)));
+    }
+}
+BENCHMARK(BM_SetAssocAccess)
+    ->Arg(static_cast<int>(ReplKind::LRU))
+    ->Arg(static_cast<int>(ReplKind::RRIP))
+    ->Arg(static_cast<int>(ReplKind::HardHarvest));
+
+static void
+BM_HierarchyAccess(benchmark::State &state)
+{
+    HierarchyConfig cfg;
+    cfg.repl = ReplKind::HardHarvest;
+    cfg.partitioning = true;
+    cfg.candidateFraction = 0.75;
+    CoreHierarchy h(cfg, nullptr, nullptr);
+    hh::workload::ServiceWorkload wl(
+        hh::workload::serviceByName("Text"), 1, 7);
+    const auto plan = wl.planInvocation();
+    hh::sim::Cycles now = 0;
+    for (auto _ : state) {
+        now += h.access(now, wl.nextAccess(plan));
+        benchmark::DoNotOptimize(now);
+    }
+}
+BENCHMARK(BM_HierarchyAccess);
+
+static void
+BM_HarvestRegionFlush(benchmark::State &state)
+{
+    HierarchyConfig cfg;
+    cfg.partitioning = true;
+    CoreHierarchy h(cfg, nullptr, nullptr);
+    for (auto _ : state)
+        h.flushHarvestRegion(0, 1000);
+}
+BENCHMARK(BM_HarvestRegionFlush);
+
+BENCHMARK_MAIN();

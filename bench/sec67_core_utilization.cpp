@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Section 6.7: average core utilization (busy cores out of 36) for
+ * the five evaluated architectures.
+ *
+ * Paper: 10.3, 23.8, 26.5, 28.7, 34.8 busy cores; HardHarvest-Block
+ * increases utilization 1.5x over Harvest-Term and 3.4x over
+ * NoHarvest.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace hh::bench;
+    using namespace hh::cluster;
+
+    BenchScale scale;
+    printHeader("Section 6.7", "average busy cores out of 36");
+
+    const SystemKind kinds[] = {
+        SystemKind::NoHarvest, SystemKind::HarvestTerm,
+        SystemKind::HarvestBlock, SystemKind::HardHarvestTerm,
+        SystemKind::HardHarvestBlock};
+    const double paper[] = {10.3, 23.8, 26.5, 28.7, 34.8};
+
+    std::printf("%-18s %12s %12s %10s\n", "system", "busy cores",
+                "paper", "util");
+    std::vector<double> busy;
+    for (std::size_t i = 0; i < 5; ++i) {
+        SystemConfig cfg = makeSystem(kinds[i]);
+        applyScale(cfg, scale);
+        const auto res = runServer(cfg, "BFS", scale.seed);
+        busy.push_back(res.avgBusyCores);
+        std::printf("%-18s %12.1f %12.1f %9.1f%%\n",
+                    systemName(kinds[i]), res.avgBusyCores, paper[i],
+                    res.utilization * 100);
+    }
+    std::printf("\nHardHarvest-Block vs Harvest-Term: %.2fx "
+                "(paper: 1.5x)\n", busy[4] / busy[1]);
+    std::printf("HardHarvest-Block vs NoHarvest:    %.2fx "
+                "(paper: 3.4x)\n", busy[4] / busy[0]);
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Section 6.8: storage, area and power cost of the HardHarvest
+ * hardware.
+ *
+ * Paper: 18.9 KB per controller (0.53 KB/core), 67.8 KB of Shared
+ * bits per server (1.9 KB/core), 0.19% area and 0.16% power
+ * overhead of the multicore at 7 nm.
+ */
+
+#include <cstdio>
+
+#include "core/storage_cost.h"
+
+int
+main()
+{
+    const auto c = hh::core::computeStorageCost();
+    std::printf("====================================================\n");
+    std::printf("Section 6.8: storage / area / power cost\n");
+    std::printf("====================================================\n");
+    std::printf("%-34s %10s %10s\n", "component", "measured", "paper");
+    std::printf("%-34s %8.2fKB %10s\n", "RQ array (2K x 66b)", c.rqKb,
+                "16.5KB");
+    std::printf("%-34s %8.2fKB %10s\n",
+                "16x (VM state + RQ-Map + HarvestMask)", c.qmKb,
+                "2.4KB");
+    std::printf("%-34s %8.2fKB %10s\n", "controller total",
+                c.controllerKb, "18.9KB");
+    std::printf("%-34s %8.2fKB %10s\n", "controller per core",
+                c.controllerPerCoreKb, "0.53KB");
+    std::printf("%-34s %8.2fKB %10s\n", "Shared bits per core",
+                c.sharedBitsPerCoreKb, "1.9KB");
+    std::printf("%-34s %8.2fKB %10s\n", "Shared bits per server",
+                c.sharedBitsServerKb, "67.8KB");
+    std::printf("%-34s %9.2f%% %10s\n", "area overhead",
+                c.areaOverheadPct, "0.19%");
+    std::printf("%-34s %9.2f%% %10s\n", "power overhead",
+                c.powerOverheadPct, "0.16%");
+    return 0;
+}

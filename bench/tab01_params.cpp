@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Table 1: architectural parameters used in the evaluation.
+ *
+ * Prints the modelled configuration so it can be diffed against the
+ * paper's table.
+ */
+
+#include <cstdio>
+
+#include "cache/config.h"
+#include "cluster/system_config.h"
+#include "core/controller.h"
+#include "mem/dram.h"
+#include "net/fabric.h"
+
+int
+main()
+{
+    using namespace hh::cache;
+    std::printf("Table 1: architectural parameters\n");
+    std::printf("---------------------------------------------\n");
+    const auto cfg =
+        hh::cluster::makeSystem(hh::cluster::SystemKind::HardHarvestBlock);
+    std::printf("Machine            cluster of 8 servers\n");
+    std::printf("Server processor   %u cores at 3 GHz\n", cfg.cores);
+
+    auto geom = [](const char *name, const Geometry &g,
+                   unsigned line_or_entries) {
+        std::printf("%-18s %u sets x %u ways (%u %s), %llu-cycle RT\n",
+                    name, g.sets, g.ways, line_or_entries,
+                    line_or_entries > 512 ? "B total" : "B line",
+                    static_cast<unsigned long long>(g.latency));
+    };
+    geom("L1 D-Cache", kL1D, kL1D.entries() * kLineBytes);
+    geom("L1 I-Cache", kL1I, kL1I.entries() * kLineBytes);
+    geom("L2 Cache", kL2, kL2.entries() * kLineBytes);
+    geom("L3 Cache/core", kL3PerCore, kL3PerCore.entries() * kLineBytes);
+    std::printf("L1 TLB             %u entries, %u-way, %llu-cycle RT\n",
+                kL1Tlb.entries(), kL1Tlb.ways,
+                static_cast<unsigned long long>(kL1Tlb.latency));
+    std::printf("L2 TLB             %u entries, %u-way, %llu-cycle RT\n",
+                kL2Tlb.entries(), kL2Tlb.ways,
+                static_cast<unsigned long long>(kL2Tlb.latency));
+
+    hh::net::Fabric fabric;
+    std::printf("Inter-server       %.2f us RT, %.0f GB/s\n",
+                hh::sim::cyclesToUs(fabric.roundTrip(0)),
+                fabric.config().bytesPerCycle * 3.0);
+    std::printf("Primary VMs        %u per server, %u cores each\n",
+                cfg.primaryVms, cfg.coresPerPrimary);
+    std::printf("Harvest VMs        1 per server, %u cores + harvested\n",
+                cfg.cores - cfg.primaryVms * cfg.coresPerPrimary);
+
+    hh::mem::DramConfig dram;
+    std::printf("Main memory        DDR4-3200, %u controllers, "
+                "102.4 GB/s\n", dram.controllers);
+
+    hh::core::ControllerConfig ctrl;
+    std::printf("RQ                 %u chunks x %u entries\n",
+                ctrl.rqChunks, ctrl.entriesPerChunk);
+    std::printf("Queue Managers     %u\n", ctrl.maxQms);
+    std::printf("VM State Regs      16 per set\n");
+    std::printf("Harvest region     %.0f%% of ways\n",
+                cfg.harvestWayFraction * 100);
+    std::printf("Evict candidates M %.0f%% of ways\n",
+                cfg.candidateFraction * 100);
+    std::printf("Flush+Inv HarvReg  %llu cycles\n",
+                static_cast<unsigned long long>(ctrl.flushBound));
+    return 0;
+}

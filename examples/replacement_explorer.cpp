@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Replacement-policy explorer: a small, self-contained tour of the
+ * cache substrate's public API. Builds a way-partitioned cache,
+ * streams a mix of shared and private lines through each policy, and
+ * shows how Algorithm 1 steers shared state into the non-harvest
+ * region and how it survives harvest-region flushes.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/replacement_explorer
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "cache/repl_belady.h"
+#include "cache/set_assoc.h"
+#include "sim/rng.h"
+
+using namespace hh::cache;
+
+namespace {
+
+struct Ref
+{
+    Addr key;
+    bool shared;
+};
+
+/** Mixed stream: a hot shared set plus a private streaming flood. */
+std::vector<Ref>
+makeStream(std::uint64_t seed)
+{
+    hh::sim::Rng rng(seed, 1);
+    hh::sim::ZipfSampler hot(64, 0.9);
+    std::vector<Ref> refs;
+    Addr next_private = 1 << 20;
+    for (int i = 0; i < 40000; ++i) {
+        if (rng.bernoulli(0.55))
+            refs.push_back({hot.sample(rng), true});
+        else
+            refs.push_back({next_private++, false});
+    }
+    return refs;
+}
+
+struct Outcome
+{
+    double hitRate;
+    double sharedInNonHarvest; //!< Fraction of shared entries there.
+    double survivedFlush;      //!< Shared hit rate right after flush.
+};
+
+Outcome
+explore(const std::vector<Ref> &refs, ReplKind kind)
+{
+    SetAssocArray cache(Geometry{16, 8, 1}, makePolicy(kind));
+    cache.setHarvestWayCount(4);
+    if (kind == ReplKind::HardHarvest)
+        cache.setCandidateFraction(0.75);
+
+    std::uint64_t shared_hits = 0;
+    std::uint64_t shared_refs = 0;
+    for (const auto &r : refs) {
+        const bool hit = cache.access(r.key, r.shared).hit;
+        if (r.shared) {
+            ++shared_refs;
+            shared_hits += hit ? 1 : 0;
+        }
+    }
+
+    // Where did the shared entries end up?
+    std::uint64_t shared_nh = 0;
+    std::uint64_t shared_total = 0;
+    const WayMask harvest = cache.harvestWays();
+    for (std::uint32_t s = 0; s < cache.geometry().sets; ++s) {
+        for (unsigned w = 0; w < cache.geometry().ways; ++w) {
+            const auto &ws = cache.wayState(s, w);
+            if (ws.valid && ws.shared) {
+                ++shared_total;
+                if (!(harvest & (WayMask{1} << w)))
+                    ++shared_nh;
+            }
+        }
+    }
+
+    // Flush the harvest region (a core reassignment) and measure how
+    // much of the hot shared set still hits.
+    cache.flushWays(harvest);
+    cache.resetStats();
+    std::uint64_t probe_hits = 0;
+    for (Addr k = 0; k < 64; ++k)
+        probe_hits += cache.access(k, true).hit ? 1 : 0;
+
+    Outcome o;
+    o.hitRate = static_cast<double>(shared_hits) /
+                static_cast<double>(shared_refs);
+    o.sharedInNonHarvest =
+        shared_total ? static_cast<double>(shared_nh) /
+                           static_cast<double>(shared_total)
+                     : 0.0;
+    o.survivedFlush = static_cast<double>(probe_hits) / 64.0;
+    return o;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Replacement explorer: 16-set x 8-way cache, 4 "
+                "harvest ways,\n55%% hot-shared / 45%% streaming-"
+                "private references\n\n");
+    std::printf("%-12s %12s %20s %16s\n", "policy", "shared hits",
+                "shared in non-harv", "survive flush");
+
+    const auto refs = makeStream(7);
+    for (const ReplKind kind :
+         {ReplKind::LRU, ReplKind::RRIP, ReplKind::HardHarvest}) {
+        const auto o = explore(refs, kind);
+        std::printf("%-12s %11.1f%% %19.1f%% %15.1f%%\n",
+                    replKindName(kind), o.hitRate * 100,
+                    o.sharedInNonHarvest * 100,
+                    o.survivedFlush * 100);
+    }
+
+    std::printf("\nAlgorithm 1 concentrates shared (cross-"
+                "invocation) state in the non-harvest\nways, so a "
+                "core reassignment flush costs the Primary VM almost "
+                "nothing.\n");
+    return 0;
+}

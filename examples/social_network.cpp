@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SocialNet scenario: the workload the paper's introduction
+ * motivates. Runs the 8 DeathStarBench-like SocialNet services under
+ * bursty Alibaba-style load and compares all five architectures on
+ * tail latency — printing, per service, where the latency goes
+ * (queueing, reassignment, flushing, execution, I/O).
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/social_network
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "cluster/experiment.h"
+
+int
+main()
+{
+    using namespace hh::cluster;
+
+    std::printf("SocialNet under bursty load: where does the tail "
+                "go?\n\n");
+
+    const SystemKind kinds[] = {
+        SystemKind::NoHarvest, SystemKind::HarvestBlock,
+        SystemKind::HardHarvestBlock};
+
+    for (const SystemKind kind : kinds) {
+        SystemConfig cfg = makeSystem(kind);
+        cfg.requestsPerVm = 300;
+        cfg.accessSampling = 12;
+        const ServerResults res = runServer(cfg, "PRank", 3);
+
+        std::printf("=== %s ===\n", systemName(kind));
+        std::printf("%-10s %8s %8s | mean ms: %8s %8s %8s %8s %8s\n",
+                    "service", "p50", "p99", "queue", "reassign",
+                    "flush", "exec", "io");
+        for (const auto &s : res.services) {
+            std::printf("%-10s %8.3f %8.3f | %17.3f %8.3f %8.3f "
+                        "%8.3f %8.3f\n",
+                        s.name.c_str(), s.p50Ms, s.p99Ms, s.queueMs,
+                        s.reassignMs, s.flushMs, s.execMs, s.ioMs);
+        }
+        std::printf("avg p99 %.3f ms | busy cores %.1f/36 | "
+                    "loans %llu reclaims %llu\n\n",
+                    res.avgP99Ms(), res.avgBusyCores,
+                    static_cast<unsigned long long>(res.coreLoans),
+                    static_cast<unsigned long long>(
+                        res.coreReclaims));
+    }
+
+    std::printf("Reading guide: software harvesting (Harvest-Block) "
+                "shifts the tail into\nreassign+flush stalls; "
+                "HardHarvest keeps both near zero while harvesting\n"
+                "far more aggressively (see loans).\n");
+    return 0;
+}

@@ -1,0 +1,31 @@
+#include "cache/config.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hh::cache {
+
+const char *
+replKindName(ReplKind kind)
+{
+    switch (kind) {
+      case ReplKind::LRU:         return "LRU";
+      case ReplKind::RRIP:        return "RRIP";
+      case ReplKind::HardHarvest: return "HardHarvest";
+      case ReplKind::CDP:         return "CDP";
+      case ReplKind::Belady:      return "Belady";
+    }
+    return "?";
+}
+
+Geometry
+scaleWays(const Geometry &g, double fraction)
+{
+    Geometry out = g;
+    const auto scaled = static_cast<std::uint32_t>(
+        std::floor(static_cast<double>(g.ways) * fraction));
+    out.ways = std::max<std::uint32_t>(1, scaled);
+    return out;
+}
+
+} // namespace hh::cache

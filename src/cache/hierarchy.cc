@@ -1,0 +1,166 @@
+#include "cache/hierarchy.h"
+
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace hh::cache {
+
+using hh::sim::Cycles;
+
+namespace {
+
+/** Fallback DRAM latency when no Dram model is attached. */
+constexpr Cycles kFlatDramLatency = 200;
+
+unsigned
+harvestWayCount(const Geometry &g, double fraction)
+{
+    const auto n = static_cast<unsigned>(
+        std::lround(fraction * static_cast<double>(g.ways)));
+    // Keep at least one way on each side of the partition.
+    return std::min(std::max(1u, n), g.ways - 1);
+}
+
+} // namespace
+
+std::unique_ptr<SetAssocArray>
+CoreHierarchy::makeArray(const Geometry &g) const
+{
+    const Geometry scaled = scaleWays(g, cfg_.waysFraction);
+    auto arr = std::make_unique<SetAssocArray>(scaled,
+                                               makePolicy(cfg_.repl));
+    arr->setCandidateFraction(cfg_.candidateFraction);
+    if (cfg_.partitioning && scaled.ways >= 2) {
+        arr->setHarvestWayCount(
+            harvestWayCount(scaled, cfg_.harvestWayFraction));
+    }
+    return arr;
+}
+
+CoreHierarchy::CoreHierarchy(const HierarchyConfig &cfg,
+                             SetAssocArray *l3, hh::mem::Dram *dram)
+    : cfg_(cfg), l3_(l3), dram_(dram)
+{
+    if (cfg.waysFraction <= 0.0 || cfg.waysFraction > 1.0)
+        hh::sim::fatal("CoreHierarchy: waysFraction must be in (0, 1]");
+    l1d_ = makeArray(cfg.l1d);
+    l1i_ = makeArray(cfg.l1i);
+    l2_ = makeArray(cfg.l2);
+    l1tlb_ = makeArray(cfg.l1tlb);
+    l2tlb_ = makeArray(cfg.l2tlb);
+}
+
+WayMask
+CoreHierarchy::allowedMask(const SetAssocArray &arr, Cycles now) const
+{
+    if (!cfg_.partitioning)
+        return arr.allWays();
+    if (harvest_mode_)
+        return arr.harvestWays() ? arr.harvestWays() : arr.allWays();
+    // Primary mode: harvest ways stay hidden until the background
+    // flush's worst-case bound has elapsed.
+    if (now < harvest_visible_at_) {
+        const WayMask m = arr.allWays() & ~arr.harvestWays();
+        return m ? m : arr.allWays();
+    }
+    return arr.allWays();
+}
+
+Cycles
+CoreHierarchy::access(Cycles now, const MemAccess &a)
+{
+    ++accesses_;
+    Cycles lat = 0;
+
+    const Addr line_key = a.page * kLinesPerPage + (a.line % kLinesPerPage);
+    // Instruction pages always carry Shared=1 (§4.2.3).
+    const bool shared = a.isInstr ? true : a.shared;
+
+    if (cfg_.infinite) {
+        // Infinite structures: only compulsory misses cost anything,
+        // and the infinite (VM-shared) LLC supplies first touches,
+        // so a line's first access pays an L2+L3 fill, not DRAM.
+        lat += cfg_.l1tlb.latency;
+        if (seen_pages_.insert(a.page).second)
+            lat += cfg_.l2tlb.latency + cfg_.pageWalk;
+        lat += (a.isInstr ? cfg_.l1i : cfg_.l1d).latency;
+        if (seen_lines_.insert(line_key).second)
+            lat += cfg_.l2.latency + kL3PerCore.latency;
+        return lat;
+    }
+
+    // -------- Address translation --------
+    lat += l1tlb_->geometry().latency;
+    if (!l1tlb_->access(a.page, shared, allowedMask(*l1tlb_, now)).hit) {
+        lat += l2tlb_->geometry().latency;
+        if (!l2tlb_->access(a.page, shared, allowedMask(*l2tlb_, now))
+                 .hit) {
+            lat += cfg_.pageWalk;
+        }
+    }
+
+    // -------- Data/instruction path --------
+    SetAssocArray &l1 = a.isInstr ? *l1i_ : *l1d_;
+    lat += l1.geometry().latency;
+    if (l1.access(line_key, shared, allowedMask(l1, now), a.isInstr)
+            .hit) {
+        return lat;
+    }
+
+    lat += l2_->geometry().latency;
+    if (l2_->access(line_key, shared, allowedMask(*l2_, now),
+                    a.isInstr)
+            .hit) {
+        return lat;
+    }
+
+    if (l3_) {
+        lat += l3_->geometry().latency;
+        if (l3_->access(line_key, shared).hit)
+            return lat;
+    }
+
+    lat += dram_ ? dram_->access(now, line_key, cfg_.accessWeight) : kFlatDramLatency;
+    return lat;
+}
+
+void
+CoreHierarchy::flushAll()
+{
+    l1d_->flushAll();
+    l1i_->flushAll();
+    l2_->flushAll();
+    l1tlb_->flushAll();
+    l2tlb_->flushAll();
+    seen_lines_.clear();
+    seen_pages_.clear();
+}
+
+void
+CoreHierarchy::flushHarvestRegion(Cycles now, Cycles bound)
+{
+    if (!cfg_.partitioning) {
+        flushAll();
+        return;
+    }
+    l1d_->flushWays(l1d_->harvestWays());
+    l1i_->flushWays(l1i_->harvestWays());
+    l2_->flushWays(l2_->harvestWays());
+    l1tlb_->flushWays(l1tlb_->harvestWays());
+    l2tlb_->flushWays(l2tlb_->harvestWays());
+    harvest_visible_at_ = now + bound;
+}
+
+void
+CoreHierarchy::resetStats()
+{
+    l1d_->resetStats();
+    l1i_->resetStats();
+    l2_->resetStats();
+    l1tlb_->resetStats();
+    l2tlb_->resetStats();
+    accesses_ = 0;
+}
+
+} // namespace hh::cache

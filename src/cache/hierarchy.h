@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Per-core cache/TLB hierarchy with HardHarvest partitioning.
+ *
+ * A CoreHierarchy owns the core-private structures (L1I, L1D, L2,
+ * L1 TLB, L2 TLB) and references a per-VM L3 partition (the LLC is
+ * CAT-partitioned per VM, so VMs never interact there) and the
+ * server's DRAM. It implements the paper's §4.2 semantics:
+ *
+ *  - way-partitioning into Harvest / Non-Harvest regions,
+ *  - harvest-VM execution restricted to the harvest ways,
+ *  - harvest-region-only flush with the ways hidden from the Primary
+ *    VM until a fixed worst-case bound has elapsed (timing
+ *    side-channel defense), and
+ *  - full flush for the conventional wbinvd path.
+ */
+
+#ifndef HH_CACHE_HIERARCHY_H
+#define HH_CACHE_HIERARCHY_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+
+#include "cache/config.h"
+#include "cache/set_assoc.h"
+#include "mem/dram.h"
+#include "sim/time.h"
+
+namespace hh::cache {
+
+/** Lines per page given the line and page sizes. */
+inline constexpr std::uint64_t kLinesPerPage = kPageBytes / kLineBytes;
+
+/**
+ * One memory reference as produced by the workload generator.
+ */
+struct MemAccess
+{
+    Addr page = 0;          //!< Globally unique page id (includes VM).
+    std::uint32_t line = 0; //!< Line within the page [0, 64).
+    bool isInstr = false;   //!< Instruction-side access.
+    bool shared = true;     //!< Page's Shared bit (§4.2.2).
+};
+
+/**
+ * Hierarchy construction parameters.
+ */
+struct HierarchyConfig
+{
+    Geometry l1d = kL1D;
+    Geometry l1i = kL1I;
+    Geometry l2 = kL2;
+    Geometry l1tlb = kL1Tlb;
+    Geometry l2tlb = kL2Tlb;
+
+    ReplKind repl = ReplKind::LRU;
+
+    /** Eviction-candidate fraction M (§4.2.3); 0.75 in Table 1. */
+    double candidateFraction = 1.0;
+
+    /** Fraction of ways in the harvest region; 0.5 in Table 1. */
+    double harvestWayFraction = 0.5;
+
+    /** Enable harvest/non-harvest partitioning (HardHarvest only). */
+    bool partitioning = false;
+
+    /** Global way scaling for the Fig 7 sweep (1.0 = full size). */
+    double waysFraction = 1.0;
+
+    /** Model infinite caches/TLBs (only compulsory misses). */
+    bool infinite = false;
+
+    /** Cycles a page-table walk costs on an L2 TLB miss. */
+    hh::sim::Cycles pageWalk = kPageWalkCycles;
+
+    /**
+     * Number of real accesses each access represents when the
+     * caller replays a sampled stream (DRAM occupancy scaling).
+     */
+    unsigned accessWeight = 1;
+};
+
+/**
+ * The private hierarchy of one core.
+ */
+class CoreHierarchy
+{
+  public:
+    /**
+     * @param cfg  Configuration; geometries are scaled by
+     *             cfg.waysFraction internally.
+     * @param l3   Per-VM L3 partition, or nullptr to go straight to
+     *             DRAM. Re-bindable on VM switches via setL3().
+     * @param dram Server DRAM model (must outlive the hierarchy), or
+     *             nullptr to charge a fixed latency.
+     */
+    CoreHierarchy(const HierarchyConfig &cfg, SetAssocArray *l3,
+                  hh::mem::Dram *dram);
+
+    /**
+     * Perform one memory access and return its total latency.
+     *
+     * @param now Current simulated time (DRAM queueing).
+     * @param a   The access.
+     */
+    hh::sim::Cycles access(hh::sim::Cycles now, const MemAccess &a);
+
+    /**
+     * Switch between Primary (false) and Harvest (true) execution.
+     * In harvest mode with partitioning enabled, fills are limited to
+     * the harvest ways.
+     */
+    void setHarvestMode(bool on) { harvest_mode_ = on; }
+    bool harvestMode() const { return harvest_mode_; }
+
+    /** Rebind the L3 partition (on a VM switch). */
+    void setL3(SetAssocArray *l3) { l3_ = l3; }
+
+    /** Flush and invalidate everything (wbinvd-style). */
+    void flushAll();
+
+    /**
+     * Flush only the harvest region and hide those ways from the
+     * Primary VM until @p now + @p bound (side-channel defense,
+     * §4.2.1). No-op unless partitioning is enabled.
+     */
+    void flushHarvestRegion(hh::sim::Cycles now, hh::sim::Cycles bound);
+
+    /** @name Structure access for statistics/tests @{ */
+    SetAssocArray &l1d() { return *l1d_; }
+    SetAssocArray &l1i() { return *l1i_; }
+    SetAssocArray &l2() { return *l2_; }
+    SetAssocArray &l1tlb() { return *l1tlb_; }
+    SetAssocArray &l2tlb() { return *l2tlb_; }
+    /** @} */
+
+    /** Total accesses served. */
+    std::uint64_t accesses() const { return accesses_; }
+
+    /** Reset hit/miss statistics on all levels. */
+    void resetStats();
+
+    const HierarchyConfig &config() const { return cfg_; }
+
+  private:
+    /** Fill mask for a private structure given the current mode. */
+    WayMask allowedMask(const SetAssocArray &arr,
+                        hh::sim::Cycles now) const;
+
+    std::unique_ptr<SetAssocArray> makeArray(const Geometry &g) const;
+
+    HierarchyConfig cfg_;
+    std::unique_ptr<SetAssocArray> l1d_;
+    std::unique_ptr<SetAssocArray> l1i_;
+    std::unique_ptr<SetAssocArray> l2_;
+    std::unique_ptr<SetAssocArray> l1tlb_;
+    std::unique_ptr<SetAssocArray> l2tlb_;
+    SetAssocArray *l3_ = nullptr;
+    hh::mem::Dram *dram_ = nullptr;
+
+    bool harvest_mode_ = false;
+    /** Primary may use harvest ways again from this time on. */
+    hh::sim::Cycles harvest_visible_at_ = 0;
+
+    /** Compulsory-miss tracking for infinite mode. */
+    std::unordered_set<Addr> seen_lines_;
+    std::unordered_set<Addr> seen_pages_;
+
+    std::uint64_t accesses_ = 0;
+};
+
+} // namespace hh::cache
+
+#endif // HH_CACHE_HIERARCHY_H

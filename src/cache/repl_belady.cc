@@ -1,0 +1,70 @@
+#include "cache/repl_belady.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace hh::cache {
+
+NextUseOracle::NextUseOracle(const std::vector<Addr> &trace)
+{
+    for (std::uint64_t i = 0; i < trace.size(); ++i)
+        positions_[trace[i]].push_back(i);
+}
+
+std::uint64_t
+NextUseOracle::nextUse(Addr key, std::uint64_t pos) const
+{
+    const auto it = positions_.find(key);
+    if (it == positions_.end())
+        return kNever;
+    const auto &v = it->second;
+    const auto p = std::upper_bound(v.begin(), v.end(), pos);
+    return p == v.end() ? kNever : *p;
+}
+
+unsigned
+BeladyPolicy::victim(const SetContext &ctx, bool incoming_shared)
+{
+    (void)incoming_shared;
+    const WayMask inv = detail::invalidMask(ctx.ways, ctx.allowedMask);
+    if (inv) {
+        for (unsigned w = 0; w < ctx.ways.size(); ++w) {
+            if (inv & (WayMask{1} << w))
+                return w;
+        }
+    }
+    // Evict the way whose next use is farthest (never-used wins).
+    unsigned best = static_cast<unsigned>(ctx.ways.size());
+    std::uint64_t best_next = 0;
+    for (unsigned w = 0; w < ctx.ways.size(); ++w) {
+        if (!(ctx.allowedMask & (WayMask{1} << w)))
+            continue;
+        const std::uint64_t nu = oracle_.nextUse(ctx.ways[w].tag, pos_);
+        if (best >= ctx.ways.size() || nu > best_next) {
+            best = w;
+            best_next = nu;
+        }
+        if (nu == NextUseOracle::kNever)
+            break; // cannot do better
+    }
+    if (best >= ctx.ways.size())
+        hh::sim::panic("BeladyPolicy: empty allowed mask");
+    return best;
+}
+
+void
+BeladyPolicy::touch(WayState &way, std::uint64_t tick)
+{
+    way.lastUse = tick;
+    ++pos_;
+}
+
+void
+BeladyPolicy::fill(WayState &way, std::uint64_t tick)
+{
+    way.lastUse = tick;
+    ++pos_;
+}
+
+} // namespace hh::cache

@@ -1,0 +1,71 @@
+#include "cache/repl_hardharvest.h"
+
+#include "sim/log.h"
+
+namespace hh::cache {
+
+namespace {
+
+/** Mask of allowed ways whose valid entry is private. */
+WayMask
+privateEntryMask(const SetContext &ctx, WayMask among)
+{
+    WayMask m = 0;
+    for (unsigned w = 0; w < ctx.ways.size(); ++w) {
+        const WayMask bit = WayMask{1} << w;
+        if ((among & bit) && ctx.ways[w].valid && !ctx.ways[w].shared)
+            m |= bit;
+    }
+    return m;
+}
+
+} // namespace
+
+unsigned
+HardHarvestPolicy::victim(const SetContext &ctx, bool incoming_shared)
+{
+    const WayMask allowed = ctx.allowedMask;
+    const WayMask non_harvest = allowed & ~ctx.harvestMask;
+    const WayMask harvest = allowed & ctx.harvestMask;
+
+    // Classes 1-2: invalid slots, preferred region first. These are
+    // exempt from the eviction-candidate restriction (nothing is
+    // evicted when filling an empty slot).
+    const WayMask inv = detail::invalidMask(ctx.ways, allowed);
+    if (inv) {
+        const WayMask preferred =
+            inv & (incoming_shared ? non_harvest : harvest);
+        const WayMask pick_from = preferred ? preferred : inv;
+        for (unsigned w = 0; w < ctx.ways.size(); ++w) {
+            if (pick_from & (WayMask{1} << w))
+                return w;
+        }
+    }
+
+    // Classes 3-4: private entries, region order depends on the
+    // incoming entry's type; restricted to eviction candidates.
+    const WayMask cand = ctx.candidateMask & allowed;
+    const WayMask first_region = incoming_shared ? non_harvest : harvest;
+    const WayMask second_region = incoming_shared ? harvest : non_harvest;
+
+    WayMask victims = privateEntryMask(ctx, cand & first_region);
+    if (!victims)
+        victims = privateEntryMask(ctx, cand & second_region);
+
+    // Class 5: every candidate holds a shared entry; LRU among them.
+    if (!victims)
+        victims = cand;
+
+    // Safety net: a degenerate candidate mask (e.g. all candidates
+    // outside the allowed region) falls back to plain LRU over
+    // allowed ways.
+    if (!victims)
+        victims = allowed;
+
+    const unsigned v = detail::lruAmong(ctx.ways, victims);
+    if (v >= ctx.ways.size())
+        hh::sim::panic("HardHarvestPolicy: empty allowed mask");
+    return v;
+}
+
+} // namespace hh::cache

@@ -1,0 +1,25 @@
+#include "cache/repl_lru.h"
+
+#include "sim/log.h"
+
+namespace hh::cache {
+
+unsigned
+LruPolicy::victim(const SetContext &ctx, bool incoming_shared)
+{
+    (void)incoming_shared;
+    const WayMask inv = detail::invalidMask(ctx.ways, ctx.allowedMask);
+    if (inv) {
+        // Any invalid slot; pick the lowest-index one for determinism.
+        for (unsigned w = 0; w < ctx.ways.size(); ++w) {
+            if (inv & (WayMask{1} << w))
+                return w;
+        }
+    }
+    const unsigned v = detail::lruAmong(ctx.ways, ctx.allowedMask);
+    if (v >= ctx.ways.size())
+        hh::sim::panic("LruPolicy: empty allowed mask");
+    return v;
+}
+
+} // namespace hh::cache

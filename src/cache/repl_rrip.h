@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Static RRIP (SRRIP) replacement, the advanced baseline of Fig 14.
+ *
+ * 2-bit re-reference prediction values: entries are inserted with
+ * RRPV = 2 ("long"), promoted to 0 on a hit, and the victim is a way
+ * with RRPV = 3 (aging all ways until one is found).
+ * Jaleel et al., ISCA 2010.
+ */
+
+#ifndef HH_CACHE_REPL_RRIP_H
+#define HH_CACHE_REPL_RRIP_H
+
+#include "cache/replacement.h"
+
+namespace hh::cache {
+
+/**
+ * SRRIP with 2-bit RRPVs.
+ */
+class RripPolicy : public ReplacementPolicy
+{
+  public:
+    unsigned victim(const SetContext &ctx, bool incoming_shared) override;
+    void touch(WayState &way, std::uint64_t tick) override;
+    void fill(WayState &way, std::uint64_t tick) override;
+    const char *name() const override { return "RRIP"; }
+
+  private:
+    static constexpr std::uint8_t kMaxRrpv = 3;
+    static constexpr std::uint8_t kInsertRrpv = 2;
+};
+
+} // namespace hh::cache
+
+#endif // HH_CACHE_REPL_RRIP_H

@@ -1,0 +1,61 @@
+#include "cache/replacement.h"
+
+#include "cache/repl_cdp.h"
+#include "cache/repl_hardharvest.h"
+#include "cache/repl_lru.h"
+#include "cache/repl_rrip.h"
+#include "sim/log.h"
+
+namespace hh::cache {
+
+namespace detail {
+
+unsigned
+lruAmong(std::span<const WayState> ways, WayMask mask)
+{
+    unsigned best = static_cast<unsigned>(ways.size());
+    std::uint64_t best_use = ~0ULL;
+    for (unsigned w = 0; w < ways.size(); ++w) {
+        if (!(mask & (WayMask{1} << w)))
+            continue;
+        if (ways[w].lastUse < best_use) {
+            best_use = ways[w].lastUse;
+            best = w;
+        }
+    }
+    return best;
+}
+
+WayMask
+invalidMask(std::span<const WayState> ways, WayMask allowed)
+{
+    WayMask m = 0;
+    for (unsigned w = 0; w < ways.size(); ++w) {
+        if ((allowed & (WayMask{1} << w)) && !ways[w].valid)
+            m |= WayMask{1} << w;
+    }
+    return m;
+}
+
+} // namespace detail
+
+std::unique_ptr<ReplacementPolicy>
+makePolicy(ReplKind kind)
+{
+    switch (kind) {
+      case ReplKind::LRU:
+        return std::make_unique<LruPolicy>();
+      case ReplKind::RRIP:
+        return std::make_unique<RripPolicy>();
+      case ReplKind::HardHarvest:
+        return std::make_unique<HardHarvestPolicy>();
+      case ReplKind::CDP:
+        return std::make_unique<CdpPolicy>();
+      case ReplKind::Belady:
+        hh::sim::fatal("Belady requires an oracle; construct "
+                       "BeladyPolicy directly (see repl_belady.h)");
+    }
+    hh::sim::panic("makePolicy: unknown kind");
+}
+
+} // namespace hh::cache

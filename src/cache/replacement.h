@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Replacement-policy interface shared by caches and TLBs.
+ *
+ * A policy sees one set at a time through SetContext: the per-way
+ * state, which ways are harvest ways (HarvestMask), which ways the
+ * current requester may use, and — for the HardHarvest policy — the
+ * eviction-candidate subset (the M least-recently-used ways, paper
+ * Section 4.2.3).
+ */
+
+#ifndef HH_CACHE_REPLACEMENT_H
+#define HH_CACHE_REPLACEMENT_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "cache/config.h"
+
+namespace hh::cache {
+
+/**
+ * Per-way bookkeeping kept by the set-associative array.
+ */
+struct WayState
+{
+    bool valid = false;
+    Addr tag = 0;
+    bool shared = false;        //!< Paper's per-entry Shared bit.
+    bool instr = false;         //!< Instruction-side entry (CDP).
+    std::uint64_t lastUse = 0;  //!< LRU timestamp (array access tick).
+    std::uint8_t rrpv = 3;      //!< RRIP re-reference prediction value.
+};
+
+/**
+ * Everything a policy may inspect when choosing a victim in one set.
+ */
+struct SetContext
+{
+    std::span<const WayState> ways; //!< All ways of the set.
+    WayMask harvestMask = 0;        //!< Ways in the harvest region.
+    WayMask allowedMask = 0;        //!< Ways the requester may fill.
+    WayMask candidateMask = 0;      //!< Eviction candidates (valid ways).
+    std::uint64_t setIndex = 0;     //!< Which set (Belady oracle key).
+};
+
+/**
+ * Abstract victim-selection and metadata-update policy.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /**
+     * Choose the way that should receive an incoming entry.
+     *
+     * Invalid allowed ways are always preferred; the array guarantees
+     * that ctx.allowedMask is non-zero.
+     *
+     * @param ctx            The set being filled.
+     * @param incoming_shared Shared bit of the incoming entry.
+     * @return Way index in [0, ways).
+     */
+    virtual unsigned victim(const SetContext &ctx,
+                            bool incoming_shared) = 0;
+
+    /** Metadata update on a hit. */
+    virtual void
+    touch(WayState &way, std::uint64_t tick)
+    {
+        way.lastUse = tick;
+    }
+
+    /** Metadata update on a fill (after victim selection). */
+    virtual void
+    fill(WayState &way, std::uint64_t tick)
+    {
+        way.lastUse = tick;
+    }
+
+    /** Human-readable policy name. */
+    virtual const char *name() const = 0;
+};
+
+/**
+ * Create a policy instance by kind.
+ *
+ * @param kind Selector; Belady instances must instead be built
+ *             directly with their oracle (see repl_belady.h) and
+ *             requesting it here is a usage error.
+ */
+std::unique_ptr<ReplacementPolicy> makePolicy(ReplKind kind);
+
+namespace detail {
+
+/** Pick the LRU way among @p mask; returns ways count if mask empty. */
+unsigned lruAmong(std::span<const WayState> ways, WayMask mask);
+
+/** Mask of invalid ways within @p allowed. */
+WayMask invalidMask(std::span<const WayState> ways, WayMask allowed);
+
+} // namespace detail
+
+} // namespace hh::cache
+
+#endif // HH_CACHE_REPLACEMENT_H

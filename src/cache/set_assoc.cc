@@ -1,0 +1,217 @@
+#include "cache/set_assoc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace hh::cache {
+
+SetAssocArray::SetAssocArray(const Geometry &geom,
+                             std::unique_ptr<ReplacementPolicy> policy)
+    : geom_(geom), policy_(std::move(policy)),
+      ways_(static_cast<std::size_t>(geom.sets) * geom.ways),
+      candidate_count_(geom.ways)
+{
+    if (!policy_)
+        hh::sim::panic("SetAssocArray: null policy");
+    if (geom.ways == 0 || geom.ways > 64)
+        hh::sim::fatal("SetAssocArray: ways must be in [1, 64], got ",
+                       geom.ways);
+    if (geom.sets == 0)
+        hh::sim::fatal("SetAssocArray: sets must be > 0");
+    all_ways_ = geom.ways == 64 ? ~WayMask{0}
+                                : ((WayMask{1} << geom.ways) - 1);
+}
+
+void
+SetAssocArray::setHarvestWays(WayMask mask)
+{
+    harvest_mask_ = mask & all_ways_;
+}
+
+void
+SetAssocArray::setHarvestWayCount(unsigned n)
+{
+    n = std::min<unsigned>(n, geom_.ways);
+    setHarvestWays(n == 64 ? ~WayMask{0} : ((WayMask{1} << n) - 1));
+}
+
+void
+SetAssocArray::setCandidateFraction(double f)
+{
+    if (f <= 0.0 || f > 1.0)
+        hh::sim::fatal("SetAssocArray: candidate fraction must be in "
+                       "(0, 1], got ", f);
+    candidate_count_ = std::max<unsigned>(
+        1, static_cast<unsigned>(
+               std::lround(f * static_cast<double>(geom_.ways))));
+}
+
+std::uint32_t
+SetAssocArray::setIndex(Addr key) const
+{
+    // Power-of-two fast path; otherwise modulo.
+    if ((geom_.sets & (geom_.sets - 1)) == 0)
+        return static_cast<std::uint32_t>(key & (geom_.sets - 1));
+    return static_cast<std::uint32_t>(key % geom_.sets);
+}
+
+WayState *
+SetAssocArray::findTag(std::uint32_t set, Addr key)
+{
+    WayState *base = &ways_[static_cast<std::size_t>(set) * geom_.ways];
+    for (unsigned w = 0; w < geom_.ways; ++w) {
+        if (base[w].valid && base[w].tag == key)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const WayState *
+SetAssocArray::findTag(std::uint32_t set, Addr key) const
+{
+    return const_cast<SetAssocArray *>(this)->findTag(set, key);
+}
+
+WayMask
+SetAssocArray::candidateMask(std::uint32_t set, WayMask allowed) const
+{
+    if (candidate_count_ >= geom_.ways)
+        return allowed;
+    // Select the M least-recently-used allowed ways. Associativity is
+    // at most 16 in practice, so a simple selection loop is fine.
+    const WayState *base =
+        &ways_[static_cast<std::size_t>(set) * geom_.ways];
+    WayMask mask = 0;
+    unsigned chosen = 0;
+    WayMask remaining = allowed;
+    while (chosen < candidate_count_ && remaining) {
+        unsigned best = geom_.ways;
+        std::uint64_t best_use = ~0ULL;
+        for (unsigned w = 0; w < geom_.ways; ++w) {
+            const WayMask bit = WayMask{1} << w;
+            if (!(remaining & bit))
+                continue;
+            if (base[w].lastUse < best_use) {
+                best_use = base[w].lastUse;
+                best = w;
+            }
+        }
+        if (best >= geom_.ways)
+            break;
+        mask |= WayMask{1} << best;
+        remaining &= ~(WayMask{1} << best);
+        ++chosen;
+    }
+    return mask;
+}
+
+AccessResult
+SetAssocArray::access(Addr key, bool shared, WayMask allowed,
+                      bool instr)
+{
+    allowed &= all_ways_;
+    if (!allowed)
+        hh::sim::panic("SetAssocArray::access: empty allowed mask");
+
+    ++tick_;
+    const std::uint32_t set = setIndex(key);
+    AccessResult res;
+
+    if (WayState *hit = findTag(set, key)) {
+        res.hit = true;
+        res.way = static_cast<unsigned>(
+            hit - &ways_[static_cast<std::size_t>(set) * geom_.ways]);
+        policy_->touch(*hit, tick_);
+        ++hits_;
+        return res;
+    }
+
+    ++misses_;
+    WayState *base = &ways_[static_cast<std::size_t>(set) * geom_.ways];
+    SetContext ctx;
+    ctx.ways = std::span<const WayState>(base, geom_.ways);
+    ctx.harvestMask = harvest_mask_;
+    ctx.allowedMask = allowed;
+    ctx.candidateMask = candidateMask(set, allowed);
+    ctx.setIndex = set;
+
+    const unsigned victim = policy_->victim(ctx, shared);
+    if (victim >= geom_.ways)
+        hh::sim::panic("SetAssocArray: policy returned way ", victim,
+                       " of ", geom_.ways);
+    WayState &slot = base[victim];
+    if (slot.valid) {
+        ++evictions_;
+        res.evictedValid = true;
+        res.victimShared = slot.shared;
+    }
+    slot.valid = true;
+    slot.tag = key;
+    slot.shared = shared;
+    slot.instr = instr;
+    policy_->fill(slot, tick_);
+    res.way = victim;
+    return res;
+}
+
+bool
+SetAssocArray::probe(Addr key) const
+{
+    return findTag(setIndex(key), key) != nullptr;
+}
+
+void
+SetAssocArray::flushAll()
+{
+    for (auto &w : ways_)
+        w = WayState{};
+}
+
+void
+SetAssocArray::flushWays(WayMask mask)
+{
+    mask &= all_ways_;
+    for (std::uint32_t s = 0; s < geom_.sets; ++s) {
+        WayState *base = &ways_[static_cast<std::size_t>(s) * geom_.ways];
+        for (unsigned w = 0; w < geom_.ways; ++w) {
+            if (mask & (WayMask{1} << w))
+                base[w] = WayState{};
+        }
+    }
+}
+
+double
+SetAssocArray::hitRate() const
+{
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(total);
+}
+
+void
+SetAssocArray::resetStats()
+{
+    hits_ = misses_ = evictions_ = 0;
+}
+
+std::uint64_t
+SetAssocArray::validCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &w : ways_)
+        n += w.valid ? 1 : 0;
+    return n;
+}
+
+const WayState &
+SetAssocArray::wayState(std::uint32_t set, unsigned way) const
+{
+    if (set >= geom_.sets || way >= geom_.ways)
+        hh::sim::panic("SetAssocArray::wayState: out of range");
+    return ways_[static_cast<std::size_t>(set) * geom_.ways + way];
+}
+
+} // namespace hh::cache

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Generic set-associative array used for every cache level and TLB.
+ *
+ * The array adds the two HardHarvest hardware bits on top of a
+ * conventional tag array:
+ *  - a per-entry Shared bit (copied from the page table, §4.2.2), and
+ *  - a per-way Harvest bit (the HarvestMask region, §4.2.1),
+ * plus selective flushing of only the harvest ways and the
+ * eviction-candidate restriction used by the HardHarvest policy.
+ *
+ * Keys are opaque 64-bit values (line or page identifiers); callers
+ * must embed the VM/address-space id in the key so distinct VMs never
+ * alias.
+ */
+
+#ifndef HH_CACHE_SET_ASSOC_H
+#define HH_CACHE_SET_ASSOC_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/config.h"
+#include "cache/replacement.h"
+
+namespace hh::cache {
+
+/** Outcome of one array access. */
+struct AccessResult
+{
+    bool hit = false;
+    bool evictedValid = false; //!< A valid entry was displaced.
+    bool victimShared = false; //!< ...and it was a shared entry.
+    unsigned way = 0;          //!< Way hit or filled.
+};
+
+/**
+ * A set-associative tag array with pluggable replacement.
+ */
+class SetAssocArray
+{
+  public:
+    /**
+     * @param geom   Structure geometry (ways must be <= 64).
+     * @param policy Replacement policy instance (owned).
+     */
+    SetAssocArray(const Geometry &geom,
+                  std::unique_ptr<ReplacementPolicy> policy);
+
+    /**
+     * Designate the harvest region.
+     *
+     * @param mask Way bitmask; bits >= ways are ignored.
+     */
+    void setHarvestWays(WayMask mask);
+
+    /** Designate the lowest @p n ways as the harvest region. */
+    void setHarvestWayCount(unsigned n);
+
+    WayMask harvestWays() const { return harvest_mask_; }
+
+    /**
+     * Restrict eviction candidates to the given fraction of ways
+     * (the paper's M parameter; default 1.0 considers all ways).
+     */
+    void setCandidateFraction(double f);
+
+    /**
+     * Look up @p key; on a miss, fill it, evicting per the policy.
+     *
+     * @param key     Structure-level key (line id or page id).
+     * @param shared  Shared bit of the entry being accessed.
+     * @param allowed Ways the requester may *fill*; lookups always
+     *                scan all ways. Defaults to every way.
+     * @param instr   Instruction-side entry (used by CDP).
+     */
+    AccessResult access(Addr key, bool shared,
+                        WayMask allowed = ~WayMask{0},
+                        bool instr = false);
+
+    /** Look up without filling. */
+    bool probe(Addr key) const;
+
+    /** Invalidate every entry. */
+    void flushAll();
+
+    /** Invalidate entries in the given ways of every set. */
+    void flushWays(WayMask mask);
+
+    /** @name Statistics @{ */
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+    double hitRate() const;
+    void resetStats();
+    /** @} */
+
+    const Geometry &geometry() const { return geom_; }
+    ReplacementPolicy &policy() { return *policy_; }
+
+    /** Number of valid entries across the array (tests). */
+    std::uint64_t validCount() const;
+
+    /** Per-way inspection hook for tests. */
+    const WayState &wayState(std::uint32_t set, unsigned way) const;
+
+    /** Mask covering all ways of this array. */
+    WayMask allWays() const { return all_ways_; }
+
+  private:
+    std::uint32_t setIndex(Addr key) const;
+    WayState *findTag(std::uint32_t set, Addr key);
+    const WayState *findTag(std::uint32_t set, Addr key) const;
+
+    /** Compute the M-least-recently-used candidate mask for a set. */
+    WayMask candidateMask(std::uint32_t set, WayMask allowed) const;
+
+    Geometry geom_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+    std::vector<WayState> ways_; //!< sets * ways, row-major.
+    WayMask harvest_mask_ = 0;
+    WayMask all_ways_ = 0;
+    unsigned candidate_count_; //!< M as an absolute way count.
+    std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace hh::cache
+
+#endif // HH_CACHE_SET_ASSOC_H

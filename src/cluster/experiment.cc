@@ -1,0 +1,99 @@
+#include "cluster/experiment.h"
+
+#include "sim/log.h"
+#include "workload/batch.h"
+
+namespace hh::cluster {
+
+double
+ClusterResults::avgP99Ms() const
+{
+    if (services.empty())
+        return 0;
+    double s = 0;
+    for (const auto &r : services)
+        s += r.p99Ms;
+    return s / static_cast<double>(services.size());
+}
+
+double
+ClusterResults::avgP50Ms() const
+{
+    if (services.empty())
+        return 0;
+    double s = 0;
+    for (const auto &r : services)
+        s += r.p50Ms;
+    return s / static_cast<double>(services.size());
+}
+
+ServerResults
+runServer(const SystemConfig &cfg, const std::string &batchApp,
+          std::uint64_t seed)
+{
+    ServerSim sim(cfg, batchApp, seed);
+    return sim.run();
+}
+
+ClusterResults
+runCluster(const SystemConfig &cfg, unsigned servers,
+           std::uint64_t seed)
+{
+    const auto batch = hh::workload::batchApplications();
+    if (servers == 0 || servers > batch.size())
+        hh::sim::fatal("runCluster: servers must be in [1, ",
+                       batch.size(), "]");
+
+    ClusterResults agg;
+    std::vector<ServerResults> runs;
+    runs.reserve(servers);
+    for (unsigned s = 0; s < servers; ++s) {
+        runs.push_back(
+            runServer(cfg, batch[s].name, seed + s));
+        agg.batchThroughput.emplace_back(batch[s].name,
+                                         runs.back().batchThroughput);
+    }
+
+    // Average per-service stats across servers (services appear once
+    // per server, same order).
+    const auto &first = runs.front().services;
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        ServiceResult r = first[i];
+        for (unsigned s = 1; s < servers; ++s) {
+            const auto &o = runs[s].services[i];
+            r.count += o.count;
+            r.meanMs += o.meanMs;
+            r.p50Ms += o.p50Ms;
+            r.p99Ms += o.p99Ms;
+            r.queueMs += o.queueMs;
+            r.reassignMs += o.reassignMs;
+            r.flushMs += o.flushMs;
+            r.execMs += o.execMs;
+            r.ioMs += o.ioMs;
+        }
+        const double n = static_cast<double>(servers);
+        r.meanMs /= n;
+        r.p50Ms /= n;
+        r.p99Ms /= n;
+        r.queueMs /= n;
+        r.reassignMs /= n;
+        r.flushMs /= n;
+        r.execMs /= n;
+        r.ioMs /= n;
+        agg.services.push_back(std::move(r));
+    }
+
+    for (const auto &run : runs) {
+        agg.avgBusyCores += run.avgBusyCores;
+        agg.utilization += run.utilization;
+        agg.coreLoans += run.coreLoans;
+        agg.coreReclaims += run.coreReclaims;
+        agg.primaryL2HitRate += run.primaryL2HitRate;
+    }
+    agg.avgBusyCores /= servers;
+    agg.utilization /= servers;
+    agg.primaryL2HitRate /= servers;
+    return agg;
+}
+
+} // namespace hh::cluster

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Cluster-level experiment drivers used by the benchmarks.
+ *
+ * The evaluated cluster is 8 servers, each running the same 8
+ * microservices in its Primary VMs but a *different* batch
+ * application in its Harvest VM (§5). Servers never communicate, so
+ * the cluster is simulated as 8 independent server runs whose
+ * results are aggregated.
+ */
+
+#ifndef HH_CLUSTER_EXPERIMENT_H
+#define HH_CLUSTER_EXPERIMENT_H
+
+#include <string>
+#include <vector>
+
+#include "cluster/server.h"
+#include "cluster/system_config.h"
+
+namespace hh::cluster {
+
+/** Aggregated cluster results. */
+struct ClusterResults
+{
+    /** Per-service results averaged across servers. */
+    std::vector<ServiceResult> services;
+    /** Per-batch-app throughput (tasks/sec), one per server. */
+    std::vector<std::pair<std::string, double>> batchThroughput;
+    double avgBusyCores = 0;
+    double utilization = 0;
+    std::uint64_t coreLoans = 0;
+    std::uint64_t coreReclaims = 0;
+    double primaryL2HitRate = 0;
+
+    double avgP99Ms() const;
+    double avgP50Ms() const;
+};
+
+/**
+ * Run one server (the common case for figure benches, since servers
+ * are statistically identical apart from the batch app).
+ */
+ServerResults runServer(const SystemConfig &cfg,
+                        const std::string &batchApp = "BFS",
+                        std::uint64_t seed = 1);
+
+/**
+ * Run the full 8-server cluster: one batch application per server.
+ *
+ * @param cfg     System configuration (shared by all servers).
+ * @param servers How many of the 8 batch apps to run (tests may use
+ *                fewer); defaults to all 8.
+ */
+ClusterResults runCluster(const SystemConfig &cfg, unsigned servers = 8,
+                          std::uint64_t seed = 1);
+
+} // namespace hh::cluster
+
+#endif // HH_CLUSTER_EXPERIMENT_H

@@ -1,0 +1,952 @@
+#include "cluster/server.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace hh::cluster {
+
+using hh::sim::Cycles;
+
+namespace {
+
+/** L3 partition geometry for a VM (CAT-style per-VM partition). */
+hh::cache::Geometry
+l3PartitionGeometry(double mbPerCore, unsigned vmCores)
+{
+    const double bytes = mbPerCore * 1024.0 * 1024.0 * vmCores;
+    const auto sets = static_cast<std::uint32_t>(std::max(
+        1.0, bytes / (hh::cache::kLineBytes * 16.0)));
+    return hh::cache::Geometry{sets, 16, hh::cache::kL3PerCore.latency};
+}
+
+} // namespace
+
+double
+ServerResults::avgP99Ms() const
+{
+    if (services.empty())
+        return 0;
+    double s = 0;
+    for (const auto &r : services)
+        s += r.p99Ms;
+    return s / static_cast<double>(services.size());
+}
+
+double
+ServerResults::avgP50Ms() const
+{
+    if (services.empty())
+        return 0;
+    double s = 0;
+    for (const auto &r : services)
+        s += r.p50Ms;
+    return s / static_cast<double>(services.size());
+}
+
+ServerSim::ServerSim(const SystemConfig &cfg, const std::string &batchApp,
+                     std::uint64_t seed)
+    : cfg_(cfg), seed_(seed ? seed : cfg.seed), dram_(),
+      mesh_(6, 6), fabric_(), rng_(seed_, 0x5E8FULL)
+{
+    nic_ = std::make_unique<hh::net::Nic>(sim_);
+    ctrl_ = std::make_unique<hh::core::HardHarvestController>(
+        hh::core::ControllerConfig{}, cfg_.cores);
+    ctxmem_ = std::make_unique<hh::core::RequestContextMemory>(mesh_);
+    hyp_ = std::make_unique<hh::vm::Hypervisor>(cfg_.swCosts, seed_);
+
+    buildVms(batchApp);
+    buildCores();
+
+    nic_->setHandler([this](const hh::net::Packet &p) { onPacket(p); });
+    nic_->setLlcLookup([this](std::uint32_t vm)
+                           -> hh::cache::SetAssocArray * {
+        return vm < vms_.size() ? vms_[vm].l3.get() : nullptr;
+    });
+}
+
+ServerSim::~ServerSim() = default;
+
+void
+ServerSim::buildVms(const std::string &batchApp)
+{
+    const auto layout = hh::vm::defaultServerLayout(
+        cfg_.cores, cfg_.primaryVms, cfg_.coresPerPrimary);
+    const auto services = hh::workload::deathStarBenchServices();
+    harvest_vm_ = cfg_.primaryVms;
+
+    pending_reclaims_.assign(layout.size(), 0);
+    last_reclaim_at_.assign(layout.size(), 0);
+    ewma_block_cycles_.assign(layout.size(), 0.0);
+    for (const auto &desc : layout) {
+        VmCtx v;
+        v.desc = desc;
+        v.l3 = std::make_unique<hh::cache::SetAssocArray>(
+            l3PartitionGeometry(cfg_.llcMbPerCore,
+                                static_cast<unsigned>(
+                                    desc.cores.size())),
+            hh::cache::makePolicy(hh::cache::ReplKind::LRU));
+        if (desc.isPrimary()) {
+            const auto &spec = services[desc.id % services.size()];
+            v.service = std::make_unique<hh::workload::ServiceWorkload>(
+                spec, desc.asid, seed_);
+            const double rate = spec.rpsPerCore *
+                                static_cast<double>(desc.cores.size()) *
+                                cfg_.loadScale;
+            v.loadgen = std::make_unique<hh::workload::LoadGenerator>(
+                rate, cfg_.burst, seed_, desc.id);
+            v.arrivalsRemaining = cfg_.requestsPerVm;
+            v.warmupSkip = static_cast<unsigned>(
+                cfg_.warmupFraction *
+                static_cast<double>(cfg_.requestsPerVm));
+        }
+        ctrl_->registerVm(desc.id, desc.isPrimary(),
+                          static_cast<unsigned>(desc.cores.size()));
+        auto *qm = ctrl_->qmFor(desc.id);
+        qm->harvestMask().setFraction(cfg_.harvestWayFraction);
+        for (unsigned c : desc.cores)
+            qm->bindCore(c);
+        vms_.push_back(std::move(v));
+    }
+
+    batch_ = std::make_unique<hh::workload::BatchWorkload>(
+        hh::workload::batchByName(batchApp),
+        vms_[harvest_vm_].desc.asid, seed_);
+}
+
+void
+ServerSim::buildCores()
+{
+    hh::cache::HierarchyConfig hcfg;
+    hcfg.repl = cfg_.repl;
+    hcfg.candidateFraction =
+        cfg_.repl == hh::cache::ReplKind::HardHarvest
+            ? cfg_.candidateFraction
+            : 1.0;
+    hcfg.harvestWayFraction = cfg_.harvestWayFraction;
+    hcfg.partitioning = cfg_.partitioning;
+    hcfg.waysFraction = cfg_.waysFraction;
+    hcfg.infinite = cfg_.infiniteCaches;
+    hcfg.accessWeight = std::max(1u, cfg_.accessSampling);
+
+    core_ctx_.assign(cfg_.cores, CoreCtx{});
+    for (const auto &v : vms_) {
+        for (unsigned c : v.desc.cores) {
+            while (cores_.size() <= c)
+                cores_.push_back(nullptr);
+        }
+    }
+    cores_.resize(cfg_.cores);
+    for (const auto &v : vms_) {
+        for (unsigned c : v.desc.cores) {
+            cores_[c] = std::make_unique<hh::cpu::Core>(
+                c, hcfg, v.l3.get(), &dram_);
+            cores_[c]->setBoundVm(v.desc.id);
+        }
+    }
+}
+
+void
+ServerSim::scheduleFirstArrivals()
+{
+    for (auto &v : vms_) {
+        if (!v.desc.isPrimary() || v.arrivalsRemaining == 0)
+            continue;
+        const std::uint32_t vm = v.desc.id;
+        const Cycles t = v.loadgen->next();
+        sim_.scheduleAt(std::max(t, sim_.now()),
+                        [this, vm] { onArrival(vm); });
+    }
+}
+
+void
+ServerSim::onArrival(std::uint32_t vm)
+{
+    VmCtx &v = vmCtx(vm);
+    if (v.arrivalsRemaining == 0)
+        return;
+    --v.arrivalsRemaining;
+
+    const std::uint64_t id = next_request_id_++;
+    hh::cpu::Request req;
+    req.id = id;
+    req.vm = vm;
+    req.plan = v.service->planInvocation();
+    req.arrival = sim_.now();
+    req.readySince = sim_.now();
+    requests_.emplace(id, std::move(req));
+
+    hh::net::Packet pkt;
+    pkt.kind = hh::net::PacketKind::NewRequest;
+    pkt.dstVm = vm;
+    pkt.requestId = id;
+    nic_->receive(pkt);
+
+    if (v.arrivalsRemaining > 0) {
+        const Cycles t =
+            std::max(v.loadgen->next(), sim_.now() + 1);
+        sim_.scheduleAt(t, [this, vm] { onArrival(vm); });
+    }
+}
+
+void
+ServerSim::onPacket(const hh::net::Packet &pkt)
+{
+    const std::uint32_t vm = pkt.dstVm;
+    auto it = requests_.find(pkt.requestId);
+    if (it == requests_.end())
+        hh::sim::panic("ServerSim::onPacket: unknown request ",
+                       pkt.requestId);
+    hh::cpu::Request &req = it->second;
+
+    if (pkt.kind == hh::net::PacketKind::NewRequest) {
+        ctrl_->enqueue(vm, req.id);
+        req.state = hh::cpu::RequestState::Queued;
+    } else {
+        ctrl_->markReady(vm, req.id);
+        req.state = hh::cpu::RequestState::Queued;
+        req.readySince = sim_.now();
+    }
+    tryDispatch(vm);
+}
+
+ServerSim::VmCtx &
+ServerSim::vmCtx(std::uint32_t vm)
+{
+    if (vm >= vms_.size())
+        hh::sim::panic("ServerSim: bad VM id ", vm);
+    return vms_[vm];
+}
+
+int
+ServerSim::idleBoundCore(std::uint32_t vm) const
+{
+    for (unsigned c : vms_[vm].desc.cores) {
+        const CoreCtx &ctx = core_ctx_[c];
+        if (ctx.phase == Phase::Idle && !ctx.onLoan)
+            return static_cast<int>(c);
+    }
+    return -1;
+}
+
+unsigned
+ServerSim::idleBoundCores(std::uint32_t vm) const
+{
+    unsigned n = 0;
+    for (unsigned c : vms_[vm].desc.cores) {
+        const CoreCtx &ctx = core_ctx_[c];
+        if (ctx.phase == Phase::Idle && !ctx.onLoan)
+            ++n;
+    }
+    return n;
+}
+
+unsigned
+ServerSim::busyPrimaryCores(std::uint32_t vm) const
+{
+    unsigned n = 0;
+    for (unsigned c : vms_[vm].desc.cores) {
+        if (core_ctx_[c].phase == Phase::RunPrimary ||
+            core_ctx_[c].phase == Phase::Transition)
+            ++n;
+    }
+    return n;
+}
+
+hh::sim::Cycles
+ServerSim::dispatchOverhead(std::uint32_t vm)
+{
+    Cycles c = 0;
+    // Scheduling: hardware notification vs discovering work by
+    // polling a memory location.
+    c += cfg_.hwSched ? ctrl_->notifyLatency() : hyp_->pollDelay();
+    // Queue access: dedicated SRAM vs memory-mapped queue (which
+    // also suffers lock contention when several cores poll it).
+    if (cfg_.hwQueue) {
+        c += ctrl_->queueOpLatency();
+    } else {
+        c += cfg_.swCosts.queueOp;
+        if (idleBoundCores(vm) > 1)
+            c += cfg_.swCosts.lockContention;
+    }
+    return c;
+}
+
+hh::sim::Cycles
+ServerSim::ctxSwitchCost(unsigned core) const
+{
+    if (cfg_.hwCtxtSwitch)
+        return ctxmem_->saveCost(core) + ctxmem_->restoreCost(core);
+    return cfg_.swCosts.processCtxSwitch;
+}
+
+void
+ServerSim::tryDispatch(std::uint32_t vm)
+{
+    if (vm == harvest_vm_)
+        return;
+    auto *qm = ctrl_->qmFor(vm);
+    while (qm->queue().readyCount() > pending_reclaims_[vm]) {
+        const int core = idleBoundCore(vm);
+        if (core >= 0) {
+            const auto id = ctrl_->dequeue(vm);
+            if (!id)
+                break;
+            startRequestOnCore(static_cast<unsigned>(core), *id,
+                               dispatchOverhead(vm), 0, 0);
+            continue;
+        }
+        if (cfg_.harvesting && qm->hasLoanedCore()) {
+            const int loaned = qm->loanedCoreToReclaim();
+            if (loaned < 0)
+                break;
+            reclaimCore(static_cast<unsigned>(loaned), vm);
+            continue;
+        }
+        break;
+    }
+}
+
+void
+ServerSim::startRequestOnCore(unsigned core, std::uint64_t reqId,
+                              Cycles overhead, Cycles reassignPart,
+                              Cycles flushPart)
+{
+    auto it = requests_.find(reqId);
+    if (it == requests_.end())
+        hh::sim::panic("startRequestOnCore: unknown request ", reqId);
+    hh::cpu::Request &req = it->second;
+    CoreCtx &ctx = core_ctx_[core];
+    if (ctx.phase != Phase::Idle && ctx.phase != Phase::Transition)
+        hh::sim::panic("startRequestOnCore: core ", core, " not idle");
+
+    // Release the blocked-request anchor, if resuming.
+    const auto a = anchor_.find(reqId);
+    if (a != anchor_.end()) {
+        if (core_ctx_[a->second].anchoredBlocked > 0)
+            --core_ctx_[a->second].anchoredBlocked;
+        anchor_.erase(a);
+    }
+
+    const Cycles ctx_cost = ctxSwitchCost(core);
+    req.state = hh::cpu::RequestState::Running;
+    req.breakdown.queueing += (sim_.now() - req.readySince) + overhead;
+    req.breakdown.reassign += reassignPart;
+    req.breakdown.flush += flushPart;
+    req.breakdown.queueing += ctx_cost;
+
+    ctx.phase = Phase::RunPrimary;
+    ctx.runningRequest = reqId;
+    cores_[core]->setState(sim_.now(), hh::cpu::CoreState::RunningPrimary);
+    cores_[core]->setCurrentRequest(reqId);
+
+    sim_.schedule(overhead + ctx_cost, [this, core, reqId] {
+        executeSegment(core, reqId);
+    });
+}
+
+hh::sim::Cycles
+ServerSim::replaySegment(unsigned core, std::uint64_t reqId,
+                         const hh::workload::Segment &seg)
+{
+    auto &req = requests_.at(reqId);
+    auto &wl = *vms_[req.vm].service;
+    const unsigned sampling = std::max(1u, cfg_.accessSampling);
+    const std::uint32_t n =
+        std::max<std::uint32_t>(1, seg.accesses / sampling);
+    // The cursor advances with the accumulated (de-sampled) memory
+    // time so DRAM bandwidth sees correctly spaced traffic instead
+    // of an artificial same-instant burst.
+    Cycles t = sim_.now();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        t += sampling * cores_[core]->hierarchy().access(
+                            t, wl.nextAccess(req.plan));
+    }
+    return seg.compute + (t - sim_.now());
+}
+
+void
+ServerSim::executeSegment(unsigned core, std::uint64_t reqId)
+{
+    auto it = requests_.find(reqId);
+    if (it == requests_.end())
+        hh::sim::panic("executeSegment: unknown request ", reqId);
+    hh::cpu::Request &req = it->second;
+    const auto &seg = req.plan.segments[req.nextSegment];
+
+    const Cycles dur = replaySegment(core, reqId, seg);
+    req.breakdown.execution += dur;
+    core_ctx_[core].pendingEvent = sim_.schedule(
+        dur, [this, core, reqId] { onSegmentDone(core, reqId); });
+}
+
+void
+ServerSim::onSegmentDone(unsigned core, std::uint64_t reqId)
+{
+    auto it = requests_.find(reqId);
+    if (it == requests_.end())
+        hh::sim::panic("onSegmentDone: unknown request ", reqId);
+    hh::cpu::Request &req = it->second;
+    const auto seg = req.plan.segments[req.nextSegment];
+    ++req.nextSegment;
+
+    CoreCtx &ctx = core_ctx_[core];
+    ctx.pendingEvent = hh::sim::kInvalidEventId;
+
+    if (!req.finished() && seg.endsInIo) {
+        // Block on a synchronous backend RPC.
+        req.state = hh::cpu::RequestState::Blocked;
+        ctrl_->markBlocked(req.vm, reqId);
+        anchor_[reqId] = core;
+        ++ctx.anchoredBlocked;
+
+        const Cycles io_total =
+            fabric_.roundTrip(256) + seg.ioTime;
+        req.breakdown.io += io_total;
+        ewma_block_cycles_[req.vm] =
+            0.2 * static_cast<double>(io_total) +
+            0.8 * ewma_block_cycles_[req.vm];
+        const std::uint32_t vm = req.vm;
+        sim_.schedule(io_total, [this, vm, reqId] {
+            hh::net::Packet pkt;
+            pkt.kind = hh::net::PacketKind::IoResponse;
+            pkt.dstVm = vm;
+            pkt.requestId = reqId;
+            nic_->receive(pkt);
+        });
+
+        ctx.phase = Phase::Idle;
+        ctx.runningRequest = 0;
+        ctx.idleSince = sim_.now();
+        cores_[core]->setState(sim_.now(), hh::cpu::CoreState::Idle);
+        onCoreIdle(core);
+        return;
+    }
+
+    if (!req.finished()) {
+        // Consecutive segments without I/O execute back to back.
+        executeSegment(core, reqId);
+        return;
+    }
+    completeRequest(core, reqId);
+}
+
+void
+ServerSim::completeRequest(unsigned core, std::uint64_t reqId)
+{
+    auto it = requests_.find(reqId);
+    hh::cpu::Request &req = it->second;
+    req.state = hh::cpu::RequestState::Done;
+    req.completion = sim_.now();
+    ctrl_->complete(req.vm, reqId);
+
+    VmCtx &v = vmCtx(req.vm);
+    ++v.completed;
+    if (v.completed > v.warmupSkip) {
+        v.latencies.record(hh::sim::cyclesToMs(req.latency()));
+        v.breakdownSum.queueing += req.breakdown.queueing;
+        v.breakdownSum.reassign += req.breakdown.reassign;
+        v.breakdownSum.flush += req.breakdown.flush;
+        v.breakdownSum.execution += req.breakdown.execution;
+        v.breakdownSum.io += req.breakdown.io;
+        ++v.breakdownCount;
+    }
+    requests_.erase(it);
+
+    CoreCtx &ctx = core_ctx_[core];
+    ctx.phase = Phase::Idle;
+    ctx.runningRequest = 0;
+    ctx.idleSince = sim_.now();
+    cores_[core]->setState(sim_.now(), hh::cpu::CoreState::Idle);
+    cores_[core]->setCurrentRequest(0);
+
+    noteDoneMaybeFinish();
+    onCoreIdle(core);
+}
+
+bool
+ServerSim::blockHarvestAllowed(std::uint32_t vm) const
+{
+    if (!cfg_.harvestOnBlock)
+        return false;
+    // Adaptive extension (§4.1.5): when this VM's requests block
+    // only briefly, harvesting the core is a net loss; fall back to
+    // harvest-on-termination behaviour.
+    if (cfg_.adaptiveHarvest &&
+        ewma_block_cycles_[vm] <
+            static_cast<double>(cfg_.adaptiveBlockThreshold)) {
+        return false;
+    }
+    return true;
+}
+
+bool
+ServerSim::coreLendable(unsigned core) const
+{
+    const CoreCtx &ctx = core_ctx_[core];
+    const std::uint32_t vm = cores_[core]->boundVm();
+    if (vm == harvest_vm_)
+        return false;
+    if (ctx.phase != Phase::Idle || ctx.onLoan)
+        return false;
+    // Term-style harvesting never lends a core whose request is
+    // blocked on I/O (the core is kept for the response).
+    if (!blockHarvestAllowed(vm) && ctx.anchoredBlocked > 0)
+        return false;
+    // Burst-buffer extension (§4.1.5): keep some idle cores ready.
+    if (cfg_.hwEmergencyBuffer > 0 &&
+        idleBoundCores(vm) <= cfg_.hwEmergencyBuffer) {
+        return false;
+    }
+    const auto *qm = ctrl_->qmFor(vm);
+    return !qm->queue().hasReady();
+}
+
+void
+ServerSim::onCoreIdle(unsigned core)
+{
+    if (done_)
+        return;
+    CoreCtx &ctx = core_ctx_[core];
+    if (ctx.phase != Phase::Idle)
+        return;
+    const std::uint32_t vm = cores_[core]->boundVm();
+
+    if (ctx.onLoan || vm == harvest_vm_) {
+        // A Harvest-side core looks for the next slice.
+        beginHarvestWork(core);
+        return;
+    }
+
+    // First serve the core's own Primary VM.
+    tryDispatch(vm);
+    if (core_ctx_[core].phase != Phase::Idle)
+        return;
+
+    // Hardware harvesting lends instantly on idle; software lending
+    // happens at agent ticks.
+    if (cfg_.harvesting && cfg_.hwSched && coreLendable(core) &&
+        !cfg_.harvestVmIdle) {
+        lendCore(core);
+    }
+}
+
+void
+ServerSim::lendCore(unsigned core)
+{
+    CoreCtx &ctx = core_ctx_[core];
+    const std::uint32_t vm = cores_[core]->boundVm();
+    auto *qm = ctrl_->qmFor(vm);
+    qm->noteLoan(core);
+    ++loans_;
+    ctx.onLoan = true;
+    ctx.phase = Phase::Transition;
+
+    Cycles cost = 0;
+    if (!cfg_.hwSched && !cfg_.swReassignFree) {
+        // The hypercall path serializes on the hypervisor's global
+        // reassignment lock (§4.1.1).
+        cost += hyp_->acquireReassignLock(
+            sim_.now(), hyp_->reassignCost(cfg_.swImpl));
+        cost += hyp_->reassignCost(cfg_.swImpl);
+    }
+    if (cfg_.hwSched)
+        cost += ctrl_->notifyLatency();
+    cost += ctxSwitchCost(core);
+
+    // Flush semantics on the Primary -> Harvest transition: only the
+    // harvest region is flushed under partitioning (and the Harvest
+    // VM additionally waits out the worst-case flush bound to close
+    // the timing side channel); otherwise a full wbinvd-style flush.
+    auto &hier = cores_[core]->hierarchy();
+    if (cfg_.partitioning) {
+        hier.flushHarvestRegion(sim_.now(), 0);
+        cost += cfg_.efficientFlush
+                    ? ctrl_->flushBound()
+                    : hyp_->wbinvdCost() / 2;
+    } else if (cfg_.swFlushOnReassign) {
+        hier.flushAll();
+        cost += hyp_->wbinvdCost();
+    }
+
+    sim_.schedule(cost, [this, core] {
+        CoreCtx &c = core_ctx_[core];
+        if (!c.onLoan)
+            return; // reclaimed while transitioning
+        c.phase = Phase::Idle;
+        if (cfg_.harvestVmIdle) {
+            // Fig 4 study: the Harvest VM has no work; the core sits
+            // lent but idle until reclaimed.
+            c.idleSince = sim_.now();
+            return;
+        }
+        beginHarvestWork(core);
+    });
+}
+
+void
+ServerSim::configureCoreForHarvest(unsigned core)
+{
+    auto &hier = cores_[core]->hierarchy();
+    hier.setL3(vms_[harvest_vm_].l3.get());
+    const bool borrowed = cores_[core]->boundVm() != harvest_vm_;
+    hier.setHarvestMode(cfg_.partitioning && borrowed);
+}
+
+void
+ServerSim::configureCoreForPrimary(unsigned core)
+{
+    auto &hier = cores_[core]->hierarchy();
+    hier.setL3(vms_[cores_[core]->boundVm()].l3.get());
+    hier.setHarvestMode(false);
+}
+
+void
+ServerSim::beginHarvestWork(unsigned core)
+{
+    if (done_) {
+        core_ctx_[core].phase = Phase::Idle;
+        cores_[core]->setState(sim_.now(), hh::cpu::CoreState::Idle);
+        return;
+    }
+    configureCoreForHarvest(core);
+    startHarvestSlice(core);
+}
+
+void
+ServerSim::startHarvestSlice(unsigned core)
+{
+    CoreCtx &ctx = core_ctx_[core];
+    HarvestSlice slice;
+    if (!harvest_queue_.empty()) {
+        slice = harvest_queue_.front();
+        harvest_queue_.pop_front();
+    } else {
+        const auto task = batch_->planTask();
+        slice.id = next_slice_id_++;
+        slice.remainingCompute = task.compute;
+        slice.remainingAccesses = task.accesses;
+    }
+
+    const Cycles dur = replayHarvest(core, slice);
+    ctx.slice = slice;
+    ctx.sliceStart = sim_.now();
+    ctx.sliceDuration = std::max<Cycles>(1, dur);
+    ctx.phase = Phase::RunHarvest;
+    cores_[core]->setState(sim_.now(),
+                           hh::cpu::CoreState::RunningHarvest);
+    ctx.pendingEvent = sim_.schedule(
+        ctx.sliceDuration, [this, core] { onHarvestSliceDone(core); });
+}
+
+hh::sim::Cycles
+ServerSim::replayHarvest(unsigned core, HarvestSlice &slice)
+{
+    const unsigned sampling = std::max(1u, cfg_.accessSampling);
+    const std::uint32_t n =
+        std::max<std::uint32_t>(1, slice.remainingAccesses / sampling);
+    Cycles t = sim_.now();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        t += sampling *
+             cores_[core]->hierarchy().access(t, batch_->nextAccess());
+    }
+    return slice.remainingCompute + (t - sim_.now());
+}
+
+void
+ServerSim::onHarvestSliceDone(unsigned core)
+{
+    CoreCtx &ctx = core_ctx_[core];
+    ctx.pendingEvent = hh::sim::kInvalidEventId;
+    ctx.slice.reset();
+    ++batch_tasks_done_;
+
+    ctx.phase = Phase::Idle;
+    ctx.idleSince = sim_.now();
+    cores_[core]->setState(sim_.now(), hh::cpu::CoreState::Idle);
+
+    const std::uint32_t bound = cores_[core]->boundVm();
+    if (ctx.onLoan) {
+        // The owner reclaims through interrupts, but double-check:
+        // if the Primary VM accumulated work, return voluntarily.
+        auto *qm = ctrl_->qmFor(bound);
+        if (qm->queue().hasReady()) {
+            reclaimCore(core, bound);
+            return;
+        }
+    }
+    onCoreIdle(core);
+}
+
+void
+ServerSim::preemptHarvestSlice(unsigned core)
+{
+    CoreCtx &ctx = core_ctx_[core];
+    if (ctx.pendingEvent != hh::sim::kInvalidEventId) {
+        sim_.cancel(ctx.pendingEvent);
+        ctx.pendingEvent = hh::sim::kInvalidEventId;
+    }
+    if (!ctx.slice)
+        return;
+    // Return the unexecuted remainder to the Harvest VM's vCPU queue
+    // (Fig 10: the preempted request becomes ready for another core).
+    const double f =
+        ctx.sliceDuration == 0
+            ? 1.0
+            : std::clamp(static_cast<double>(sim_.now() -
+                                             ctx.sliceStart) /
+                             static_cast<double>(ctx.sliceDuration),
+                         0.0, 1.0);
+    HarvestSlice rest = *ctx.slice;
+    rest.remainingCompute = static_cast<Cycles>(
+        static_cast<double>(rest.remainingCompute) * (1.0 - f));
+    rest.remainingAccesses = static_cast<std::uint32_t>(
+        static_cast<double>(rest.remainingAccesses) * (1.0 - f));
+    if (rest.remainingCompute > 0 || rest.remainingAccesses > 0)
+        harvest_queue_.push_front(rest);
+    else
+        ++batch_tasks_done_; // effectively finished at preemption
+    ctx.slice.reset();
+}
+
+void
+ServerSim::reclaimCore(unsigned core, std::uint32_t vm)
+{
+    CoreCtx &ctx = core_ctx_[core];
+    auto *qm = ctrl_->qmFor(vm);
+    qm->noteReturn(core);
+    ++reclaims_;
+    ++pending_reclaims_[vm];
+    last_reclaim_at_[vm] = sim_.now();
+
+    preemptHarvestSlice(core);
+    ctx.onLoan = false;
+    ctx.phase = Phase::Transition;
+    cores_[core]->setState(sim_.now(), hh::cpu::CoreState::Idle);
+
+    Cycles reassign_cost = 0;
+    if (cfg_.hwSched) {
+        reassign_cost += ctrl_->notifyLatency();
+    } else if (!cfg_.swReassignFree) {
+        reassign_cost += hyp_->acquireReassignLock(
+            sim_.now(), hyp_->reassignCost(cfg_.swImpl));
+        reassign_cost += hyp_->reassignCost(cfg_.swImpl);
+    }
+    reassign_cost += ctxSwitchCost(core);
+
+    Cycles flush_cost = 0;
+    auto &hier = cores_[core]->hierarchy();
+    if (cfg_.partitioning) {
+        // Only the harvest region is flushed, in the background; the
+        // Primary VM restarts right away on the non-harvest state.
+        const Cycles bound = cfg_.efficientFlush
+                                 ? ctrl_->flushBound()
+                                 : hyp_->wbinvdCost() / 2;
+        hier.flushHarvestRegion(sim_.now(), bound);
+    } else if (cfg_.swFlushOnReassign) {
+        hier.flushAll();
+        flush_cost = hyp_->wbinvdCost();
+    }
+    configureCoreForPrimary(core);
+
+    const Cycles total = reassign_cost + flush_cost;
+    sim_.schedule(total, [this, core, vm, reassign_cost, flush_cost] {
+        CoreCtx &c = core_ctx_[core];
+        if (pending_reclaims_[vm] > 0)
+            --pending_reclaims_[vm];
+        c.phase = Phase::Idle;
+        c.idleSince = sim_.now();
+        const auto id = ctrl_->dequeue(vm);
+        if (id) {
+            startRequestOnCore(core, *id, 0, reassign_cost,
+                               flush_cost);
+        } else {
+            onCoreIdle(core);
+        }
+    });
+}
+
+void
+ServerSim::agentTick()
+{
+    if (done_)
+        return;
+    const Cycles now = sim_.now();
+    for (auto &v : vms_) {
+        if (!v.desc.isPrimary())
+            continue;
+        const std::uint32_t vm = v.desc.id;
+        sw_policy_.observe(vm, busyPrimaryCores(vm));
+        if (!cfg_.harvesting)
+            continue;
+
+        // Thrash avoidance: after a reclaim, wait out a backoff
+        // proportional to the cost of a core move before lending
+        // this VM's cores again.
+        Cycles move_cost = ctxSwitchCost(0);
+        if (!cfg_.swReassignFree)
+            move_cost += hyp_->reassignCost(cfg_.swImpl);
+        if (cfg_.swFlushOnReassign)
+            move_cost += cfg_.swCosts.wbinvdMax;
+        // A rational agent only moves a core when the expected idle
+        // time amortizes the move. Sub-millisecond movers
+        // (SmartHarvest) can chase short gaps; millisecond movers
+        // (vanilla KVM) must wait for long troughs, which caps them
+        // at the handful of moves per second the paper observes.
+        const bool cheap_mover =
+            move_cost < hh::sim::msToCycles(1.0);
+        const Cycles backoff = std::max(
+            sw_policy_.config().reclaimBackoff,
+            (cheap_mover ? 4 : 18) * move_cost);
+        if (sim_.now() - last_reclaim_at_[vm] < backoff &&
+            last_reclaim_at_[vm] != 0) {
+            continue;
+        }
+
+        unsigned idle = 0;
+        unsigned idle_long = 0;
+        std::vector<unsigned> candidates;
+        for (unsigned c : v.desc.cores) {
+            const CoreCtx &ctx = core_ctx_[c];
+            if (ctx.phase == Phase::Idle && !ctx.onLoan) {
+                ++idle;
+                // Block-mode's defining aggression: a core whose
+                // request just blocked on I/O is taken right away;
+                // otherwise idleness must persist past the
+                // prediction threshold. Expensive movers (KVM) only
+                // ever take long-idle cores, which naturally caps
+                // their reassignment rate at the handful per second
+                // the paper's motivation study observes.
+                const bool anchored = ctx.anchoredBlocked > 0;
+                if (!blockHarvestAllowed(vm) && anchored)
+                    continue;
+                const Cycles idle_needed =
+                    std::max(sw_policy_.config().idleThreshold,
+                             (cheap_mover ? 2 : 9) * move_cost);
+                const bool eager_ok = cheap_mover;
+                const bool long_enough =
+                    (blockHarvestAllowed(vm) && anchored &&
+                     eager_ok) ||
+                    now - ctx.idleSince >= idle_needed;
+                if (long_enough) {
+                    ++idle_long;
+                    candidates.push_back(c);
+                }
+            }
+        }
+        const unsigned n = sw_policy_.lendableCores(
+            vm, static_cast<unsigned>(v.desc.cores.size()), idle,
+            idle_long);
+        for (unsigned i = 0; i < n && i < candidates.size(); ++i)
+            lendCore(candidates[i]);
+    }
+    sim_.schedule(sw_policy_.config().agentPeriod,
+                  [this] { agentTick(); });
+}
+
+bool
+ServerSim::allDone() const
+{
+    for (const auto &v : vms_) {
+        if (!v.desc.isPrimary())
+            continue;
+        if (v.arrivalsRemaining > 0 ||
+            v.completed < cfg_.requestsPerVm)
+            return false;
+    }
+    return true;
+}
+
+void
+ServerSim::noteDoneMaybeFinish()
+{
+    if (!done_ && allDone()) {
+        done_ = true;
+        end_time_ = sim_.now();
+    }
+}
+
+ServerResults
+ServerSim::run()
+{
+    // Harvest VM's own cores start working immediately.
+    for (unsigned c : vms_[harvest_vm_].desc.cores)
+        sim_.schedule(0, [this, c] { onCoreIdle(c); });
+
+    if (!cfg_.hwSched && cfg_.harvesting && !cfg_.harvestVmIdle) {
+        sim_.schedule(sw_policy_.config().agentPeriod,
+                      [this] { agentTick(); });
+    } else if (!cfg_.hwSched && cfg_.harvesting && cfg_.harvestVmIdle) {
+        // Fig 4 study still lends cores via the agent.
+        sim_.schedule(sw_policy_.config().agentPeriod,
+                      [this] { agentTick(); });
+    }
+    scheduleFirstArrivals();
+
+    // Hard horizon guards against pathological configurations.
+    const Cycles horizon = hh::sim::secToCycles(600.0);
+    sim_.run(horizon);
+    if (!done_) {
+        hh::sim::warn("ServerSim: horizon reached before all "
+                      "requests completed");
+        end_time_ = sim_.now();
+    }
+
+    ServerResults res;
+    const Cycles end = end_time_ ? end_time_ : sim_.now();
+    for (auto &v : vms_) {
+        if (!v.desc.isPrimary())
+            continue;
+        ServiceResult r;
+        r.name = v.service->spec().name;
+        r.count = v.latencies.count();
+        r.meanMs = v.latencies.mean();
+        r.p50Ms = v.latencies.p50();
+        r.p99Ms = v.latencies.p99();
+        if (v.breakdownCount > 0) {
+            const double n = static_cast<double>(v.breakdownCount);
+            r.queueMs = hh::sim::cyclesToMs(
+                            static_cast<Cycles>(0) +
+                            v.breakdownSum.queueing) / n;
+            r.reassignMs =
+                hh::sim::cyclesToMs(v.breakdownSum.reassign) / n;
+            r.flushMs = hh::sim::cyclesToMs(v.breakdownSum.flush) / n;
+            r.execMs =
+                hh::sim::cyclesToMs(v.breakdownSum.execution) / n;
+            r.ioMs = hh::sim::cyclesToMs(v.breakdownSum.io) / n;
+        }
+        res.services.push_back(std::move(r));
+    }
+
+    res.elapsedSec = hh::sim::cyclesToSec(end);
+    res.batchTasksCompleted = batch_tasks_done_;
+    res.batchThroughput =
+        res.elapsedSec > 0
+            ? static_cast<double>(batch_tasks_done_) / res.elapsedSec
+            : 0;
+
+    double busy = 0;
+    std::uint64_t l2_hits = 0;
+    std::uint64_t l2_misses = 0;
+    for (const auto &core : cores_) {
+        busy += static_cast<double>(core->busy().busyCycles(end));
+        if (core->boundVm() != harvest_vm_) {
+            l2_hits += core->hierarchy().l2().hits();
+            l2_misses += core->hierarchy().l2().misses();
+        }
+    }
+    res.avgBusyCores = end > 0 ? busy / static_cast<double>(end) : 0;
+    res.utilization =
+        res.avgBusyCores / static_cast<double>(cfg_.cores);
+    res.coreLoans = loans_;
+    res.coreReclaims = reclaims_;
+    res.primaryL2HitRate =
+        (l2_hits + l2_misses) > 0
+            ? static_cast<double>(l2_hits) /
+                  static_cast<double>(l2_hits + l2_misses)
+            : 0;
+    return res;
+}
+
+} // namespace hh::cluster

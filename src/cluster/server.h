@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Full-server simulation: 36 cores, 8 Primary VMs + 1 Harvest VM,
+ * NIC, DRAM, LLC partitions, and one of the five evaluated
+ * scheduling/harvesting schemes (§5).
+ *
+ * The server is the composition root: it owns the discrete-event
+ * simulator, wires workloads to cores through the scheduling layer
+ * selected by the SystemConfig flags, and produces the per-service
+ * latency distributions, Harvest-VM throughput, and core-utilization
+ * statistics that the paper's figures report.
+ */
+
+#ifndef HH_CLUSTER_SERVER_H
+#define HH_CLUSTER_SERVER_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/system_config.h"
+#include "core/context_memory.h"
+#include "core/controller.h"
+#include "cpu/core.h"
+#include "cpu/request.h"
+#include "mem/dram.h"
+#include "net/fabric.h"
+#include "net/nic.h"
+#include "noc/mesh.h"
+#include "sim/simulator.h"
+#include "stats/percentile.h"
+#include "vm/hypervisor.h"
+#include "vm/sw_harvest.h"
+#include "vm/vm.h"
+#include "workload/batch.h"
+#include "workload/loadgen.h"
+#include "workload/service.h"
+
+namespace hh::cluster {
+
+/** Per-service results of one run. */
+struct ServiceResult
+{
+    std::string name;
+    std::uint64_t count = 0;
+    double meanMs = 0;
+    double p50Ms = 0;
+    double p99Ms = 0;
+    /** Mean per-request breakdown in ms (Fig 6). */
+    double queueMs = 0;
+    double reassignMs = 0;
+    double flushMs = 0;
+    double execMs = 0;
+    double ioMs = 0;
+};
+
+/** Results of one server run. */
+struct ServerResults
+{
+    std::vector<ServiceResult> services;
+    double elapsedSec = 0;
+    std::uint64_t batchTasksCompleted = 0;
+    double batchThroughput = 0; //!< tasks per second.
+    double avgBusyCores = 0;
+    double utilization = 0;     //!< avgBusyCores / cores.
+    std::uint64_t coreLoans = 0;
+    std::uint64_t coreReclaims = 0;
+    double primaryL2HitRate = 0;
+
+    /** Average P99 across services (ms). */
+    double avgP99Ms() const;
+    /** Average median across services (ms). */
+    double avgP50Ms() const;
+};
+
+/**
+ * One simulated server.
+ */
+class ServerSim
+{
+  public:
+    /**
+     * @param cfg      System configuration.
+     * @param batchApp Batch application name for the Harvest VM.
+     * @param seed     Experiment seed (overrides cfg.seed when
+     *                 nonzero).
+     */
+    ServerSim(const SystemConfig &cfg, const std::string &batchApp,
+              std::uint64_t seed = 0);
+
+    ~ServerSim();
+
+    ServerSim(const ServerSim &) = delete;
+    ServerSim &operator=(const ServerSim &) = delete;
+
+    /** Run the simulation to completion and collect results. */
+    ServerResults run();
+
+    /** The embedded HardHarvest controller (tests). */
+    hh::core::HardHarvestController &controller() { return *ctrl_; }
+
+    const SystemConfig &config() const { return cfg_; }
+
+  private:
+    /** Phase of a core's scheduling state machine. */
+    enum class Phase
+    {
+        Idle,        //!< Spinning/waiting for work.
+        RunPrimary,  //!< Executing a Primary request segment.
+        RunHarvest,  //!< Executing a Harvest slice (or lent idle).
+        Transition,  //!< Paying reassignment/flush costs.
+    };
+
+    /** A partially executed Harvest VM task (vCPU work unit). */
+    struct HarvestSlice
+    {
+        std::uint64_t id = 0;
+        hh::sim::Cycles remainingCompute = 0;
+        std::uint32_t remainingAccesses = 0;
+    };
+
+    /** Runtime scheduling state of one core. */
+    struct CoreCtx
+    {
+        Phase phase = Phase::Idle;
+        std::uint64_t runningRequest = 0;
+        std::optional<HarvestSlice> slice;
+        hh::sim::Cycles sliceStart = 0;
+        hh::sim::Cycles sliceDuration = 0;
+        hh::sim::EventId pendingEvent = hh::sim::kInvalidEventId;
+        hh::sim::Cycles idleSince = 0;
+        unsigned anchoredBlocked = 0; //!< Blocked requests anchored.
+        bool onLoan = false;          //!< Lent to the Harvest VM.
+    };
+
+    /** Runtime state of one VM. */
+    struct VmCtx
+    {
+        hh::vm::VmDesc desc;
+        std::unique_ptr<hh::cache::SetAssocArray> l3;
+        // Primary-only:
+        std::unique_ptr<hh::workload::ServiceWorkload> service;
+        std::unique_ptr<hh::workload::LoadGenerator> loadgen;
+        unsigned arrivalsRemaining = 0;
+        unsigned completed = 0;
+        unsigned warmupSkip = 0;
+        hh::stats::LatencyRecorder latencies; //!< ms
+        // Mean-breakdown accumulators (cycles).
+        hh::cpu::LatencyBreakdown breakdownSum;
+        std::uint64_t breakdownCount = 0;
+    };
+
+    /** @name Setup @{ */
+    void buildVms(const std::string &batchApp);
+    void buildCores();
+    void scheduleFirstArrivals();
+    /** @} */
+
+    /** @name Request path @{ */
+    void onArrival(std::uint32_t vm);
+    void onPacket(const hh::net::Packet &pkt);
+    void tryDispatch(std::uint32_t vm);
+    void startRequestOnCore(unsigned core, std::uint64_t reqId,
+                            hh::sim::Cycles overhead,
+                            hh::sim::Cycles reassignPart,
+                            hh::sim::Cycles flushPart);
+    void executeSegment(unsigned core, std::uint64_t reqId);
+    void onSegmentDone(unsigned core, std::uint64_t reqId);
+    void completeRequest(unsigned core, std::uint64_t reqId);
+    /** @} */
+
+    /** @name Harvesting @{ */
+    void onCoreIdle(unsigned core);
+    bool coreLendable(unsigned core) const;
+    /** May blocked-anchored cores of @p vm be harvested right now? */
+    bool blockHarvestAllowed(std::uint32_t vm) const;
+    void lendCore(unsigned core);
+    void beginHarvestWork(unsigned core);
+    void startHarvestSlice(unsigned core);
+    void onHarvestSliceDone(unsigned core);
+    void reclaimCore(unsigned core, std::uint32_t vm);
+    void preemptHarvestSlice(unsigned core);
+    void agentTick();
+    /** @} */
+
+    /** @name Helpers @{ */
+    VmCtx &vmCtx(std::uint32_t vm);
+    int idleBoundCore(std::uint32_t vm) const;
+    unsigned idleBoundCores(std::uint32_t vm) const;
+    unsigned busyPrimaryCores(std::uint32_t vm) const;
+    hh::sim::Cycles dispatchOverhead(std::uint32_t vm);
+    hh::sim::Cycles ctxSwitchCost(unsigned core) const;
+    hh::sim::Cycles replaySegment(unsigned core, std::uint64_t reqId,
+                                  const hh::workload::Segment &seg);
+    hh::sim::Cycles replayHarvest(unsigned core, HarvestSlice &slice);
+    void configureCoreForHarvest(unsigned core);
+    void configureCoreForPrimary(unsigned core);
+    bool allDone() const;
+    void noteDoneMaybeFinish();
+    /** @} */
+
+    SystemConfig cfg_;
+    std::uint64_t seed_;
+
+    hh::sim::Simulator sim_;
+    hh::mem::Dram dram_;
+    hh::noc::Mesh2D mesh_;
+    hh::net::Fabric fabric_;
+    std::unique_ptr<hh::net::Nic> nic_;
+    std::unique_ptr<hh::core::HardHarvestController> ctrl_;
+    std::unique_ptr<hh::core::RequestContextMemory> ctxmem_;
+    std::unique_ptr<hh::vm::Hypervisor> hyp_;
+    hh::vm::SmartHarvestPolicy sw_policy_;
+    hh::sim::Rng rng_;
+
+    std::vector<VmCtx> vms_;      //!< [0..primaryVms-1] primary, last harvest.
+    std::uint32_t harvest_vm_ = 0;
+    std::unique_ptr<hh::workload::BatchWorkload> batch_;
+    std::deque<HarvestSlice> harvest_queue_;
+    std::uint64_t next_slice_id_ = 1;
+    std::uint64_t batch_tasks_done_ = 0;
+
+    std::vector<std::unique_ptr<hh::cpu::Core>> cores_;
+    std::vector<CoreCtx> core_ctx_;
+
+    std::unordered_map<std::uint64_t, hh::cpu::Request> requests_;
+    std::uint64_t next_request_id_ = 1;
+    std::unordered_map<std::uint64_t, unsigned> anchor_; //!< req -> core
+
+    /** Reclaims in flight per VM (requests they will consume). */
+    std::vector<unsigned> pending_reclaims_;
+
+    /** Last reclaim time per VM (software lending backoff). */
+    std::vector<hh::sim::Cycles> last_reclaim_at_;
+
+    /** EWMA of blocked-on-I/O durations per VM (adaptive ext.). */
+    std::vector<double> ewma_block_cycles_;
+
+    std::uint64_t loans_ = 0;
+    std::uint64_t reclaims_ = 0;
+    bool done_ = false;
+    hh::sim::Cycles end_time_ = 0;
+};
+
+} // namespace hh::cluster
+
+#endif // HH_CLUSTER_SERVER_H

@@ -1,0 +1,62 @@
+#include "cluster/system_config.h"
+
+namespace hh::cluster {
+
+const char *
+systemName(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::NoHarvest:        return "NoHarvest";
+      case SystemKind::HarvestTerm:      return "Harvest-Term";
+      case SystemKind::HarvestBlock:     return "Harvest-Block";
+      case SystemKind::HardHarvestTerm:  return "HardHarvest-Term";
+      case SystemKind::HardHarvestBlock: return "HardHarvest-Block";
+    }
+    return "?";
+}
+
+SystemConfig
+makeSystem(SystemKind kind)
+{
+    SystemConfig cfg;
+    cfg.kind = kind;
+    switch (kind) {
+      case SystemKind::NoHarvest:
+        cfg.harvesting = false;
+        cfg.harvestOnBlock = false;
+        cfg.hwSched = false;
+        cfg.hwQueue = false;
+        cfg.hwCtxtSwitch = false;
+        cfg.partitioning = false;
+        cfg.efficientFlush = false;
+        cfg.repl = hh::cache::ReplKind::LRU;
+        break;
+      case SystemKind::HarvestTerm:
+      case SystemKind::HarvestBlock:
+        cfg.harvesting = true;
+        cfg.harvestOnBlock = kind == SystemKind::HarvestBlock;
+        cfg.hwSched = false;
+        cfg.hwQueue = false;
+        cfg.hwCtxtSwitch = false;
+        cfg.partitioning = false;
+        cfg.efficientFlush = false;
+        cfg.repl = hh::cache::ReplKind::LRU;
+        cfg.swImpl = hh::vm::ReassignImpl::Optimized;
+        cfg.swFlushOnReassign = true;
+        break;
+      case SystemKind::HardHarvestTerm:
+      case SystemKind::HardHarvestBlock:
+        cfg.harvesting = true;
+        cfg.harvestOnBlock = kind == SystemKind::HardHarvestBlock;
+        cfg.hwSched = true;
+        cfg.hwQueue = true;
+        cfg.hwCtxtSwitch = true;
+        cfg.partitioning = true;
+        cfg.efficientFlush = true;
+        cfg.repl = hh::cache::ReplKind::HardHarvest;
+        break;
+    }
+    return cfg;
+}
+
+} // namespace hh::cluster

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Configurations of the five evaluated architectures (§5) plus the
+ * ablation knobs of Figures 12, 13 and 15 and the motivation-study
+ * variants of Figures 4 and 5.
+ */
+
+#ifndef HH_CLUSTER_SYSTEM_CONFIG_H
+#define HH_CLUSTER_SYSTEM_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+#include "cache/config.h"
+#include "vm/hypervisor.h"
+#include "workload/loadgen.h"
+
+namespace hh::cluster {
+
+/** The five evaluated systems. */
+enum class SystemKind
+{
+    NoHarvest,
+    HarvestTerm,
+    HarvestBlock,
+    HardHarvestTerm,
+    HardHarvestBlock,
+};
+
+/** Printable system name matching the paper's figures. */
+const char *systemName(SystemKind kind);
+
+/**
+ * Full configuration of one simulated server/system.
+ */
+struct SystemConfig
+{
+    SystemKind kind = SystemKind::HardHarvestBlock;
+
+    /** @name Harvesting behaviour @{ */
+    bool harvesting = true;      //!< Lend idle Primary cores at all.
+    bool harvestOnBlock = true;  //!< Also lend cores blocked on I/O.
+
+    /**
+     * Future-work extension (§4.1.5): adaptively fall back from
+     * harvest-on-block to harvest-on-termination for VMs whose
+     * requests spend only a very short time blocked on I/O.
+     */
+    bool adaptiveHarvest = false;
+    /** Minimum EWMA blocked time for block-harvesting to pay off. */
+    hh::sim::Cycles adaptiveBlockThreshold = hh::sim::usToCycles(60);
+
+    /**
+     * Future-work extension (§4.1.5): keep a buffer of idle cores
+     * per Primary VM that hardware harvesting never lends, absorbing
+     * bursts without even the (cheap) hardware reclaim.
+     */
+    unsigned hwEmergencyBuffer = 0;
+    /** @} */
+
+    /** @name Hardware (HardHarvest) features / ablation flags @{ */
+    bool hwSched = true;      //!< QM notification vs software polling.
+    bool hwQueue = true;      //!< SRAM RQ vs memory-mapped queues.
+    bool hwCtxtSwitch = true; //!< Request Context Memory save/restore.
+    bool partitioning = true; //!< Harvest/non-harvest way regions.
+    bool efficientFlush = true; //!< 1000-cycle region flush vs wbinvd.
+    hh::cache::ReplKind repl = hh::cache::ReplKind::HardHarvest;
+    double candidateFraction = 0.75; //!< Eviction candidates M.
+    double harvestWayFraction = 0.5; //!< Harvest region size.
+    /** @} */
+
+    /** @name Software-scheme parameters @{ */
+    hh::vm::ReassignImpl swImpl = hh::vm::ReassignImpl::Optimized;
+    bool swFlushOnReassign = true; //!< wbinvd on every core move.
+    bool swReassignFree = false;   //!< Fig 5: flush cost only.
+    bool harvestVmIdle = false;    //!< Fig 4: Harvest VM runs nothing.
+    hh::vm::SoftwareCosts swCosts; //!< Hypervisor cost constants.
+    /** @} */
+
+    /** @name Cache scaling (sensitivity studies) @{ */
+    double waysFraction = 1.0;  //!< Fig 7 way scaling.
+    bool infiniteCaches = false;
+    double llcMbPerCore = 2.0;  //!< Fig 18 LLC sweep.
+    /** @} */
+
+    /** @name Server shape (Table 1) @{ */
+    unsigned cores = 36;
+    unsigned primaryVms = 8;
+    unsigned coresPerPrimary = 4;
+    /** @} */
+
+    /** @name Workload scale @{ */
+    /**
+     * Memory-access sampling: replay 1/N of each segment's accesses
+     * and scale the measured memory stall by N. Keeps hit-rate
+     * statistics while cutting simulation cost; 1 disables sampling.
+     */
+    unsigned accessSampling = 4;
+    double loadScale = 1.0;       //!< Multiplies every arrival rate.
+    unsigned requestsPerVm = 2000; //!< Arrival budget per Primary VM.
+    double warmupFraction = 0.1;  //!< Requests excluded from stats.
+    hh::workload::BurstConfig burst;
+    std::uint64_t seed = 1;
+    /** @} */
+};
+
+/**
+ * Build the canonical configuration of one of the five systems.
+ */
+SystemConfig makeSystem(SystemKind kind);
+
+} // namespace hh::cluster
+
+#endif // HH_CLUSTER_SYSTEM_CONFIG_H

@@ -1,0 +1,60 @@
+#include "core/context_memory.h"
+
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace hh::core {
+
+RequestContextMemory::RequestContextMemory(const hh::noc::Mesh2D &mesh,
+                                           unsigned bytesPerCtxt,
+                                           double bytesPerCycle)
+    : mesh_(mesh), bytes_per_ctxt_(bytesPerCtxt),
+      bytes_per_cycle_(bytesPerCycle)
+{
+    if (bytesPerCycle <= 0)
+        hh::sim::fatal("RequestContextMemory: bandwidth must be > 0");
+}
+
+hh::sim::Cycles
+RequestContextMemory::transferCost(unsigned core) const
+{
+    const auto serialization = static_cast<hh::sim::Cycles>(std::ceil(
+        static_cast<double>(bytes_per_ctxt_) / bytes_per_cycle_));
+    return mesh_.latencyToCenter(core % mesh_.nodes()) + serialization;
+}
+
+hh::sim::Cycles
+RequestContextMemory::saveCost(unsigned core) const
+{
+    return transferCost(core);
+}
+
+hh::sim::Cycles
+RequestContextMemory::restoreCost(unsigned core) const
+{
+    return transferCost(core);
+}
+
+void
+RequestContextMemory::store(std::uint64_t ctxtId)
+{
+    stored_.insert(ctxtId);
+    peak_ = std::max(peak_, stored_.size());
+}
+
+void
+RequestContextMemory::release(std::uint64_t ctxtId)
+{
+    if (stored_.erase(ctxtId) == 0)
+        hh::sim::panic("RequestContextMemory: releasing unknown "
+                       "context ", ctxtId);
+}
+
+bool
+RequestContextMemory::contains(std::uint64_t ctxtId) const
+{
+    return stored_.count(ctxtId) != 0;
+}
+
+} // namespace hh::core

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The Request Context Memory (§4.1.4, §4.1.8).
+ *
+ * HardHarvest extends uManycore-style in-hardware context switching:
+ * a special memory on the regular NoC where the hardware saves the
+ * process register state of a preempted request and restores the
+ * state of the next one, without entering the kernel. With this
+ * support a core re-assignment takes a few 10s of ns; without it the
+ * save/restore runs in software and a reassignment takes a few us.
+ */
+
+#ifndef HH_CORE_CONTEXT_MEMORY_H
+#define HH_CORE_CONTEXT_MEMORY_H
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "noc/mesh.h"
+#include "sim/time.h"
+
+namespace hh::core {
+
+/**
+ * Cost/occupancy model of the Request Context Memory.
+ */
+class RequestContextMemory
+{
+  public:
+    /**
+     * @param mesh          The regular NoC (transfer latency source).
+     * @param bytesPerCtxt  Architectural context size moved per
+     *                      save/restore.
+     * @param bytesPerCycle NoC payload bandwidth toward the memory.
+     */
+    explicit RequestContextMemory(const hh::noc::Mesh2D &mesh,
+                                  unsigned bytesPerCtxt = 1024,
+                                  double bytesPerCycle = 32.0);
+
+    /** Latency to save a context from core @p core. */
+    hh::sim::Cycles saveCost(unsigned core) const;
+
+    /** Latency to restore a context to core @p core. */
+    hh::sim::Cycles restoreCost(unsigned core) const;
+
+    /** Record a context as stored (occupancy statistics). */
+    void store(std::uint64_t ctxtId);
+
+    /** Remove a stored context; panics if unknown. */
+    void release(std::uint64_t ctxtId);
+
+    /** True if @p ctxtId is resident. */
+    bool contains(std::uint64_t ctxtId) const;
+
+    std::size_t occupancy() const { return stored_.size(); }
+    std::size_t peakOccupancy() const { return peak_; }
+
+  private:
+    hh::sim::Cycles transferCost(unsigned core) const;
+
+    const hh::noc::Mesh2D &mesh_;
+    unsigned bytes_per_ctxt_;
+    double bytes_per_cycle_;
+    std::unordered_set<std::uint64_t> stored_;
+    std::size_t peak_ = 0;
+};
+
+} // namespace hh::core
+
+#endif // HH_CORE_CONTEXT_MEMORY_H

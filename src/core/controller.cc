@@ -1,0 +1,209 @@
+#include "core/controller.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace hh::core {
+
+HardHarvestController::HardHarvestController(const ControllerConfig &cfg,
+                                             unsigned numCores)
+    : cfg_(cfg), rq_(cfg.rqChunks, cfg.entriesPerChunk),
+      tree_(numCores, cfg.treeFanout, cfg.treeHopLatency)
+{
+    if (cfg.maxQms == 0)
+        hh::sim::fatal("HardHarvestController: need at least one QM");
+}
+
+QueueManager &
+HardHarvestController::registerVm(std::uint32_t vmId, bool primary,
+                                  unsigned weight)
+{
+    if (qmFor(vmId))
+        hh::sim::panic("HardHarvestController: VM ", vmId,
+                       " already registered");
+    if (qms_.size() >= cfg_.maxQms)
+        hh::sim::fatal("HardHarvestController: out of Queue Managers");
+    if (weight == 0)
+        hh::sim::fatal("HardHarvestController: VM weight must be > 0");
+
+    Slot slot;
+    slot.qm = std::make_unique<QueueManager>(next_qm_id_++, vmId,
+                                             primary, rq_);
+    slot.weight = weight;
+    qms_.push_back(std::move(slot));
+    rebalanceChunks();
+    return *qms_.back().qm;
+}
+
+void
+HardHarvestController::removeVm(std::uint32_t vmId)
+{
+    const auto it = std::find_if(qms_.begin(), qms_.end(),
+                                 [&](const Slot &s) {
+                                     return s.qm->vm() == vmId;
+                                 });
+    if (it == qms_.end())
+        hh::sim::panic("HardHarvestController: VM ", vmId,
+                       " not registered");
+    // The SubQueue destructor returns its chunks to the RQ pool; the
+    // survivors then grow into the freed space.
+    qms_.erase(it);
+    rebalanceChunks();
+}
+
+QueueManager *
+HardHarvestController::qmFor(std::uint32_t vmId)
+{
+    for (auto &s : qms_) {
+        if (s.qm->vm() == vmId)
+            return s.qm.get();
+    }
+    return nullptr;
+}
+
+const QueueManager *
+HardHarvestController::qmFor(std::uint32_t vmId) const
+{
+    return const_cast<HardHarvestController *>(this)->qmFor(vmId);
+}
+
+unsigned
+HardHarvestController::totalWeight() const
+{
+    unsigned w = 0;
+    for (const auto &s : qms_)
+        w += s.weight;
+    return w;
+}
+
+void
+HardHarvestController::rebalanceChunks()
+{
+    if (qms_.empty())
+        return;
+    const unsigned total_weight = totalWeight();
+    const unsigned chunks = rq_.numChunks();
+
+    // Proportional targets, at least one chunk per VM.
+    std::vector<unsigned> target(qms_.size());
+    unsigned assigned = 0;
+    for (std::size_t i = 0; i < qms_.size(); ++i) {
+        target[i] = std::max(
+            1u, chunks * qms_[i].weight / total_weight);
+        assigned += target[i];
+    }
+    // Hand out any remainder round-robin (weights rarely divide 32).
+    for (std::size_t i = 0; assigned < chunks && !qms_.empty();
+         i = (i + 1) % qms_.size()) {
+        ++target[i];
+        ++assigned;
+    }
+    // If minimums overcommitted (many tiny VMs), trim the largest.
+    while (assigned > chunks) {
+        const auto it = std::max_element(target.begin(), target.end());
+        if (*it <= 1)
+            break;
+        --*it;
+        --assigned;
+    }
+
+    // Phase 1: donors shed tail chunks into the free pool.
+    for (std::size_t i = 0; i < qms_.size(); ++i) {
+        SubQueue &q = qms_[i].qm->queue();
+        while (q.rqMap().size() > target[i]) {
+            const int c = q.shedTailChunk();
+            if (c < 0)
+                break;
+            rq_.freeChunk(static_cast<unsigned>(c));
+        }
+    }
+    // Phase 2: takers grow from the free pool.
+    for (std::size_t i = 0; i < qms_.size(); ++i) {
+        SubQueue &q = qms_[i].qm->queue();
+        while (q.rqMap().size() < target[i]) {
+            const int c = rq_.allocChunk();
+            if (c < 0)
+                return; // pool exhausted; others already at target
+            if (!q.addChunk(static_cast<unsigned>(c))) {
+                rq_.freeChunk(static_cast<unsigned>(c));
+                break;
+            }
+        }
+    }
+}
+
+bool
+HardHarvestController::enqueue(std::uint32_t vm, std::uint64_t payload)
+{
+    QueueManager *qm = qmFor(vm);
+    if (!qm)
+        hh::sim::panic("HardHarvestController::enqueue: unknown VM ",
+                       vm);
+    return qm->queue().enqueue(payload);
+}
+
+std::optional<std::uint64_t>
+HardHarvestController::dequeue(std::uint32_t vm)
+{
+    QueueManager *qm = qmFor(vm);
+    if (!qm)
+        hh::sim::panic("HardHarvestController::dequeue: unknown VM ",
+                       vm);
+    return qm->queue().dequeue();
+}
+
+void
+HardHarvestController::markBlocked(std::uint32_t vm,
+                                   std::uint64_t payload)
+{
+    QueueManager *qm = qmFor(vm);
+    if (!qm)
+        hh::sim::panic("HardHarvestController::markBlocked: unknown "
+                       "VM ", vm);
+    qm->queue().markBlocked(payload);
+}
+
+void
+HardHarvestController::markReady(std::uint32_t vm, std::uint64_t payload)
+{
+    QueueManager *qm = qmFor(vm);
+    if (!qm)
+        hh::sim::panic("HardHarvestController::markReady: unknown VM ",
+                       vm);
+    qm->queue().markReady(payload);
+}
+
+void
+HardHarvestController::complete(std::uint32_t vm, std::uint64_t payload)
+{
+    QueueManager *qm = qmFor(vm);
+    if (!qm)
+        hh::sim::panic("HardHarvestController::complete: unknown VM ",
+                       vm);
+    qm->queue().complete(payload);
+}
+
+void
+HardHarvestController::preempt(std::uint32_t vm, std::uint64_t payload)
+{
+    QueueManager *qm = qmFor(vm);
+    if (!qm)
+        hh::sim::panic("HardHarvestController::preempt: unknown VM ",
+                       vm);
+    qm->queue().preempt(payload);
+}
+
+hh::sim::Cycles
+HardHarvestController::queueOpLatency() const
+{
+    return tree_.roundTrip() + cfg_.sramAccess;
+}
+
+hh::sim::Cycles
+HardHarvestController::notifyLatency() const
+{
+    return tree_.coreToController();
+}
+
+} // namespace hh::core

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The HardHarvest hardware controller (§4.1.2, Fig 9).
+ *
+ * A centralized per-processor module reached over the dedicated
+ * control tree. It owns the physical Request Queue and up to 16
+ * Queue Manager / VM State Register Set pairs. VM registration binds
+ * a QM and carves the RQ into per-VM subqueues proportionally to
+ * each VM's core count; arrivals and departures trigger chunk
+ * donation between subqueue tails (§4.1.2). Cores interact only with
+ * QMs (never with subqueues directly) through user-level dequeue /
+ * complete / blocked instructions whose latency is the control-tree
+ * round trip plus the SRAM access.
+ */
+
+#ifndef HH_CORE_CONTROLLER_H
+#define HH_CORE_CONTROLLER_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/queue_manager.h"
+#include "core/rq.h"
+#include "noc/control_tree.h"
+#include "sim/time.h"
+
+namespace hh::core {
+
+/**
+ * Controller construction parameters (Table 1 defaults).
+ */
+struct ControllerConfig
+{
+    unsigned rqChunks = 32;
+    unsigned entriesPerChunk = 64;
+    unsigned maxQms = 16;
+
+    /** Worst-case harvest-region flush+invalidate bound (cycles). */
+    hh::sim::Cycles flushBound = 1000;
+
+    /** Control-tree parameters (§4.1.8). */
+    unsigned treeFanout = 4;
+    hh::sim::Cycles treeHopLatency = 2;
+
+    /** One access to the dedicated RQ SRAM. */
+    hh::sim::Cycles sramAccess = 4;
+};
+
+/**
+ * The controller.
+ */
+class HardHarvestController
+{
+  public:
+    /**
+     * @param cfg      Configuration.
+     * @param numCores Cores attached to the control tree.
+     */
+    HardHarvestController(const ControllerConfig &cfg, unsigned numCores);
+
+    /** @name VM lifecycle @{ */
+
+    /**
+     * Register a VM: allocates a QM and gives the VM a share of the
+     * RQ proportional to @p weight (its core count), donating chunks
+     * from currently-active VMs if needed.
+     */
+    QueueManager &registerVm(std::uint32_t vmId, bool primary,
+                             unsigned weight);
+
+    /** Remove a VM; its chunks go to the remaining subqueues. */
+    void removeVm(std::uint32_t vmId);
+
+    /** QM in charge of a VM, or nullptr. */
+    QueueManager *qmFor(std::uint32_t vmId);
+    const QueueManager *qmFor(std::uint32_t vmId) const;
+
+    unsigned numVms() const
+    {
+        return static_cast<unsigned>(qms_.size());
+    }
+    /** @} */
+
+    /** @name Request path (§4.1.3) @{ */
+
+    /**
+     * Enqueue a ready request for @p vm.
+     * @return true if it landed in the hardware subqueue, false if
+     *         it spilled to the in-memory overflow subqueue.
+     */
+    bool enqueue(std::uint32_t vm, std::uint64_t payload);
+
+    /** Dequeue the oldest ready request of @p vm (FIFO). */
+    std::optional<std::uint64_t> dequeue(std::uint32_t vm);
+
+    void markBlocked(std::uint32_t vm, std::uint64_t payload);
+    void markReady(std::uint32_t vm, std::uint64_t payload);
+    void complete(std::uint32_t vm, std::uint64_t payload);
+    void preempt(std::uint32_t vm, std::uint64_t payload);
+    /** @} */
+
+    /** @name Latency model @{ */
+
+    /** Core-issued queue instruction (tree round trip + SRAM). */
+    hh::sim::Cycles queueOpLatency() const;
+
+    /** Controller-initiated core notification/interrupt (one way). */
+    hh::sim::Cycles notifyLatency() const;
+
+    /** Side-channel-safe harvest-region flush bound. */
+    hh::sim::Cycles flushBound() const { return cfg_.flushBound; }
+
+    const hh::noc::ControlTree &tree() const { return tree_; }
+    /** @} */
+
+    RequestQueue &rq() { return rq_; }
+    const ControllerConfig &config() const { return cfg_; }
+
+    /** Total weight of registered VMs. */
+    unsigned totalWeight() const;
+
+  private:
+    /**
+     * Re-proportion RQ chunks to subqueues according to VM weights:
+     * over-provisioned subqueues shed tail chunks, under-provisioned
+     * ones take them.
+     */
+    void rebalanceChunks();
+
+    struct Slot
+    {
+        std::unique_ptr<QueueManager> qm;
+        unsigned weight = 0;
+    };
+
+    ControllerConfig cfg_;
+    RequestQueue rq_;
+    hh::noc::ControlTree tree_;
+    std::vector<Slot> qms_;
+    unsigned next_qm_id_ = 0;
+};
+
+} // namespace hh::core
+
+#endif // HH_CORE_CONTROLLER_H

@@ -1,0 +1,73 @@
+#include "core/queue_manager.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace hh::core {
+
+QueueManager::QueueManager(unsigned id, std::uint32_t vmId, bool primary,
+                           RequestQueue &rq)
+    : id_(id), vm_(vmId), primary_(primary), queue_(rq)
+{
+}
+
+void
+QueueManager::bindCore(unsigned core)
+{
+    if (isBound(core))
+        hh::sim::panic("QueueManager: core ", core, " already bound");
+    cores_.push_back(core);
+}
+
+void
+QueueManager::unbindCore(unsigned core)
+{
+    const auto it = std::find(cores_.begin(), cores_.end(), core);
+    if (it == cores_.end())
+        hh::sim::panic("QueueManager: core ", core, " not bound");
+    cores_.erase(it);
+    on_loan_.erase(core);
+}
+
+bool
+QueueManager::isBound(unsigned core) const
+{
+    return std::find(cores_.begin(), cores_.end(), core) !=
+           cores_.end();
+}
+
+void
+QueueManager::noteLoan(unsigned core)
+{
+    if (!primary_)
+        hh::sim::panic("QueueManager: Harvest VMs do not lend cores");
+    if (!isBound(core))
+        hh::sim::panic("QueueManager: cannot lend unbound core ", core);
+    if (!on_loan_.insert(core).second)
+        hh::sim::panic("QueueManager: core ", core, " already on loan");
+}
+
+void
+QueueManager::noteReturn(unsigned core)
+{
+    if (on_loan_.erase(core) == 0)
+        hh::sim::panic("QueueManager: core ", core, " was not on loan");
+}
+
+bool
+QueueManager::isOnLoan(unsigned core) const
+{
+    return on_loan_.count(core) != 0;
+}
+
+int
+QueueManager::loanedCoreToReclaim() const
+{
+    if (on_loan_.empty())
+        return -1;
+    return static_cast<int>(
+        *std::min_element(on_loan_.begin(), on_loan_.end()));
+}
+
+} // namespace hh::core

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Hardware Queue Managers (§4.1.2-4.1.5).
+ *
+ * One QM per running VM. A QM owns the VM's request subqueue, its VM
+ * State Register Set and its HarvestMask, knows whether it manages a
+ * Primary or a Harvest VM and, if Primary, which of its bound cores
+ * are currently "on loan" executing requests of a Harvest VM. QMs
+ * operate decentralized (no global lock) on distinct subqueues.
+ */
+
+#ifndef HH_CORE_QUEUE_MANAGER_H
+#define HH_CORE_QUEUE_MANAGER_H
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/harvest_mask.h"
+#include "core/rq.h"
+#include "core/vm_state.h"
+
+namespace hh::core {
+
+/**
+ * One Queue Manager.
+ */
+class QueueManager
+{
+  public:
+    /**
+     * @param id       QM id within the controller (0..15).
+     * @param vmId     Managed VM.
+     * @param primary  True for Primary VMs.
+     * @param rq       Physical RQ chunks are drawn from.
+     */
+    QueueManager(unsigned id, std::uint32_t vmId, bool primary,
+                 RequestQueue &rq);
+
+    unsigned id() const { return id_; }
+    std::uint32_t vm() const { return vm_; }
+    bool isPrimary() const { return primary_; }
+
+    SubQueue &queue() { return queue_; }
+    const SubQueue &queue() const { return queue_; }
+
+    VmStateRegisterSet &vmState() { return vm_state_; }
+    HarvestMask &harvestMask() { return mask_; }
+    const HarvestMask &harvestMask() const { return mask_; }
+
+    /** @name Core binding (the MyManager relation) @{ */
+    void bindCore(unsigned core);
+    void unbindCore(unsigned core);
+    bool isBound(unsigned core) const;
+    const std::vector<unsigned> &boundCores() const { return cores_; }
+    /** @} */
+
+    /** @name Loan tracking (Primary QMs, §4.1.5) @{ */
+    void noteLoan(unsigned core);
+    void noteReturn(unsigned core);
+    bool isOnLoan(unsigned core) const;
+    unsigned loanedCount() const
+    {
+        return static_cast<unsigned>(on_loan_.size());
+    }
+    /** Any bound core currently lent to a Harvest VM? */
+    bool hasLoanedCore() const { return !on_loan_.empty(); }
+    /** One loaned core (lowest id) to interrupt for reclamation. */
+    int loanedCoreToReclaim() const;
+    /** @} */
+
+  private:
+    unsigned id_;
+    std::uint32_t vm_;
+    bool primary_;
+    SubQueue queue_;
+    VmStateRegisterSet vm_state_;
+    HarvestMask mask_;
+    std::vector<unsigned> cores_;
+    std::unordered_set<unsigned> on_loan_;
+};
+
+} // namespace hh::core
+
+#endif // HH_CORE_QUEUE_MANAGER_H

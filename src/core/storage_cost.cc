@@ -1,0 +1,35 @@
+#include "core/storage_cost.h"
+
+namespace hh::core {
+
+StorageCost
+computeStorageCost(const StorageCostParams &p)
+{
+    StorageCost c;
+
+    const double rq_bits =
+        static_cast<double>(p.rqEntries) * p.rqEntryBits;
+    c.rqKb = rq_bits / 8.0 / 1024.0;
+
+    const double per_qm_bytes = p.vmStateRegs * 8.0 + p.rqMapBytes +
+                                p.harvestMaskBytes;
+    c.qmKb = per_qm_bytes * p.numQms / 1024.0;
+
+    c.controllerKb = c.rqKb + c.qmKb;
+    c.controllerPerCoreKb = c.controllerKb / p.coresPerServer;
+
+    const double shared_bits_per_core =
+        static_cast<double>(p.l1dLines) + p.l2Lines + p.l1TlbEntries +
+        p.l2TlbEntries + p.extraSharedBits;
+    c.sharedBitsPerCoreKb = shared_bits_per_core / 8.0 / 1024.0;
+    c.sharedBitsServerKb = c.sharedBitsPerCoreKb * p.coresPerServer;
+
+    c.totalServerKb = c.controllerKb + c.sharedBitsServerKb;
+    c.areaOverheadPct =
+        c.totalServerKb * p.areaPerKb / p.multicoreAreaMm2 * 100.0;
+    c.powerOverheadPct =
+        c.totalServerKb * p.powerPerKb / p.multicorePowerW * 100.0;
+    return c;
+}
+
+} // namespace hh::core

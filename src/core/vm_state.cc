@@ -1,0 +1,23 @@
+#include "core/vm_state.h"
+
+#include "sim/log.h"
+
+namespace hh::core {
+
+std::uint64_t
+VmStateRegisterSet::read(unsigned idx) const
+{
+    if (idx >= kNumRegs)
+        hh::sim::panic("VmStateRegisterSet::read: bad index ", idx);
+    return regs_[idx];
+}
+
+void
+VmStateRegisterSet::write(unsigned idx, std::uint64_t value)
+{
+    if (idx >= kNumRegs)
+        hh::sim::panic("VmStateRegisterSet::write: bad index ", idx);
+    regs_[idx] = value;
+}
+
+} // namespace hh::core

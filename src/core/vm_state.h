@@ -1,0 +1,74 @@
+/**
+ * @file
+ * VM State Register Sets (§4.1.2).
+ *
+ * Each Queue Manager is paired with a register set holding the VM
+ * state shared by all threads of a VM — VMCS pointer, CR0, CR3, CR4,
+ * GDTR, LDTR, IDTR and general configuration — 16 registers of 8
+ * bytes each (Table 1, §6.8). When a core is re-assigned to a VM,
+ * the controller ships this set to the core so it can enter the VM
+ * without a hypervisor call.
+ */
+
+#ifndef HH_CORE_VM_STATE_H
+#define HH_CORE_VM_STATE_H
+
+#include <array>
+#include <cstdint>
+
+namespace hh::core {
+
+/**
+ * One VM State Register Set.
+ */
+class VmStateRegisterSet
+{
+  public:
+    static constexpr unsigned kNumRegs = 16;
+
+    /** Named architectural registers within the set. */
+    enum Reg : unsigned
+    {
+        VmcsPtr = 0,
+        Cr0 = 1,
+        Cr3 = 2,
+        Cr4 = 3,
+        Gdtr = 4,
+        Ldtr = 5,
+        Idtr = 6,
+        // 7..15 are implementation-defined configuration registers.
+    };
+
+    /** Read register @p idx. */
+    std::uint64_t read(unsigned idx) const;
+
+    /** Write register @p idx. */
+    void write(unsigned idx, std::uint64_t value);
+
+    /** Load a complete VM state image. */
+    void
+    load(const std::array<std::uint64_t, kNumRegs> &image)
+    {
+        regs_ = image;
+    }
+
+    /** Snapshot the full register set. */
+    const std::array<std::uint64_t, kNumRegs> &image() const
+    {
+        return regs_;
+    }
+
+    /** Storage in bytes (16 x 8 B = 128 B, §6.8). */
+    static constexpr std::uint64_t
+    storageBytes()
+    {
+        return kNumRegs * 8;
+    }
+
+  private:
+    std::array<std::uint64_t, kNumRegs> regs_{};
+};
+
+} // namespace hh::core
+
+#endif // HH_CORE_VM_STATE_H

@@ -1,0 +1,19 @@
+#include "cpu/core.h"
+
+namespace hh::cpu {
+
+Core::Core(unsigned id, const hh::cache::HierarchyConfig &cfg,
+           hh::cache::SetAssocArray *l3, hh::mem::Dram *dram)
+    : id_(id),
+      hier_(std::make_unique<hh::cache::CoreHierarchy>(cfg, l3, dram))
+{
+}
+
+void
+Core::setState(hh::sim::Cycles now, CoreState s)
+{
+    busy_.setBusy(now, s != CoreState::Idle);
+    state_ = s;
+}
+
+} // namespace hh::cpu

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Microservice request state as tracked by the scheduling layer.
+ */
+
+#ifndef HH_CPU_REQUEST_H
+#define HH_CPU_REQUEST_H
+
+#include <cstdint>
+
+#include "sim/time.h"
+#include "workload/service.h"
+
+namespace hh::cpu {
+
+/** Lifecycle of a request (§4.1.3: ready / running / blocked). */
+enum class RequestState
+{
+    Queued,   //!< In a request queue, ready to run.
+    Running,  //!< Executing on a core.
+    Blocked,  //!< Waiting on a synchronous backend RPC.
+    Done,     //!< Completed; latency recorded.
+};
+
+/**
+ * Where a request's end-to-end latency went (Fig 6's breakdown).
+ */
+struct LatencyBreakdown
+{
+    hh::sim::Cycles queueing = 0;   //!< Arrival -> first dispatch.
+    hh::sim::Cycles reassign = 0;   //!< Hypervisor/QM core moves.
+    hh::sim::Cycles flush = 0;      //!< Cache/TLB flush waits.
+    hh::sim::Cycles execution = 0;  //!< Compute + memory stalls.
+    hh::sim::Cycles io = 0;         //!< Blocked on backends.
+};
+
+/**
+ * One in-flight microservice invocation.
+ */
+struct Request
+{
+    std::uint64_t id = 0;
+    std::uint32_t vm = 0;              //!< Owning Primary VM id.
+    std::uint32_t serviceIndex = 0;    //!< Index into the service list.
+    RequestState state = RequestState::Queued;
+
+    hh::workload::InvocationPlan plan;
+    std::uint32_t nextSegment = 0;     //!< Segment to execute next.
+
+    hh::sim::Cycles arrival = 0;
+    hh::sim::Cycles readySince = 0;    //!< Last time it became ready.
+    hh::sim::Cycles completion = 0;
+
+    LatencyBreakdown breakdown;
+
+    /** True when every segment has executed. */
+    bool
+    finished() const
+    {
+        return nextSegment >= plan.segments.size();
+    }
+
+    /** End-to-end latency; valid once Done. */
+    hh::sim::Cycles
+    latency() const
+    {
+        return completion - arrival;
+    }
+};
+
+} // namespace hh::cpu
+
+#endif // HH_CPU_REQUEST_H

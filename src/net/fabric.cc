@@ -1,0 +1,21 @@
+#include "net/fabric.h"
+
+#include <cmath>
+
+namespace hh::net {
+
+hh::sim::Cycles
+Fabric::oneWay(std::uint32_t bytes) const
+{
+    const auto serialization = static_cast<hh::sim::Cycles>(
+        std::ceil(static_cast<double>(bytes) / cfg_.bytesPerCycle));
+    return cfg_.roundTrip / 2 + serialization;
+}
+
+hh::sim::Cycles
+Fabric::roundTrip(std::uint32_t bytes) const
+{
+    return 2 * oneWay(bytes);
+}
+
+} // namespace hh::net

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Inter-server network fabric (Table 1: 1 us round trip, 200 GB/s).
+ *
+ * Microservices on a server only talk to backends (Memcached, Redis,
+ * MongoDB) on dedicated servers; the fabric supplies the wire latency
+ * for those synchronous RPCs.
+ */
+
+#ifndef HH_NET_FABRIC_H
+#define HH_NET_FABRIC_H
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace hh::net {
+
+/** Fabric parameters. */
+struct FabricConfig
+{
+    /** Round-trip latency between servers. */
+    hh::sim::Cycles roundTrip = hh::sim::usToCycles(1.0);
+    /** Link bandwidth in bytes per cycle (200 GB/s at 3 GHz = 66.7). */
+    double bytesPerCycle = 66.7;
+};
+
+/**
+ * Latency model for cross-server messages.
+ */
+class Fabric
+{
+  public:
+    explicit Fabric(const FabricConfig &cfg = FabricConfig{})
+        : cfg_(cfg)
+    {}
+
+    /** One-way latency for a message of @p bytes. */
+    hh::sim::Cycles oneWay(std::uint32_t bytes) const;
+
+    /** Round-trip latency for a request/response of @p bytes each. */
+    hh::sim::Cycles roundTrip(std::uint32_t bytes) const;
+
+    const FabricConfig &config() const { return cfg_; }
+
+  private:
+    FabricConfig cfg_;
+};
+
+} // namespace hh::net
+
+#endif // HH_NET_FABRIC_H

@@ -1,0 +1,47 @@
+#include "net/nic.h"
+
+#include "cache/hierarchy.h"
+#include "sim/log.h"
+
+namespace hh::net {
+
+Nic::Nic(hh::sim::Simulator &sim, hh::sim::Cycles processing)
+    : sim_(sim), processing_(processing)
+{
+}
+
+void
+Nic::depositPayload(const Packet &pkt)
+{
+    if (!llc_)
+        return;
+    hh::cache::SetAssocArray *part = llc_(pkt.dstVm);
+    if (!part)
+        return;
+    // DDIO writes the payload lines into the VM's LLC partition. We
+    // key payload lines off the request id so the core's subsequent
+    // reads of the message hit in the LLC.
+    const std::uint32_t lines =
+        (pkt.payloadBytes + hh::cache::kLineBytes - 1) /
+        hh::cache::kLineBytes;
+    // Payload lines live in a dedicated key region per request.
+    const hh::cache::Addr base =
+        (hh::cache::Addr{0xDD10} << 48) | (pkt.requestId << 8);
+    for (std::uint32_t i = 0; i < lines; ++i) {
+        part->access(base + i, /*shared=*/false);
+        ++lines_deposited_;
+    }
+}
+
+void
+Nic::receive(Packet pkt)
+{
+    ++packets_;
+    pkt.arrival = sim_.now();
+    depositPayload(pkt);
+    if (!handler_)
+        hh::sim::panic("Nic: no handler registered");
+    sim_.schedule(processing_, [this, pkt] { handler_(pkt); });
+}
+
+} // namespace hh::net

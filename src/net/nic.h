@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Server NIC model with DDIO payload deposit.
+ *
+ * On packet arrival the NIC (1) deposits the message payload into the
+ * destination VM's LLC partition via DDIO and (2) looks up which
+ * scheduler (software queue or HardHarvest Queue Manager) serves the
+ * destination VM and hands it a descriptor (§4.1.3 path events 1-3).
+ * Both steps cost a fixed NIC processing latency.
+ */
+
+#ifndef HH_NET_NIC_H
+#define HH_NET_NIC_H
+
+#include <cstdint>
+#include <functional>
+
+#include "cache/set_assoc.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace hh::net {
+
+/**
+ * The per-server NIC.
+ */
+class Nic
+{
+  public:
+    /** Scheduler-side delivery callback. */
+    using Handler = std::function<void(const Packet &)>;
+    /** Lookup from VM id to that VM's LLC partition (may be null). */
+    using LlcLookup = std::function<hh::cache::SetAssocArray *(
+        std::uint32_t vm)>;
+
+    /**
+     * @param sim        Simulation driver.
+     * @param processing Per-packet NIC processing latency.
+     */
+    Nic(hh::sim::Simulator &sim,
+        hh::sim::Cycles processing = hh::sim::nsToCycles(100));
+
+    /** Register the scheduler delivery callback. */
+    void setHandler(Handler handler) { handler_ = std::move(handler); }
+
+    /** Register the DDIO LLC-partition lookup. */
+    void setLlcLookup(LlcLookup lookup) { llc_ = std::move(lookup); }
+
+    /**
+     * Accept a packet off the wire at the current simulated time.
+     * The handler runs after the NIC processing latency.
+     */
+    void receive(Packet pkt);
+
+    /** Packets accepted so far. */
+    std::uint64_t packetsReceived() const { return packets_; }
+
+    /** Payload lines DDIO-deposited so far. */
+    std::uint64_t linesDeposited() const { return lines_deposited_; }
+
+  private:
+    void depositPayload(const Packet &pkt);
+
+    hh::sim::Simulator &sim_;
+    hh::sim::Cycles processing_;
+    Handler handler_;
+    LlcLookup llc_;
+    std::uint64_t packets_ = 0;
+    std::uint64_t lines_deposited_ = 0;
+};
+
+} // namespace hh::net
+
+#endif // HH_NET_NIC_H

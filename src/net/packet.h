@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Network request packets as seen by the NIC.
+ *
+ * A microservice request arrives as a packet naming the destination
+ * VM (every VM has its own network address) plus the function to
+ * invoke and its input payload; the NIC deposits the payload into the
+ * LLC via DDIO and hands a descriptor to the scheduler (§4.1.3).
+ */
+
+#ifndef HH_NET_PACKET_H
+#define HH_NET_PACKET_H
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace hh::net {
+
+/** What a packet means to the scheduling layer. */
+enum class PacketKind
+{
+    NewRequest,  //!< A fresh microservice invocation.
+    IoResponse,  //!< Backend response unblocking an earlier request.
+};
+
+/**
+ * One inbound packet.
+ */
+struct Packet
+{
+    PacketKind kind = PacketKind::NewRequest;
+    std::uint32_t dstVm = 0;        //!< Destination VM id.
+    std::uint64_t requestId = 0;    //!< Request (or blocked-request) id.
+    std::uint32_t payloadBytes = 512; //!< Message payload size.
+    hh::sim::Cycles arrival = 0;    //!< Wire arrival time at the NIC.
+};
+
+} // namespace hh::net
+
+#endif // HH_NET_PACKET_H

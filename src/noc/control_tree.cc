@@ -1,0 +1,35 @@
+#include "noc/control_tree.h"
+
+#include "sim/log.h"
+
+namespace hh::noc {
+
+ControlTree::ControlTree(unsigned leaves, unsigned fanout,
+                         hh::sim::Cycles cyclesPerHop)
+    : leaves_(leaves), fanout_(fanout), hop_(cyclesPerHop)
+{
+    if (leaves == 0)
+        hh::sim::fatal("ControlTree: need at least one leaf");
+    if (fanout < 2)
+        hh::sim::fatal("ControlTree: fanout must be >= 2");
+    depth_ = 1;
+    unsigned reach = fanout_;
+    while (reach < leaves_) {
+        reach *= fanout_;
+        ++depth_;
+    }
+}
+
+hh::sim::Cycles
+ControlTree::coreToController() const
+{
+    return depth_ * hop_;
+}
+
+hh::sim::Cycles
+ControlTree::roundTrip() const
+{
+    return 2 * coreToController();
+}
+
+} // namespace hh::noc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The dedicated control network to the HardHarvest controller.
+ *
+ * Section 4.1.8: the controller is a centralized module reached over
+ * a special latency-optimized network with thin links and a tree
+ * topology, so control messages (dequeue, notify, interrupt) do not
+ * compete with workload traffic on the regular mesh.
+ */
+
+#ifndef HH_NOC_CONTROL_TREE_H
+#define HH_NOC_CONTROL_TREE_H
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace hh::noc {
+
+/**
+ * Balanced k-ary tree whose root is the HardHarvest controller and
+ * whose leaves are the cores.
+ */
+class ControlTree
+{
+  public:
+    /**
+     * @param leaves      Number of cores attached.
+     * @param fanout      Tree arity (>= 2).
+     * @param cyclesPerHop Latency per tree level.
+     */
+    explicit ControlTree(unsigned leaves, unsigned fanout = 4,
+                         hh::sim::Cycles cyclesPerHop = 2);
+
+    /** Tree depth (levels between a leaf and the root). */
+    unsigned depth() const { return depth_; }
+
+    /** One-way latency from any core to the controller. */
+    hh::sim::Cycles coreToController() const;
+
+    /** Round-trip latency core -> controller -> core. */
+    hh::sim::Cycles roundTrip() const;
+
+    unsigned leaves() const { return leaves_; }
+
+  private:
+    unsigned leaves_;
+    unsigned fanout_;
+    hh::sim::Cycles hop_;
+    unsigned depth_;
+};
+
+} // namespace hh::noc
+
+#endif // HH_NOC_CONTROL_TREE_H

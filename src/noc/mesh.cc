@@ -1,0 +1,42 @@
+#include "noc/mesh.h"
+
+#include <cstdlib>
+
+#include "sim/log.h"
+
+namespace hh::noc {
+
+Mesh2D::Mesh2D(unsigned width, unsigned height,
+               hh::sim::Cycles cyclesPerHop)
+    : width_(width), height_(height), hop_(cyclesPerHop)
+{
+    if (width == 0 || height == 0)
+        hh::sim::fatal("Mesh2D: dimensions must be positive");
+}
+
+unsigned
+Mesh2D::hops(unsigned from, unsigned to) const
+{
+    if (from >= nodes() || to >= nodes())
+        hh::sim::panic("Mesh2D::hops: node out of range");
+    const int fx = static_cast<int>(from % width_);
+    const int fy = static_cast<int>(from / width_);
+    const int tx = static_cast<int>(to % width_);
+    const int ty = static_cast<int>(to / width_);
+    return static_cast<unsigned>(std::abs(fx - tx) + std::abs(fy - ty));
+}
+
+hh::sim::Cycles
+Mesh2D::latency(unsigned from, unsigned to) const
+{
+    return hops(from, to) * hop_;
+}
+
+hh::sim::Cycles
+Mesh2D::latencyToCenter(unsigned from) const
+{
+    const unsigned center = (height_ / 2) * width_ + width_ / 2;
+    return latency(from, center);
+}
+
+} // namespace hh::noc

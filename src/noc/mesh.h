@@ -1,0 +1,62 @@
+/**
+ * @file
+ * 2D-mesh on-chip network latency model (Table 1: 5 cycles/hop).
+ *
+ * The regular NoC carries workload traffic (cache fills, the Request
+ * Context Memory transfers). We model latency as Manhattan hop count
+ * times per-hop cost; contention on the regular mesh is second-order
+ * for the evaluated effects and is not modelled.
+ */
+
+#ifndef HH_NOC_MESH_H
+#define HH_NOC_MESH_H
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace hh::noc {
+
+/**
+ * Rectangular mesh connecting cores (and one extra stop for the
+ * Request Context Memory / LLC slices).
+ */
+class Mesh2D
+{
+  public:
+    /**
+     * @param width       Columns.
+     * @param height      Rows; width*height nodes total.
+     * @param cyclesPerHop Per-hop router+link latency.
+     */
+    Mesh2D(unsigned width, unsigned height,
+           hh::sim::Cycles cyclesPerHop = 5);
+
+    /** Number of nodes. */
+    unsigned nodes() const { return width_ * height_; }
+
+    /** Manhattan hop count between two nodes. */
+    unsigned hops(unsigned from, unsigned to) const;
+
+    /** Latency between two nodes. */
+    hh::sim::Cycles latency(unsigned from, unsigned to) const;
+
+    /**
+     * Average latency from a node to the mesh centre (used for
+     * transfers to centrally placed shared resources).
+     */
+    hh::sim::Cycles latencyToCenter(unsigned from) const;
+
+    unsigned width() const { return width_; }
+    unsigned height() const { return height_; }
+    hh::sim::Cycles cyclesPerHop() const { return hop_; }
+
+  private:
+    unsigned width_;
+    unsigned height_;
+    hh::sim::Cycles hop_;
+};
+
+} // namespace hh::noc
+
+#endif // HH_NOC_MESH_H

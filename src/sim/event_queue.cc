@@ -1,0 +1,64 @@
+#include "sim/event_queue.h"
+
+#include "sim/log.h"
+
+namespace hh::sim {
+
+EventId
+EventQueue::schedule(Cycles when, Callback cb)
+{
+    const EventId id = next_id_++;
+    heap_.push(Entry{when, next_seq_++, id});
+    callbacks_.emplace(id, std::move(cb));
+    ++live_;
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    const auto it = callbacks_.find(id);
+    if (it == callbacks_.end())
+        return false;
+    callbacks_.erase(it);
+    cancelled_.insert(id);
+    --live_;
+    return true;
+}
+
+void
+EventQueue::skipDead() const
+{
+    while (!heap_.empty() &&
+           cancelled_.find(heap_.top().id) != cancelled_.end()) {
+        cancelled_.erase(heap_.top().id);
+        heap_.pop();
+    }
+}
+
+Cycles
+EventQueue::nextTime() const
+{
+    skipDead();
+    if (heap_.empty())
+        panic("EventQueue::nextTime on empty queue");
+    return heap_.top().when;
+}
+
+EventQueue::Callback
+EventQueue::pop(Cycles &when)
+{
+    skipDead();
+    if (heap_.empty())
+        panic("EventQueue::pop on empty queue");
+    const Entry top = heap_.top();
+    heap_.pop();
+    when = top.when;
+    const auto it = callbacks_.find(top.id);
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    --live_;
+    return cb;
+}
+
+} // namespace hh::sim

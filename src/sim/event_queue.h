@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The discrete-event queue at the heart of the simulator.
+ *
+ * Events are arbitrary callbacks ordered by (time, insertion sequence);
+ * ties are broken FIFO so the simulation is deterministic. Events can
+ * be cancelled by id (used for timers that are superseded, e.g. a
+ * polling core that gets a hardware notification first).
+ */
+
+#ifndef HH_SIM_EVENT_QUEUE_H
+#define HH_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hh::sim {
+
+/** Opaque handle identifying a scheduled event. */
+using EventId = std::uint64_t;
+
+/** Sentinel id returned for operations that cannot be cancelled. */
+inline constexpr EventId kInvalidEventId = 0;
+
+/**
+ * Min-heap of timestamped callbacks with stable FIFO tie-breaking.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * Schedule a callback at an absolute time.
+     *
+     * @param when Absolute simulated time; must be >= the time of the
+     *             most recently popped event.
+     * @param cb   The callback to run.
+     * @return An id that can be passed to cancel().
+     */
+    EventId schedule(Cycles when, Callback cb);
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * @return true if the event existed and had not yet run.
+     */
+    bool cancel(EventId id);
+
+    /** True when no live events remain. */
+    bool empty() const { return live_ == 0; }
+
+    /** Number of live (non-cancelled, not-yet-run) events. */
+    std::size_t size() const { return live_; }
+
+    /** Time of the earliest live event. @pre !empty(). */
+    Cycles nextTime() const;
+
+    /**
+     * Pop and return the earliest live event.
+     *
+     * @param[out] when Receives the event's timestamp.
+     * @return The callback to execute.
+     * @pre !empty().
+     */
+    Callback pop(Cycles &when);
+
+  private:
+    struct Entry
+    {
+        Cycles when;
+        std::uint64_t seq;
+        EventId id;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Drop cancelled entries from the top of the heap. */
+    void skipDead() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    mutable std::unordered_set<EventId> cancelled_;
+    std::unordered_map<EventId, Callback> callbacks_;
+    std::uint64_t next_seq_ = 0;
+    EventId next_id_ = 1;
+    std::size_t live_ = 0;
+};
+
+} // namespace hh::sim
+
+#endif // HH_SIM_EVENT_QUEUE_H

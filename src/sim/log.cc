@@ -1,0 +1,61 @@
+#include "sim/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hh::sim {
+
+namespace {
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+bool g_error_reported = false;
+
+} // namespace
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+}
+
+bool
+errorReported()
+{
+    return g_error_reported;
+}
+
+namespace detail {
+
+void
+panicImpl(const std::string &msg)
+{
+    g_error_reported = true;
+    logMessage(LogLevel::Panic, msg);
+    // Throwing (rather than abort()) lets unit tests assert on panics
+    // while still terminating the simulation by default.
+    throw std::logic_error("panic: " + msg);
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    g_error_reported = true;
+    logMessage(LogLevel::Fatal, msg);
+    throw std::runtime_error("fatal: " + msg);
+}
+
+} // namespace detail
+
+} // namespace hh::sim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers, in the spirit of
+ * gem5's logging.hh.
+ *
+ * - panic():  an internal simulator bug; aborts.
+ * - fatal():  a user/configuration error; exits with status 1.
+ * - warn()/inform(): non-fatal status messages on stderr.
+ *
+ * All take printf-like formatting via std::format-free variadic
+ * streams to keep the dependency footprint small.
+ */
+
+#ifndef HH_SIM_LOG_H
+#define HH_SIM_LOG_H
+
+#include <sstream>
+#include <string>
+
+namespace hh::sim {
+
+/** Severity labels used by the logging backend. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Emit one log line to stderr.
+ *
+ * @param level Severity of the message.
+ * @param msg   Pre-formatted message body.
+ */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** True once panic() or fatal() has been invoked (used by tests). */
+bool errorReported();
+
+namespace detail {
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Terminate on an internal simulator bug. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Terminate on a user/configuration error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Warn about suspicious but non-fatal conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    logMessage(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    logMessage(LogLevel::Inform,
+               detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace hh::sim
+
+#endif // HH_SIM_LOG_H

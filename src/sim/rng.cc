@@ -1,0 +1,160 @@
+#include "sim/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace hh::sim {
+
+namespace {
+
+/** SplitMix64 step, used only for seeding. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+{
+    std::uint64_t x = seed ^ (stream * 0xD2B74407B1CE6E93ULL + 1);
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    if (n == 0)
+        panic("Rng::uniformInt: n must be > 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = max() - max() % n;
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % n;
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::uniformInt: lo > hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniformInt(span));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+double
+Rng::normal()
+{
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double theta)
+{
+    if (n == 0)
+        panic("ZipfSampler: n must be > 0");
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+        cdf_[i] = sum;
+    }
+    for (auto &v : cdf_)
+        v /= sum;
+}
+
+std::size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - cdf_.begin(),
+                                 static_cast<std::ptrdiff_t>(cdf_.size()) -
+                                     1));
+}
+
+} // namespace hh::sim

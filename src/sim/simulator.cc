@@ -1,0 +1,52 @@
+#include "sim/simulator.h"
+
+#include "sim/log.h"
+
+namespace hh::sim {
+
+EventId
+Simulator::schedule(Cycles delay, Callback cb)
+{
+    return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+EventId
+Simulator::scheduleAt(Cycles when, Callback cb)
+{
+    if (when < now_)
+        panic("Simulator::scheduleAt into the past (when=", when,
+              " now=", now_, ")");
+    return queue_.schedule(when, std::move(cb));
+}
+
+bool
+Simulator::cancel(EventId id)
+{
+    return queue_.cancel(id);
+}
+
+std::uint64_t
+Simulator::run(Cycles horizon)
+{
+    std::uint64_t n = 0;
+    while (!queue_.empty() && queue_.nextTime() <= horizon) {
+        step();
+        ++n;
+    }
+    return n;
+}
+
+bool
+Simulator::step()
+{
+    if (queue_.empty())
+        return false;
+    Cycles when = 0;
+    auto cb = queue_.pop(when);
+    now_ = when;
+    ++executed_;
+    cb();
+    return true;
+}
+
+} // namespace hh::sim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The simulation driver: owns the clock and the event queue.
+ *
+ * Components schedule callbacks relative to now(); run() executes
+ * events in timestamp order until a horizon or until the queue
+ * drains. The simulator is strictly single-threaded; determinism
+ * comes from the FIFO tie-breaking in EventQueue plus per-component
+ * RNG streams.
+ */
+
+#ifndef HH_SIM_SIMULATOR_H
+#define HH_SIM_SIMULATOR_H
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace hh::sim {
+
+/**
+ * Discrete-event simulation driver.
+ */
+class Simulator
+{
+  public:
+    using Callback = EventQueue::Callback;
+
+    /** Current simulated time in cycles. */
+    Cycles now() const { return now_; }
+
+    /**
+     * Schedule a callback @p delay cycles in the future.
+     *
+     * @return An id usable with cancel().
+     */
+    EventId schedule(Cycles delay, Callback cb);
+
+    /** Schedule a callback at an absolute time (>= now()). */
+    EventId scheduleAt(Cycles when, Callback cb);
+
+    /** Cancel a pending event; returns false if it already ran. */
+    bool cancel(EventId id);
+
+    /**
+     * Run until the queue drains or simulated time would exceed
+     * @p horizon. Events stamped exactly at the horizon still run.
+     *
+     * @return Number of events executed.
+     */
+    std::uint64_t run(Cycles horizon = ~Cycles{0});
+
+    /**
+     * Execute the single earliest event.
+     *
+     * @return false if the queue was empty.
+     */
+    bool step();
+
+    /** True when no events remain. */
+    bool idle() const { return queue_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pendingEvents() const { return queue_.size(); }
+
+    /** Total events executed since construction. */
+    std::uint64_t executedEvents() const { return executed_; }
+
+  private:
+    EventQueue queue_;
+    Cycles now_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace hh::sim
+
+#endif // HH_SIM_SIMULATOR_H

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Simulated-time definitions for the HardHarvest simulator.
+ *
+ * All simulated time is kept in integer cycles of the server clock
+ * (3 GHz, matching Table 1 of the paper). Helpers convert between
+ * cycles and wall-clock units. Using integers keeps event ordering
+ * exact and the simulation deterministic.
+ */
+
+#ifndef HH_SIM_TIME_H
+#define HH_SIM_TIME_H
+
+#include <cstdint>
+
+namespace hh::sim {
+
+/** Simulated time, in clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Clock frequency of every simulated core, in Hz (Table 1: 3 GHz). */
+inline constexpr std::uint64_t kClockHz = 3'000'000'000ULL;
+
+/** Cycles per microsecond at the simulated clock. */
+inline constexpr Cycles kCyclesPerUs = kClockHz / 1'000'000ULL;
+
+/** Cycles per nanosecond at the simulated clock (3 cycles/ns). */
+inline constexpr Cycles kCyclesPerNs = kClockHz / 1'000'000'000ULL;
+
+/** Convert nanoseconds to cycles. */
+constexpr Cycles
+nsToCycles(double ns)
+{
+    return static_cast<Cycles>(ns * static_cast<double>(kCyclesPerNs));
+}
+
+/** Convert microseconds to cycles. */
+constexpr Cycles
+usToCycles(double us)
+{
+    return static_cast<Cycles>(us * static_cast<double>(kCyclesPerUs));
+}
+
+/** Convert milliseconds to cycles. */
+constexpr Cycles
+msToCycles(double ms)
+{
+    return usToCycles(ms * 1000.0);
+}
+
+/** Convert seconds to cycles. */
+constexpr Cycles
+secToCycles(double sec)
+{
+    return static_cast<Cycles>(sec * static_cast<double>(kClockHz));
+}
+
+/** Convert cycles to nanoseconds. */
+constexpr double
+cyclesToNs(Cycles c)
+{
+    return static_cast<double>(c) / static_cast<double>(kCyclesPerNs);
+}
+
+/** Convert cycles to microseconds. */
+constexpr double
+cyclesToUs(Cycles c)
+{
+    return static_cast<double>(c) / static_cast<double>(kCyclesPerUs);
+}
+
+/** Convert cycles to milliseconds. */
+constexpr double
+cyclesToMs(Cycles c)
+{
+    return cyclesToUs(c) / 1000.0;
+}
+
+/** Convert cycles to seconds. */
+constexpr double
+cyclesToSec(Cycles c)
+{
+    return static_cast<double>(c) / static_cast<double>(kClockHz);
+}
+
+} // namespace hh::sim
+
+#endif // HH_SIM_TIME_H

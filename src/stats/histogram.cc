@@ -1,0 +1,92 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace hh::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    if (buckets == 0)
+        hh::sim::panic("Histogram: buckets must be > 0");
+    if (hi <= lo)
+        hh::sim::panic("Histogram: hi must exceed lo");
+}
+
+void
+Histogram::add(double v)
+{
+    auto idx = static_cast<std::ptrdiff_t>((v - lo_) / width_);
+    idx = std::clamp<std::ptrdiff_t>(
+        idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+std::uint64_t
+Histogram::bucketCount(std::size_t i) const
+{
+    if (i >= counts_.size())
+        hh::sim::panic("Histogram::bucketCount: index out of range");
+    return counts_[i];
+}
+
+double
+Histogram::bucketLow(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::bucketFraction(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0;
+    return static_cast<double>(bucketCount(i)) /
+           static_cast<double>(total_);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+}
+
+LogHistogram::LogHistogram(std::size_t buckets) : counts_(buckets, 0)
+{
+    if (buckets == 0)
+        hh::sim::panic("LogHistogram: buckets must be > 0");
+}
+
+void
+LogHistogram::add(double v)
+{
+    std::size_t idx = 0;
+    if (v >= 2.0)
+        idx = static_cast<std::size_t>(std::floor(std::log2(v)));
+    idx = std::min(idx, counts_.size() - 1);
+    ++counts_[idx];
+    ++total_;
+}
+
+std::uint64_t
+LogHistogram::bucketCount(std::size_t i) const
+{
+    if (i >= counts_.size())
+        hh::sim::panic("LogHistogram::bucketCount: index out of range");
+    return counts_[i];
+}
+
+void
+LogHistogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+}
+
+} // namespace hh::stats

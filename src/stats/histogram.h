@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fixed-width and logarithmic histograms for simulation statistics.
+ */
+
+#ifndef HH_STATS_HISTOGRAM_H
+#define HH_STATS_HISTOGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hh::stats {
+
+/**
+ * Fixed-width histogram over [lo, hi); out-of-range samples are
+ * clamped into the first/last bucket.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo      Lower bound of the histogram range.
+     * @param hi      Upper bound (exclusive); must be > lo.
+     * @param buckets Number of equal-width buckets; must be > 0.
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    /** Add one sample. */
+    void add(double v);
+
+    /** Count in bucket @p i. */
+    std::uint64_t bucketCount(std::size_t i) const;
+
+    /** Inclusive lower edge of bucket @p i. */
+    double bucketLow(std::size_t i) const;
+
+    std::size_t numBuckets() const { return counts_.size(); }
+    std::uint64_t totalCount() const { return total_; }
+
+    /** Fraction of samples in bucket @p i; 0 when empty. */
+    double bucketFraction(std::size_t i) const;
+
+    void reset();
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Power-of-two logarithmic histogram for latency-like values that
+ * span several orders of magnitude.
+ */
+class LogHistogram
+{
+  public:
+    /**
+     * @param buckets Number of buckets; bucket i covers
+     *                [2^i, 2^(i+1)) with bucket 0 catching [0, 2).
+     */
+    explicit LogHistogram(std::size_t buckets = 48);
+
+    void add(double v);
+
+    std::uint64_t bucketCount(std::size_t i) const;
+    std::size_t numBuckets() const { return counts_.size(); }
+    std::uint64_t totalCount() const { return total_; }
+
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace hh::stats
+
+#endif // HH_STATS_HISTOGRAM_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Exact-percentile latency recorder.
+ *
+ * The paper reports P50 (median) and P99 tail latency over 100 K
+ * invocations; at these sample counts storing every sample and sorting
+ * on demand is both exact and cheap, so that is what we do.
+ */
+
+#ifndef HH_STATS_PERCENTILE_H
+#define HH_STATS_PERCENTILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hh::stats {
+
+/**
+ * Stores raw latency samples and answers exact percentile queries.
+ */
+class LatencyRecorder
+{
+  public:
+    explicit LatencyRecorder(std::string name = "")
+        : name_(std::move(name))
+    {}
+
+    /** Record one latency sample (any unit; callers pick one). */
+    void record(double v);
+
+    /** Number of recorded samples. */
+    std::size_t count() const { return samples_.size(); }
+
+    /** Arithmetic mean of all samples; 0 when empty. */
+    double mean() const;
+
+    /**
+     * Exact percentile by nearest-rank interpolation.
+     *
+     * @param p Percentile in [0, 100].
+     * @return 0 when no samples were recorded.
+     */
+    double percentile(double p) const;
+
+    /** Convenience accessors. */
+    double p50() const { return percentile(50.0); }
+    double p95() const { return percentile(95.0); }
+    double p99() const { return percentile(99.0); }
+    double max() const;
+
+    /** Drop all samples (e.g. after warmup). */
+    void reset();
+
+    const std::string &name() const { return name_; }
+
+    /** Read-only access to the raw samples (tests, CDF dumps). */
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    /** Sort the sample buffer if new samples arrived since last sort. */
+    void ensureSorted() const;
+
+    std::string name_;
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/**
+ * Compute the empirical CDF of a sample set at given x positions.
+ *
+ * @param samples Any sample collection (will be copied and sorted).
+ * @param xs      Query positions.
+ * @return        For each x, the fraction of samples <= x.
+ */
+std::vector<double> empiricalCdf(std::vector<double> samples,
+                                 const std::vector<double> &xs);
+
+} // namespace hh::stats
+
+#endif // HH_STATS_PERCENTILE_H

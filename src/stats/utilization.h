@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Time-weighted utilization tracking.
+ *
+ * Core utilization in the paper (Fig 2, Fig 3, Section 6.7) is the
+ * fraction of wall-clock time a core spends executing work. The
+ * tracker integrates busy time over simulated time, and can emit a
+ * windowed time series like the 30-second-granularity Alibaba traces.
+ */
+
+#ifndef HH_STATS_UTILIZATION_H
+#define HH_STATS_UTILIZATION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hh::stats {
+
+/**
+ * Integrates the busy time of one resource (e.g. a core).
+ */
+class UtilizationTracker
+{
+  public:
+    /**
+     * Mark the resource busy/idle at simulated time @p now.
+     * Repeated calls with the same state are harmless.
+     */
+    void setBusy(hh::sim::Cycles now, bool busy);
+
+    /**
+     * Utilization over [start, now]: busyCycles / elapsed.
+     *
+     * @param now Current simulated time (>= last transition).
+     */
+    double utilization(hh::sim::Cycles now) const;
+
+    /** Total busy cycles accumulated up to @p now. */
+    hh::sim::Cycles busyCycles(hh::sim::Cycles now) const;
+
+    /** Discard history and restart the measurement at @p now. */
+    void reset(hh::sim::Cycles now);
+
+  private:
+    hh::sim::Cycles start_ = 0;
+    hh::sim::Cycles accumulated_ = 0;
+    hh::sim::Cycles last_change_ = 0;
+    bool busy_ = false;
+};
+
+/**
+ * Windowed utilization series: average utilization per fixed window,
+ * mirroring the 30 s granularity of the Alibaba traces.
+ */
+class UtilizationSeries
+{
+  public:
+    /** @param window Window length in cycles (> 0). */
+    explicit UtilizationSeries(hh::sim::Cycles window);
+
+    /**
+     * Add @p busy cycles of work ending at time @p now. The busy
+     * interval is attributed to the window containing @p now.
+     */
+    void addBusy(hh::sim::Cycles now, hh::sim::Cycles busy);
+
+    /**
+     * Finalize and return per-window utilizations in [0, 1] covering
+     * [0, end).
+     */
+    std::vector<double> series(hh::sim::Cycles end) const;
+
+  private:
+    hh::sim::Cycles window_;
+    std::vector<hh::sim::Cycles> busy_per_window_;
+};
+
+} // namespace hh::stats
+
+#endif // HH_STATS_UTILIZATION_H

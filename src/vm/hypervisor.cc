@@ -1,0 +1,61 @@
+#include "vm/hypervisor.h"
+
+#include <algorithm>
+
+namespace hh::vm {
+
+using hh::sim::Cycles;
+
+Hypervisor::Hypervisor(const SoftwareCosts &costs, std::uint64_t seed)
+    : costs_(costs), rng_(seed, 0x4B56ULL)
+{
+}
+
+Cycles
+Hypervisor::detachAttachCost(ReassignImpl impl) const
+{
+    return impl == ReassignImpl::Kvm ? costs_.kvmDetachAttach
+                                     : costs_.optDetachAttach;
+}
+
+Cycles
+Hypervisor::vmContextLoadCost(ReassignImpl impl) const
+{
+    return impl == ReassignImpl::Kvm ? costs_.kvmVmContextLoad
+                                     : costs_.optVmContextLoad;
+}
+
+Cycles
+Hypervisor::reassignCost(ReassignImpl impl) const
+{
+    return detachAttachCost(impl) + vmContextLoadCost(impl);
+}
+
+Cycles
+Hypervisor::wbinvdCost()
+{
+    const auto span =
+        static_cast<double>(costs_.wbinvdMax - costs_.wbinvdMin);
+    return costs_.wbinvdMin +
+           static_cast<Cycles>(rng_.uniform() * span) +
+           costs_.wbinvdFence;
+}
+
+Cycles
+Hypervisor::acquireReassignLock(Cycles now, Cycles hold)
+{
+    const Cycles start = std::max(now, lock_free_at_);
+    lock_free_at_ = start + hold;
+    return start - now;
+}
+
+Cycles
+Hypervisor::pollDelay()
+{
+    // Idle cores poll periodically; a ready request waits on average
+    // half the interval, exponentially distributed for variability.
+    return static_cast<Cycles>(rng_.exponential(
+        static_cast<double>(costs_.pollInterval) / 2.0));
+}
+
+} // namespace hh::vm

@@ -1,0 +1,46 @@
+#include "vm/sw_harvest.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hh::vm {
+
+SmartHarvestPolicy::SmartHarvestPolicy(const SwHarvestConfig &cfg)
+    : cfg_(cfg)
+{
+}
+
+void
+SmartHarvestPolicy::observe(std::uint32_t vm, double busyCores)
+{
+    auto [it, inserted] = ewma_.try_emplace(vm, busyCores);
+    if (!inserted) {
+        it->second = cfg_.ewmaAlpha * busyCores +
+                     (1.0 - cfg_.ewmaAlpha) * it->second;
+    }
+}
+
+double
+SmartHarvestPolicy::predictedBusy(std::uint32_t vm) const
+{
+    const auto it = ewma_.find(vm);
+    return it == ewma_.end() ? 0.0 : it->second;
+}
+
+unsigned
+SmartHarvestPolicy::lendableCores(std::uint32_t vm, unsigned boundCores,
+                                  unsigned idleCores,
+                                  unsigned idleLongEnough) const
+{
+    // Predicted spare capacity beyond what is busy now plus the
+    // emergency buffer.
+    const double predicted = predictedBusy(vm);
+    const auto needed = static_cast<unsigned>(std::ceil(predicted)) +
+                        cfg_.emergencyBuffer;
+    if (boundCores <= needed)
+        return 0;
+    const unsigned spare = boundCores - needed;
+    return std::min({spare, idleCores, idleLongEnough});
+}
+
+} // namespace hh::vm

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * SmartHarvest-like software core-harvesting policy.
+ *
+ * Mirrors the state-of-the-art software scheme (§2.2, §3): a
+ * user-space agent periodically monitors per-Primary-VM core
+ * utilization, predicts near-future demand from recent history, and
+ * lends predicted-idle cores to the Harvest VM. Because software
+ * reassignment is slow, the agent keeps an emergency buffer of idle
+ * cores per VM that is never lent, so a Primary burst can be absorbed
+ * without waiting for a reassignment. Reclaim is on demand.
+ */
+
+#ifndef HH_VM_SW_HARVEST_H
+#define HH_VM_SW_HARVEST_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hh::vm {
+
+/**
+ * Policy parameters.
+ */
+struct SwHarvestConfig
+{
+    /** Agent wake-up period. */
+    hh::sim::Cycles agentPeriod = hh::sim::usToCycles(100);
+
+    /** Idle cores per Primary VM never lent out. Software
+     *  reassignment is slow, so SmartHarvest keeps stand-by cores
+     *  that Primary bursts can claim without a reassignment. */
+    unsigned emergencyBuffer = 2;
+
+    /** A core must have been idle this long before it is lendable. */
+    hh::sim::Cycles idleThreshold = hh::sim::usToCycles(50);
+
+    /** EWMA smoothing for the per-VM busy-core prediction. */
+    double ewmaAlpha = 0.3;
+
+    /**
+     * Minimum quiet time after a reclaim before the agent lends a
+     * core of that VM again. Scaled up with the reassignment cost
+     * by the server (thrash avoidance; the paper's motivation setup
+     * observes only 11-36 KVM reassignments per second).
+     */
+    hh::sim::Cycles reclaimBackoff = hh::sim::usToCycles(500);
+};
+
+/**
+ * The lending decision logic of the software agent.
+ */
+class SmartHarvestPolicy
+{
+  public:
+    explicit SmartHarvestPolicy(const SwHarvestConfig &cfg = {});
+
+    /**
+     * Record a utilization observation for a VM at an agent tick.
+     *
+     * @param vm        Primary VM id.
+     * @param busyCores Cores of the VM currently executing requests.
+     */
+    void observe(std::uint32_t vm, double busyCores);
+
+    /**
+     * How many cores of @p vm the agent may lend right now.
+     *
+     * @param vm         Primary VM id.
+     * @param boundCores Cores bound to the VM.
+     * @param idleCores  Of those, currently idle (not lent, not busy).
+     * @param idleLongEnough Idle cores past the idle threshold.
+     */
+    unsigned lendableCores(std::uint32_t vm, unsigned boundCores,
+                           unsigned idleCores,
+                           unsigned idleLongEnough) const;
+
+    /** Predicted busy cores for a VM (EWMA of observations). */
+    double predictedBusy(std::uint32_t vm) const;
+
+    const SwHarvestConfig &config() const { return cfg_; }
+
+  private:
+    SwHarvestConfig cfg_;
+    std::unordered_map<std::uint32_t, double> ewma_;
+};
+
+} // namespace hh::vm
+
+#endif // HH_VM_SW_HARVEST_H

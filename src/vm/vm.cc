@@ -1,0 +1,37 @@
+#include "vm/vm.h"
+
+#include "sim/log.h"
+
+namespace hh::vm {
+
+std::vector<VmDesc>
+defaultServerLayout(unsigned totalCores, unsigned primaryVms,
+                    unsigned coresPerPrimary)
+{
+    if (primaryVms * coresPerPrimary >= totalCores)
+        hh::sim::fatal("defaultServerLayout: no cores left for the "
+                       "Harvest VM");
+    std::vector<VmDesc> vms;
+    unsigned next_core = 0;
+    for (unsigned i = 0; i < primaryVms; ++i) {
+        VmDesc vm;
+        vm.id = i;
+        vm.type = VmType::Primary;
+        vm.name = "primary" + std::to_string(i);
+        vm.asid = vm.id;
+        for (unsigned c = 0; c < coresPerPrimary; ++c)
+            vm.cores.push_back(next_core++);
+        vms.push_back(std::move(vm));
+    }
+    VmDesc hv;
+    hv.id = primaryVms;
+    hv.type = VmType::Harvest;
+    hv.name = "harvest";
+    hv.asid = hv.id;
+    while (next_core < totalCores)
+        hv.cores.push_back(next_core++);
+    vms.push_back(std::move(hv));
+    return vms;
+}
+
+} // namespace hh::vm

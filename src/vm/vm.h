@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Virtual machine descriptors.
+ *
+ * Two VM types (§2.2): Primary VMs run latency-critical microservices
+ * with a fixed core allocation; the Harvest VM runs batch work,
+ * starts with its own cores, and grows by harvesting idle Primary
+ * cores. Harvest VMs are configured with as many vCPUs as the server
+ * has pCPUs (§4.1.5) so they can expand without software changes.
+ */
+
+#ifndef HH_VM_VM_H
+#define HH_VM_VM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hh::vm {
+
+/** VM flavor. */
+enum class VmType
+{
+    Primary,
+    Harvest,
+};
+
+/**
+ * Static description of one VM on a server.
+ */
+struct VmDesc
+{
+    std::uint32_t id = 0;
+    VmType type = VmType::Primary;
+    std::string name;
+
+    /** Core ids bound to this VM at creation. */
+    std::vector<unsigned> cores;
+
+    /** Address-space id for cache keys (== id by convention). */
+    std::uint32_t asid = 0;
+
+    bool isPrimary() const { return type == VmType::Primary; }
+};
+
+/**
+ * Build the evaluation's per-server VM layout (§5): 8 Primary VMs of
+ * 4 cores each plus one Harvest VM with the remaining 4 cores.
+ *
+ * @param totalCores    Cores in the server (36).
+ * @param primaryVms    Number of Primary VMs (8).
+ * @param coresPerPrimary Cores per Primary VM (4).
+ */
+std::vector<VmDesc> defaultServerLayout(unsigned totalCores = 36,
+                                        unsigned primaryVms = 8,
+                                        unsigned coresPerPrimary = 4);
+
+} // namespace hh::vm
+
+#endif // HH_VM_VM_H

@@ -1,0 +1,65 @@
+#include "workload/address_space.h"
+
+#include "sim/log.h"
+
+namespace hh::workload {
+
+using hh::cache::Addr;
+
+namespace {
+
+/** Region selectors within an address space's page-id namespace. */
+constexpr Addr kCodeRegion = 0;
+constexpr Addr kSharedRegion = 1;
+constexpr Addr kPrivateRegion = 2;
+
+/** Bits reserved for the page index within a region. */
+constexpr unsigned kPageBits = 40;
+constexpr unsigned kRegionBits = 2;
+
+} // namespace
+
+AddressSpace::AddressSpace(std::uint32_t asid, std::uint32_t codePages,
+                           std::uint32_t sharedDataPages)
+    : asid_(asid), code_pages_(codePages), shared_pages_(sharedDataPages)
+{
+    if (codePages == 0)
+        hh::sim::fatal("AddressSpace: services need at least one code "
+                       "page");
+}
+
+Addr
+AddressSpace::base() const
+{
+    return static_cast<Addr>(asid_) << (kPageBits + kRegionBits);
+}
+
+Addr
+AddressSpace::codePage(std::uint32_t i) const
+{
+    if (i >= code_pages_)
+        hh::sim::panic("AddressSpace::codePage out of range");
+    return base() | (kCodeRegion << kPageBits) | i;
+}
+
+Addr
+AddressSpace::sharedDataPage(std::uint32_t i) const
+{
+    if (i >= shared_pages_)
+        hh::sim::panic("AddressSpace::sharedDataPage out of range");
+    return base() | (kSharedRegion << kPageBits) | i;
+}
+
+std::vector<Addr>
+AddressSpace::allocPrivatePages(std::uint32_t n)
+{
+    std::vector<Addr> pages;
+    pages.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        pages.push_back(base() | (kPrivateRegion << kPageBits) |
+                        next_private_++);
+    }
+    return pages;
+}
+
+} // namespace hh::workload

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Page-level address-space model for microservices.
+ *
+ * Section 4.2.2 distinguishes *shared* pages (code, libraries,
+ * read-only inputs, data allocated before the framework starts
+ * serving) from *private* pages (allocated by an individual
+ * invocation). Shared pages persist across invocations of the same
+ * service and are what the non-harvest region is meant to retain;
+ * private pages are invocation-local and never reused.
+ *
+ * Page ids are globally unique: the address-space id occupies the
+ * top bits so pages of different VMs can never alias in the caches.
+ */
+
+#ifndef HH_WORKLOAD_ADDRESS_SPACE_H
+#define HH_WORKLOAD_ADDRESS_SPACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/config.h"
+
+namespace hh::workload {
+
+/**
+ * The paged memory image of one service (or batch application).
+ */
+class AddressSpace
+{
+  public:
+    /**
+     * @param asid            Address-space id (unique per VM/service).
+     * @param codePages       Number of code pages (always Shared).
+     * @param sharedDataPages Number of shared data pages.
+     */
+    AddressSpace(std::uint32_t asid, std::uint32_t codePages,
+                 std::uint32_t sharedDataPages);
+
+    /** Global page id of code page @p i. */
+    hh::cache::Addr codePage(std::uint32_t i) const;
+
+    /** Global page id of shared data page @p i. */
+    hh::cache::Addr sharedDataPage(std::uint32_t i) const;
+
+    /**
+     * Allocate @p n fresh private pages for one invocation. Ids are
+     * never recycled, modelling pages whose contents are not reused
+     * across invocations.
+     */
+    std::vector<hh::cache::Addr> allocPrivatePages(std::uint32_t n);
+
+    std::uint32_t codePageCount() const { return code_pages_; }
+    std::uint32_t sharedDataPageCount() const { return shared_pages_; }
+    std::uint32_t asid() const { return asid_; }
+
+    /** Total private pages ever allocated (tests, footprint stats). */
+    std::uint64_t privatePagesAllocated() const { return next_private_; }
+
+  private:
+    hh::cache::Addr base() const;
+
+    std::uint32_t asid_;
+    std::uint32_t code_pages_;
+    std::uint32_t shared_pages_;
+    std::uint64_t next_private_ = 0;
+};
+
+} // namespace hh::workload
+
+#endif // HH_WORKLOAD_ADDRESS_SPACE_H

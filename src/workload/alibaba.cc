@@ -1,0 +1,79 @@
+#include "workload/alibaba.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hh::workload {
+
+namespace {
+
+/**
+ * Lognormal sigma for average utilization. Together with the
+ * burst-factor range below it reproduces both anchors: the median of
+ * the averages is exp(mu) = 16.1%, and the 90th percentile of the
+ * maxima lands near 40.7%.
+ */
+constexpr double kAvgSigma = 0.30;
+constexpr double kBurstFactorLo = 1.3;
+constexpr double kBurstFactorHi = 2.0;
+
+} // namespace
+
+AlibabaTrace::AlibabaTrace(std::uint64_t seed)
+    : rng_(seed, 0xA11BABAULL), mu_(std::log(kAlibabaMedianAvgUtil)),
+      sigma_(kAvgSigma)
+{
+}
+
+double
+AlibabaTrace::drawAvgUtil()
+{
+    return std::clamp(rng_.lognormal(mu_, sigma_), 0.01, 0.95);
+}
+
+std::vector<InstanceUtilization>
+AlibabaTrace::instances(std::size_t n)
+{
+    std::vector<InstanceUtilization> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        InstanceUtilization u;
+        u.avgUtil = drawAvgUtil();
+        const double k = rng_.uniform(kBurstFactorLo, kBurstFactorHi);
+        u.maxUtil = std::min(1.0, u.avgUtil * k);
+        u.minUtil = u.avgUtil * rng_.uniform(0.1, 0.5);
+        out.push_back(u);
+    }
+    return out;
+}
+
+std::vector<double>
+AlibabaTrace::utilizationSeries(double seconds, double windowSec)
+{
+    const auto n = static_cast<std::size_t>(seconds / windowSec);
+    std::vector<double> out;
+    out.reserve(n);
+
+    const double base = drawAvgUtil();
+    bool in_burst = false;
+    double edge = rng_.exponential(30.0); // mean 30 s between bursts
+    double t = 0.0;
+    for (std::size_t i = 0; i < n; ++i, t += windowSec) {
+        while (t >= edge) {
+            if (in_burst) {
+                in_burst = false;
+                edge += rng_.exponential(30.0);
+            } else {
+                in_burst = true;
+                edge += rng_.exponential(8.0); // mean 8 s bursts
+            }
+        }
+        double u = base * rng_.uniform(0.7, 1.3);
+        if (in_burst)
+            u = std::min(1.0, base * rng_.uniform(3.0, 5.0));
+        out.push_back(std::clamp(u, 0.0, 1.0));
+    }
+    return out;
+}
+
+} // namespace hh::workload

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Synthetic Alibaba-like microservice utilization traces.
+ *
+ * The paper characterizes harvesting opportunity with Alibaba's
+ * production traces: 30-second-granularity time series of average /
+ * maximum / minimum core utilization per microservice instance, with
+ * two published anchors (§1, §3):
+ *   - 50% of instances have average core utilization below 16.1%,
+ *   - 90% of instances have maximum core utilization below 40.7%.
+ *
+ * We do not have the proprietary trace files, so this module
+ * synthesizes statistically matching instances: per-instance average
+ * utilization is drawn from a lognormal fitted to the anchors, and
+ * each instance's time series is a bursty on/off modulation around
+ * its average (Fig 3's shape). The synthesizer also exports the
+ * burst parameters used to drive the open-loop load generator so the
+ * full-system experiments see the same load dynamics.
+ */
+
+#ifndef HH_WORKLOAD_ALIBABA_H
+#define HH_WORKLOAD_ALIBABA_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace hh::workload {
+
+/** Published CDF anchors from the paper. */
+inline constexpr double kAlibabaMedianAvgUtil = 0.161;
+inline constexpr double kAlibabaP90MaxUtil = 0.407;
+
+/** Summary statistics of one synthesized instance. */
+struct InstanceUtilization
+{
+    double avgUtil = 0;
+    double maxUtil = 0;
+    double minUtil = 0;
+};
+
+/**
+ * Generator of Alibaba-like utilization distributions and series.
+ */
+class AlibabaTrace
+{
+  public:
+    explicit AlibabaTrace(std::uint64_t seed = 42);
+
+    /**
+     * Synthesize summary stats for @p n instances (Fig 2's CDF).
+     */
+    std::vector<InstanceUtilization> instances(std::size_t n);
+
+    /**
+     * Synthesize one instance's utilization time series (Fig 3).
+     *
+     * @param seconds  Length of the series in (simulated) seconds.
+     * @param windowSec Measurement granularity (the traces use 30 s;
+     *                  Fig 3 plots finer detail, default 5 s).
+     * @return Utilization in [0, 1] per window.
+     */
+    std::vector<double> utilizationSeries(double seconds,
+                                          double windowSec = 5.0);
+
+    /**
+     * Draw a per-instance average utilization from the fitted
+     * distribution.
+     */
+    double drawAvgUtil();
+
+  private:
+    hh::sim::Rng rng_;
+    double mu_;    //!< Lognormal mu of avg utilization.
+    double sigma_; //!< Lognormal sigma of avg utilization.
+};
+
+} // namespace hh::workload
+
+#endif // HH_WORKLOAD_ALIBABA_H

@@ -1,0 +1,45 @@
+#include "workload/loadgen.h"
+
+#include "sim/log.h"
+
+namespace hh::workload {
+
+LoadGenerator::LoadGenerator(double baseRps, const BurstConfig &burst,
+                             std::uint64_t seed, std::uint64_t stream)
+    : base_rps_(baseRps), burst_(burst), rng_(seed, 0x10ADULL + stream)
+{
+    if (baseRps <= 0)
+        hh::sim::fatal("LoadGenerator: rate must be positive");
+    if (burst_.enabled) {
+        burst_edge_sec_ = rng_.exponential(burst_.meanInterArrivalSec);
+    }
+}
+
+void
+LoadGenerator::advanceBurstState(double t_sec)
+{
+    if (!burst_.enabled)
+        return;
+    while (t_sec >= burst_edge_sec_) {
+        if (in_burst_) {
+            in_burst_ = false;
+            burst_edge_sec_ +=
+                rng_.exponential(burst_.meanInterArrivalSec);
+        } else {
+            in_burst_ = true;
+            burst_edge_sec_ += rng_.exponential(burst_.meanDurationSec);
+        }
+    }
+}
+
+hh::sim::Cycles
+LoadGenerator::next()
+{
+    advanceBurstState(clock_sec_);
+    const double rate =
+        base_rps_ * (in_burst_ ? burst_.multiplier : 1.0);
+    clock_sec_ += rng_.exponential(1.0 / rate);
+    return hh::sim::secToCycles(clock_sec_);
+}
+
+} // namespace hh::workload

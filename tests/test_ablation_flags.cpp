@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Integration tests for the ablation flags behind Figures 12/13/15:
+ * each hardware feature must remove the software cost it replaces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/experiment.h"
+
+using namespace hh::cluster;
+
+namespace {
+
+SystemConfig
+base()
+{
+    SystemConfig cfg = makeSystem(SystemKind::HarvestBlock);
+    cfg.requestsPerVm = 60;
+    cfg.accessSampling = 32;
+    cfg.seed = 13;
+    return cfg;
+}
+
+double
+sumReassignMs(const ServerResults &r)
+{
+    double s = 0;
+    for (const auto &svc : r.services)
+        s += svc.reassignMs;
+    return s;
+}
+
+double
+sumFlushMs(const ServerResults &r)
+{
+    double s = 0;
+    for (const auto &svc : r.services)
+        s += svc.flushMs;
+    return s;
+}
+
+} // namespace
+
+TEST(Ablation, HwSchedRemovesHypervisorCost)
+{
+    auto cfg = base();
+    const auto sw = runServer(cfg, "BFS", 13);
+    cfg.hwSched = true;
+    const auto hw = runServer(cfg, "BFS", 13);
+    EXPECT_LT(sumReassignMs(hw), sumReassignMs(sw) / 5.0);
+}
+
+TEST(Ablation, PartitioningRemovesCriticalPathFlush)
+{
+    auto cfg = base();
+    cfg.hwSched = true;
+    const auto full_flush = runServer(cfg, "BFS", 13);
+    cfg.partitioning = true;
+    const auto part = runServer(cfg, "BFS", 13);
+    // With partitioning, reclamation flushes happen in the
+    // background: the charged flush time collapses.
+    EXPECT_LT(sumFlushMs(part), sumFlushMs(full_flush) / 2.0);
+}
+
+TEST(Ablation, EachStepNeverIncreasesReassignOrFlushCharges)
+{
+    auto cfg = base();
+    double prev_overhead = 1e18;
+    const auto step = [&](auto mutate) {
+        mutate(cfg);
+        const auto r = runServer(cfg, "BFS", 13);
+        const double overhead = sumReassignMs(r) + sumFlushMs(r);
+        EXPECT_LE(overhead, prev_overhead * 1.10);
+        prev_overhead = overhead;
+    };
+    step([](SystemConfig &) {});
+    step([](SystemConfig &c) { c.hwSched = true; });
+    step([](SystemConfig &c) { c.hwQueue = true; });
+    step([](SystemConfig &c) { c.hwCtxtSwitch = true; });
+    step([](SystemConfig &c) { c.partitioning = true; });
+    step([](SystemConfig &c) { c.efficientFlush = true; });
+    step([](SystemConfig &c) {
+        c.repl = hh::cache::ReplKind::HardHarvest;
+    });
+}
+
+TEST(Ablation, HwQueueLowersQueueComponent)
+{
+    auto cfg = makeSystem(SystemKind::NoHarvest);
+    cfg.requestsPerVm = 60;
+    cfg.accessSampling = 32;
+    cfg.hwSched = true; // isolate the queue-op term
+    const auto sw = runServer(cfg, "BFS", 13);
+    cfg.hwQueue = true;
+    const auto hw = runServer(cfg, "BFS", 13);
+    double sw_q = 0;
+    double hw_q = 0;
+    for (std::size_t i = 0; i < sw.services.size(); ++i) {
+        sw_q += sw.services[i].queueMs;
+        hw_q += hw.services[i].queueMs;
+    }
+    EXPECT_LT(hw_q, sw_q);
+}
+
+TEST(Ablation, FlagsAreIndependentOfKindLabel)
+{
+    // A HarvestBlock config with every hardware flag on behaves like
+    // HardHarvest-Block (same loans mechanism, tiny overheads).
+    auto cfg = base();
+    cfg.hwSched = true;
+    cfg.hwQueue = true;
+    cfg.hwCtxtSwitch = true;
+    cfg.partitioning = true;
+    cfg.efficientFlush = true;
+    cfg.repl = hh::cache::ReplKind::HardHarvest;
+    const auto res = runServer(cfg, "BFS", 13);
+    auto hh = makeSystem(SystemKind::HardHarvestBlock);
+    hh.requestsPerVm = 60;
+    hh.accessSampling = 32;
+    const auto ref = runServer(hh, "BFS", 13);
+    EXPECT_EQ(res.coreLoans, ref.coreLoans);
+    EXPECT_EQ(res.coreReclaims, ref.coreReclaims);
+}

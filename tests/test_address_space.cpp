@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Unit tests for the page-level address-space model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/address_space.h"
+
+using hh::cache::Addr;
+using hh::workload::AddressSpace;
+
+TEST(AddressSpace, RegionsAreDisjoint)
+{
+    AddressSpace s(1, 4, 4);
+    std::set<Addr> pages;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        pages.insert(s.codePage(i));
+        pages.insert(s.sharedDataPage(i));
+    }
+    for (Addr p : s.allocPrivatePages(4))
+        pages.insert(p);
+    EXPECT_EQ(pages.size(), 12u);
+}
+
+TEST(AddressSpace, DifferentAsidsNeverAlias)
+{
+    AddressSpace a(1, 8, 8);
+    AddressSpace b(2, 8, 8);
+    std::set<Addr> pages;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        pages.insert(a.codePage(i));
+        pages.insert(b.codePage(i));
+        pages.insert(a.sharedDataPage(i));
+        pages.insert(b.sharedDataPage(i));
+    }
+    EXPECT_EQ(pages.size(), 32u);
+}
+
+TEST(AddressSpace, PrivatePagesNeverRecycled)
+{
+    AddressSpace s(1, 1, 1);
+    const auto first = s.allocPrivatePages(3);
+    const auto second = s.allocPrivatePages(3);
+    std::set<Addr> all(first.begin(), first.end());
+    all.insert(second.begin(), second.end());
+    EXPECT_EQ(all.size(), 6u);
+    EXPECT_EQ(s.privatePagesAllocated(), 6u);
+}
+
+TEST(AddressSpace, OutOfRangePanics)
+{
+    AddressSpace s(1, 2, 2);
+    EXPECT_THROW(s.codePage(2), std::logic_error);
+    EXPECT_THROW(s.sharedDataPage(2), std::logic_error);
+}
+
+TEST(AddressSpace, NoCodePagesFatal)
+{
+    EXPECT_THROW(AddressSpace(1, 0, 4), std::runtime_error);
+}
+
+TEST(AddressSpace, CountsExposed)
+{
+    AddressSpace s(9, 3, 5);
+    EXPECT_EQ(s.codePageCount(), 3u);
+    EXPECT_EQ(s.sharedDataPageCount(), 5u);
+    EXPECT_EQ(s.asid(), 9u);
+}

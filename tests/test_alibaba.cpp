@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests that the synthetic Alibaba trace reproduces the published
+ * utilization anchors (§1, §3, Fig 2, Fig 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/alibaba.h"
+
+using hh::workload::AlibabaTrace;
+
+TEST(Alibaba, MedianAverageUtilizationAnchor)
+{
+    AlibabaTrace t(42);
+    auto v = t.instances(20001);
+    std::vector<double> avg;
+    for (const auto &u : v)
+        avg.push_back(u.avgUtil);
+    std::sort(avg.begin(), avg.end());
+    // Paper: 50% of instances below 16.1% average utilization.
+    EXPECT_NEAR(avg[avg.size() / 2], 0.161, 0.02);
+}
+
+TEST(Alibaba, P90MaxUtilizationAnchor)
+{
+    AlibabaTrace t(42);
+    auto v = t.instances(20000);
+    std::vector<double> mx;
+    for (const auto &u : v)
+        mx.push_back(u.maxUtil);
+    std::sort(mx.begin(), mx.end());
+    // Paper: 90% of instances below 40.7% maximum utilization.
+    const double p90 = mx[static_cast<std::size_t>(0.9 * mx.size())];
+    EXPECT_GT(p90, 0.30);
+    EXPECT_LT(p90, 0.50);
+}
+
+TEST(Alibaba, InstanceInvariants)
+{
+    AlibabaTrace t(7);
+    for (const auto &u : t.instances(2000)) {
+        EXPECT_GT(u.avgUtil, 0.0);
+        EXPECT_LE(u.avgUtil, 1.0);
+        EXPECT_GE(u.maxUtil, u.avgUtil);
+        EXPECT_LE(u.maxUtil, 1.0);
+        EXPECT_LE(u.minUtil, u.avgUtil);
+        EXPECT_GE(u.minUtil, 0.0);
+    }
+}
+
+TEST(Alibaba, SeriesWithinBoundsAndBursty)
+{
+    AlibabaTrace t(3);
+    const auto s = t.utilizationSeries(500.0, 5.0);
+    ASSERT_EQ(s.size(), 100u);
+    double lo = 1.0;
+    double hi = 0.0;
+    for (double v : s) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    // Fig 3 shape: long low-utilization stretches with spikes.
+    EXPECT_GT(hi, 2.0 * lo);
+}
+
+TEST(Alibaba, Deterministic)
+{
+    AlibabaTrace a(5);
+    AlibabaTrace b(5);
+    const auto va = a.instances(100);
+    const auto vb = b.instances(100);
+    for (std::size_t i = 0; i < va.size(); ++i)
+        EXPECT_DOUBLE_EQ(va[i].avgUtil, vb[i].avgUtil);
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the batch (Harvest VM) workload models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/batch.h"
+
+using namespace hh::workload;
+
+TEST(BatchCatalog, HasTheEightApplications)
+{
+    const auto v = batchApplications();
+    ASSERT_EQ(v.size(), 8u);
+    const std::set<std::string> expected{
+        "BFS",     "CC",        "DC",     "PRank",
+        "LRTrain", "RndFTrain", "Hadoop", "MUMmer"};
+    std::set<std::string> got;
+    for (const auto &b : v)
+        got.insert(b.name);
+    EXPECT_EQ(got, expected);
+}
+
+TEST(BatchCatalog, ByNameFindsAndRejects)
+{
+    EXPECT_EQ(batchByName("PRank").name, "PRank");
+    EXPECT_THROW(batchByName("Quake"), std::runtime_error);
+}
+
+TEST(BatchCatalog, RndFTrainIsMostMemoryIntensive)
+{
+    // §6.6: memory-intensive apps (RndFTrain) gain least from
+    // harvested cores; we encode that as the largest footprint with
+    // the flattest page popularity.
+    const auto rf = batchByName("RndFTrain");
+    for (const auto &b : batchApplications()) {
+        EXPECT_LE(b.dataPages, rf.dataPages) << b.name;
+        EXPECT_GE(b.zipfTheta, rf.zipfTheta) << b.name;
+    }
+}
+
+TEST(BatchTask, PlansWithinVariabilityBand)
+{
+    BatchWorkload wl(batchByName("BFS"), 10, 42);
+    const auto spec = wl.spec();
+    for (int i = 0; i < 200; ++i) {
+        const auto t = wl.planTask();
+        const double us = hh::sim::cyclesToUs(t.compute);
+        EXPECT_GE(us, spec.taskComputeUs * 0.84);
+        EXPECT_LE(us, spec.taskComputeUs * 1.16);
+        EXPECT_EQ(t.accesses, spec.taskAccesses);
+    }
+}
+
+TEST(BatchAccess, PagesWithinFootprint)
+{
+    BatchWorkload wl(batchByName("Hadoop"), 10, 42);
+    for (int i = 0; i < 5000; ++i) {
+        const auto a = wl.nextAccess();
+        EXPECT_LT(a.line, hh::cache::kLinesPerPage);
+        EXPECT_TRUE(a.shared); // batch state persists across tasks
+    }
+}
+
+TEST(BatchAccess, InstructionFractionRoughlyMatches)
+{
+    BatchWorkload wl(batchByName("CC"), 10, 42);
+    int instr = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        instr += wl.nextAccess().isInstr ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(instr) / n, wl.spec().instrFrac,
+                0.02);
+}
+
+TEST(BatchWorkload, Deterministic)
+{
+    BatchWorkload a(batchByName("MUMmer"), 10, 42);
+    BatchWorkload b(batchByName("MUMmer"), 10, 42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.planTask().compute, b.planTask().compute);
+        EXPECT_EQ(a.nextAccess().page, b.nextAccess().page);
+    }
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests for the Request Context Memory cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/context_memory.h"
+
+using hh::core::RequestContextMemory;
+using hh::noc::Mesh2D;
+
+TEST(ContextMemory, CostsAreTensOfNanoseconds)
+{
+    Mesh2D mesh(6, 6, 5);
+    RequestContextMemory m(mesh);
+    // §4.1.1: with hardware context switching, a re-assignment
+    // takes a few 10s of ns.
+    for (unsigned c = 0; c < 36; ++c) {
+        const auto cost = m.saveCost(c) + m.restoreCost(c);
+        EXPECT_GT(cost, 0u);
+        EXPECT_LT(hh::sim::cyclesToNs(cost), 100.0);
+    }
+}
+
+TEST(ContextMemory, FartherCoresPayMore)
+{
+    Mesh2D mesh(6, 6, 5);
+    RequestContextMemory m(mesh);
+    // Node 14 is adjacent to the centre (21); node 0 is the corner.
+    EXPECT_GT(m.saveCost(0), m.saveCost(14));
+}
+
+TEST(ContextMemory, SaveEqualsRestore)
+{
+    Mesh2D mesh(6, 6, 5);
+    RequestContextMemory m(mesh);
+    EXPECT_EQ(m.saveCost(3), m.restoreCost(3));
+}
+
+TEST(ContextMemory, OccupancyTracking)
+{
+    Mesh2D mesh(4, 4);
+    RequestContextMemory m(mesh);
+    m.store(1);
+    m.store(2);
+    EXPECT_TRUE(m.contains(1));
+    EXPECT_EQ(m.occupancy(), 2u);
+    m.release(1);
+    EXPECT_FALSE(m.contains(1));
+    EXPECT_EQ(m.occupancy(), 1u);
+    EXPECT_EQ(m.peakOccupancy(), 2u);
+}
+
+TEST(ContextMemory, ReleaseUnknownPanics)
+{
+    Mesh2D mesh(4, 4);
+    RequestContextMemory m(mesh);
+    EXPECT_THROW(m.release(42), std::logic_error);
+}
+
+TEST(ContextMemory, BandwidthValidation)
+{
+    Mesh2D mesh(4, 4);
+    EXPECT_THROW(RequestContextMemory(mesh, 1024, 0.0),
+                 std::runtime_error);
+}
+
+TEST(ContextMemory, LargerContextCostsMore)
+{
+    Mesh2D mesh(6, 6);
+    RequestContextMemory small(mesh, 256);
+    RequestContextMemory large(mesh, 4096);
+    EXPECT_GT(large.saveCost(0), small.saveCost(0));
+}

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the HardHarvest controller: VM registration, chunk
+ * proportioning/donation, the request path and latency model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+
+using hh::core::ControllerConfig;
+using hh::core::HardHarvestController;
+
+namespace {
+
+HardHarvestController
+makeController(unsigned cores = 36)
+{
+    return HardHarvestController(ControllerConfig{}, cores);
+}
+
+} // namespace
+
+TEST(Controller, SingleVmGetsWholeRq)
+{
+    auto c = makeController();
+    auto &qm = c.registerVm(0, true, 4);
+    EXPECT_EQ(qm.queue().rqMap().size(), 32u);
+    EXPECT_EQ(qm.queue().capacity(), 2048u);
+}
+
+TEST(Controller, ProportionalSplitByWeight)
+{
+    auto c = makeController();
+    c.registerVm(0, true, 4);
+    c.registerVm(1, true, 4);
+    c.registerVm(2, false, 8);
+    // Weights 4:4:8 over 32 chunks -> 8:8:16.
+    EXPECT_EQ(c.qmFor(0)->queue().rqMap().size(), 8u);
+    EXPECT_EQ(c.qmFor(1)->queue().rqMap().size(), 8u);
+    EXPECT_EQ(c.qmFor(2)->queue().rqMap().size(), 16u);
+    EXPECT_EQ(c.rq().freeChunks(), 0u);
+}
+
+TEST(Controller, PaperLayoutSplit)
+{
+    // 8 Primary VMs x 4 cores + 1 Harvest VM x 4 cores: equal
+    // weights, 32 chunks -> at least 3 each, remainder spread.
+    auto c = makeController();
+    for (std::uint32_t vm = 0; vm < 9; ++vm)
+        c.registerVm(vm, vm < 8, 4);
+    unsigned total = 0;
+    for (std::uint32_t vm = 0; vm < 9; ++vm) {
+        const auto n = c.qmFor(vm)->queue().rqMap().size();
+        EXPECT_GE(n, 3u);
+        EXPECT_LE(n, 4u);
+        total += static_cast<unsigned>(n);
+    }
+    EXPECT_EQ(total, 32u);
+}
+
+TEST(Controller, NewVmTriggersDonation)
+{
+    auto c = makeController();
+    c.registerVm(0, true, 4);
+    ASSERT_EQ(c.qmFor(0)->queue().rqMap().size(), 32u);
+    c.registerVm(1, true, 4);
+    // VM0 donated half its chunks from its subqueue tail.
+    EXPECT_EQ(c.qmFor(0)->queue().rqMap().size(), 16u);
+    EXPECT_EQ(c.qmFor(1)->queue().rqMap().size(), 16u);
+}
+
+TEST(Controller, DonationSpillsToOverflow)
+{
+    auto c = makeController();
+    auto &qm0 = c.registerVm(0, true, 4);
+    // Fill the whole RQ with requests for VM0.
+    for (std::uint64_t i = 0; i < 2048; ++i)
+        EXPECT_TRUE(c.enqueue(0, i));
+    c.registerVm(1, true, 4);
+    // Half the requests no longer fit in hardware.
+    EXPECT_EQ(qm0.queue().capacity(), 1024u);
+    EXPECT_EQ(qm0.queue().occupancy(), 1024u);
+    EXPECT_EQ(qm0.queue().overflowSize(), 1024u);
+}
+
+TEST(Controller, RemovalRedistributesChunks)
+{
+    auto c = makeController();
+    c.registerVm(0, true, 4);
+    c.registerVm(1, true, 4);
+    c.removeVm(1);
+    EXPECT_EQ(c.qmFor(0)->queue().rqMap().size(), 32u);
+    EXPECT_EQ(c.qmFor(1), nullptr);
+    EXPECT_EQ(c.numVms(), 1u);
+}
+
+TEST(Controller, DuplicateRegistrationPanics)
+{
+    auto c = makeController();
+    c.registerVm(0, true, 4);
+    EXPECT_THROW(c.registerVm(0, true, 4), std::logic_error);
+}
+
+TEST(Controller, RemoveUnknownPanics)
+{
+    auto c = makeController();
+    EXPECT_THROW(c.removeVm(3), std::logic_error);
+}
+
+TEST(Controller, ZeroWeightFatal)
+{
+    auto c = makeController();
+    EXPECT_THROW(c.registerVm(0, true, 0), std::runtime_error);
+}
+
+TEST(Controller, QmLimitEnforced)
+{
+    ControllerConfig cfg;
+    cfg.maxQms = 2;
+    HardHarvestController c(cfg, 8);
+    c.registerVm(0, true, 1);
+    c.registerVm(1, true, 1);
+    EXPECT_THROW(c.registerVm(2, true, 1), std::runtime_error);
+}
+
+TEST(Controller, RequestPathEndToEnd)
+{
+    auto c = makeController();
+    c.registerVm(0, true, 4);
+    EXPECT_TRUE(c.enqueue(0, 101));
+    EXPECT_TRUE(c.enqueue(0, 102));
+    const auto r = c.dequeue(0);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, 101u);
+    c.markBlocked(0, 101);
+    c.markReady(0, 101);
+    const auto again = c.dequeue(0);
+    EXPECT_EQ(*again, 101u); // unblocked resumes before 102
+    c.complete(0, 101);
+    const auto next = c.dequeue(0);
+    EXPECT_EQ(*next, 102u);
+    c.preempt(0, 102);
+    EXPECT_EQ(*c.dequeue(0), 102u);
+}
+
+TEST(Controller, UnknownVmRequestPathPanics)
+{
+    auto c = makeController();
+    EXPECT_THROW(c.enqueue(9, 1), std::logic_error);
+    EXPECT_THROW(c.dequeue(9), std::logic_error);
+    EXPECT_THROW(c.markBlocked(9, 1), std::logic_error);
+    EXPECT_THROW(c.markReady(9, 1), std::logic_error);
+    EXPECT_THROW(c.complete(9, 1), std::logic_error);
+    EXPECT_THROW(c.preempt(9, 1), std::logic_error);
+}
+
+TEST(Controller, LatenciesAreNanosecondScale)
+{
+    auto c = makeController();
+    // §4.1.1/4.1.8: queue operations cost a control-tree round trip
+    // plus an SRAM access; far below software microseconds.
+    EXPECT_GT(c.queueOpLatency(), 0u);
+    EXPECT_LT(c.queueOpLatency(), hh::sim::usToCycles(0.5));
+    EXPECT_GT(c.notifyLatency(), 0u);
+    EXPECT_LT(c.notifyLatency(), c.queueOpLatency());
+    EXPECT_EQ(c.flushBound(), 1000u);
+}
+
+TEST(Controller, TotalWeightTracksVms)
+{
+    auto c = makeController();
+    c.registerVm(0, true, 4);
+    c.registerVm(1, false, 8);
+    EXPECT_EQ(c.totalWeight(), 12u);
+    c.removeVm(0);
+    EXPECT_EQ(c.totalWeight(), 8u);
+}

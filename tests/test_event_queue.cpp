@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+using hh::sim::Cycles;
+using hh::sim::EventQueue;
+
+TEST(EventQueue, StartsEmpty)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    Cycles t = 0;
+    while (!q.empty())
+        q.pop(t)();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(t, 30u);
+}
+
+TEST(EventQueue, FifoTieBreakAtSameTime)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    Cycles t = 0;
+    while (!q.empty())
+        q.pop(t)();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.schedule(50, [] {});
+    EXPECT_EQ(q.nextTime(), 50u);
+}
+
+TEST(EventQueue, CancelRemovesEvent)
+{
+    EventQueue q;
+    bool ran = false;
+    const auto id = q.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails)
+{
+    EventQueue q;
+    const auto id = q.schedule(10, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterPopFails)
+{
+    EventQueue q;
+    const auto id = q.schedule(10, [] {});
+    Cycles t = 0;
+    q.pop(t);
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelMiddleEventSkipsIt)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(1, [&] { order.push_back(1); });
+    const auto id = q.schedule(2, [&] { order.push_back(2); });
+    q.schedule(3, [&] { order.push_back(3); });
+    q.cancel(id);
+    Cycles t = 0;
+    while (!q.empty())
+        q.pop(t)();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents)
+{
+    EventQueue q;
+    const auto a = q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    EXPECT_EQ(q.size(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.size(), 1u);
+    Cycles t = 0;
+    q.pop(t);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledHead)
+{
+    EventQueue q;
+    const auto id = q.schedule(5, [] {});
+    q.schedule(9, [] {});
+    q.cancel(id);
+    EXPECT_EQ(q.nextTime(), 9u);
+}
+
+TEST(EventQueue, PopOnEmptyPanics)
+{
+    EventQueue q;
+    Cycles t = 0;
+    EXPECT_THROW(q.pop(t), std::logic_error);
+}
+
+TEST(EventQueue, NextTimeOnEmptyPanics)
+{
+    EventQueue q;
+    EXPECT_THROW(q.nextTime(), std::logic_error);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue q;
+    // Insert in reverse; verify monotone pop times.
+    for (int i = 1000; i > 0; --i)
+        q.schedule(static_cast<Cycles>(i), [] {});
+    Cycles prev = 0;
+    while (!q.empty()) {
+        Cycles t = 0;
+        q.pop(t);
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}

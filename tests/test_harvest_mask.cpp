@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit and property tests for the 5-byte HarvestMask register.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/harvest_mask.h"
+#include "sim/rng.h"
+
+using hh::core::HarvestMask;
+using hh::core::kNumMaskedStructs;
+using hh::core::MaskedStruct;
+
+TEST(HarvestMask, DefaultWayCountsMatchTable1)
+{
+    HarvestMask m;
+    EXPECT_EQ(m.wayCount(MaskedStruct::L1D), 12u);
+    EXPECT_EQ(m.wayCount(MaskedStruct::L1I), 8u);
+    EXPECT_EQ(m.wayCount(MaskedStruct::L2), 8u);
+    EXPECT_EQ(m.wayCount(MaskedStruct::L1Tlb), 4u);
+    EXPECT_EQ(m.wayCount(MaskedStruct::L2Tlb), 8u);
+}
+
+TEST(HarvestMask, FiveBytesExactly)
+{
+    // 12+8+8+4+8 = 40 bits = 5 B (§6.8).
+    EXPECT_EQ(HarvestMask::storageBytes(), 5u);
+}
+
+TEST(HarvestMask, SetMaskClampsToWayCount)
+{
+    HarvestMask m;
+    m.setMask(MaskedStruct::L1Tlb, 0xFFFF);
+    EXPECT_EQ(m.mask(MaskedStruct::L1Tlb), 0xFu);
+}
+
+TEST(HarvestMask, HalfFractionMatchesTable1)
+{
+    HarvestMask m;
+    m.setFraction(0.5); // Table 1: harvest region = 50% of ways
+    EXPECT_EQ(m.mask(MaskedStruct::L1D), 0x3Fu);  // 6 of 12
+    EXPECT_EQ(m.mask(MaskedStruct::L1I), 0xFu);   // 4 of 8
+    EXPECT_EQ(m.mask(MaskedStruct::L2), 0xFu);    // 4 of 8
+    EXPECT_EQ(m.mask(MaskedStruct::L1Tlb), 0x3u); // 2 of 4
+    EXPECT_EQ(m.mask(MaskedStruct::L2Tlb), 0xFu); // 4 of 8
+}
+
+TEST(HarvestMask, FractionKeepsBothRegionsNonEmpty)
+{
+    HarvestMask m;
+    m.setFraction(0.001);
+    for (unsigned i = 0; i < kNumMaskedStructs; ++i) {
+        const auto s = static_cast<MaskedStruct>(i);
+        EXPECT_NE(m.mask(s), 0u); // at least one harvest way
+    }
+    m.setFraction(0.999);
+    for (unsigned i = 0; i < kNumMaskedStructs; ++i) {
+        const auto s = static_cast<MaskedStruct>(i);
+        const hh::cache::WayMask full =
+            (hh::cache::WayMask{1} << m.wayCount(s)) - 1;
+        EXPECT_NE(m.mask(s), full); // at least one non-harvest way
+    }
+}
+
+TEST(HarvestMask, PackUnpackKnownPattern)
+{
+    HarvestMask m;
+    m.setMask(MaskedStruct::L1D, 0b0000'0011'1111);
+    m.setMask(MaskedStruct::L1I, 0b0000'1111);
+    m.setMask(MaskedStruct::L2, 0b0000'1111);
+    m.setMask(MaskedStruct::L1Tlb, 0b0011);
+    m.setMask(MaskedStruct::L2Tlb, 0b0000'1111);
+    const auto bytes = m.pack();
+    HarvestMask n;
+    n.unpack(bytes);
+    for (unsigned i = 0; i < kNumMaskedStructs; ++i) {
+        const auto s = static_cast<MaskedStruct>(i);
+        EXPECT_EQ(n.mask(s), m.mask(s));
+    }
+}
+
+TEST(HarvestMask, InvalidWayCountsFatal)
+{
+    HarvestMask::StructureWays w;
+    w.ways = {0, 8, 8, 4, 8};
+    EXPECT_THROW(HarvestMask{w}, std::runtime_error);
+    w.ways = {17, 8, 8, 4, 8};
+    EXPECT_THROW(HarvestMask{w}, std::runtime_error);
+    w.ways = {16, 16, 16, 16, 16}; // 80 bits > 40
+    EXPECT_THROW(HarvestMask{w}, std::runtime_error);
+}
+
+/** Property: pack/unpack round-trips arbitrary masks. */
+class MaskRoundTrip : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(MaskRoundTrip, Exact)
+{
+    hh::sim::Rng rng(GetParam(), 5);
+    HarvestMask m;
+    for (unsigned i = 0; i < kNumMaskedStructs; ++i) {
+        m.setMask(static_cast<MaskedStruct>(i),
+                  rng.next() & 0xFFFF);
+    }
+    HarvestMask n;
+    n.unpack(m.pack());
+    for (unsigned i = 0; i < kNumMaskedStructs; ++i) {
+        const auto s = static_cast<MaskedStruct>(i);
+        EXPECT_EQ(n.mask(s), m.mask(s));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaskRoundTrip,
+                         ::testing::Range<std::uint64_t>(0, 16));

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the software hypervisor cost model (§3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/hypervisor.h"
+
+using namespace hh::vm;
+using hh::sim::Cycles;
+
+TEST(Hypervisor, KvmReassignmentIsFiveMilliseconds)
+{
+    Hypervisor h(SoftwareCosts{}, 1);
+    // §3: moving a core across VMs with KVM takes ~5 ms, half
+    // detach/attach and half context load.
+    EXPECT_NEAR(hh::sim::cyclesToMs(h.reassignCost(ReassignImpl::Kvm)),
+                5.0, 0.01);
+    EXPECT_EQ(h.detachAttachCost(ReassignImpl::Kvm),
+              h.vmContextLoadCost(ReassignImpl::Kvm));
+}
+
+TEST(Hypervisor, OptimizedIsHundredsOfMicroseconds)
+{
+    Hypervisor h(SoftwareCosts{}, 1);
+    const double us = hh::sim::cyclesToUs(
+        h.reassignCost(ReassignImpl::Optimized));
+    EXPECT_GT(us, 100.0);
+    EXPECT_LT(us, 1000.0);
+}
+
+TEST(Hypervisor, WbinvdWithinDocumentedRange)
+{
+    SoftwareCosts costs;
+    Hypervisor h(costs, 2);
+    for (int i = 0; i < 200; ++i) {
+        const Cycles c = h.wbinvdCost();
+        EXPECT_GE(c, costs.wbinvdMin + costs.wbinvdFence);
+        EXPECT_LE(c, costs.wbinvdMax + costs.wbinvdFence);
+    }
+}
+
+TEST(Hypervisor, PollDelayPositiveAndMeanReasonable)
+{
+    SoftwareCosts costs;
+    Hypervisor h(costs, 3);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(h.pollDelay());
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, static_cast<double>(costs.pollInterval) / 2.0,
+                static_cast<double>(costs.pollInterval) * 0.05);
+}
+
+TEST(Hypervisor, LockSerializesOverlappingMoves)
+{
+    Hypervisor h(SoftwareCosts{}, 4);
+    // First acquisition at t=0 is free; the lock is then held.
+    EXPECT_EQ(h.acquireReassignLock(0, 100), 0u);
+    EXPECT_EQ(h.acquireReassignLock(0, 100), 100u);
+    EXPECT_EQ(h.acquireReassignLock(50, 100), 150u);
+}
+
+TEST(Hypervisor, LockFreeAfterDrain)
+{
+    Hypervisor h(SoftwareCosts{}, 5);
+    h.acquireReassignLock(0, 100);
+    EXPECT_EQ(h.acquireReassignLock(1000, 100), 0u);
+}
+
+TEST(Hypervisor, LockWaitGrowsUnderBurst)
+{
+    Hypervisor h(SoftwareCosts{}, 6);
+    Cycles prev = 0;
+    for (int i = 0; i < 5; ++i) {
+        const Cycles w = h.acquireReassignLock(0, 200);
+        EXPECT_GE(w, prev);
+        prev = w;
+    }
+    EXPECT_EQ(prev, 800u);
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the open-loop load generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/loadgen.h"
+
+using hh::sim::Cycles;
+using hh::workload::BurstConfig;
+using hh::workload::LoadGenerator;
+
+TEST(LoadGen, ArrivalsMonotone)
+{
+    BurstConfig burst;
+    LoadGenerator g(1000, burst, 42, 0);
+    Cycles prev = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const Cycles t = g.next();
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(LoadGen, MeanRateWithoutBursts)
+{
+    BurstConfig burst;
+    burst.enabled = false;
+    LoadGenerator g(1000, burst, 42, 0);
+    Cycles last = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        last = g.next();
+    const double seconds = hh::sim::cyclesToSec(last);
+    EXPECT_NEAR(n / seconds, 1000.0, 30.0);
+}
+
+TEST(LoadGen, BurstsRaiseAverageRate)
+{
+    BurstConfig off;
+    off.enabled = false;
+    BurstConfig on;
+    on.enabled = true;
+    LoadGenerator base(500, off, 7, 0);
+    LoadGenerator bursty(500, on, 7, 0);
+    Cycles base_last = 0;
+    Cycles bursty_last = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        base_last = base.next();
+        bursty_last = bursty.next();
+    }
+    EXPECT_LT(bursty_last, base_last);
+}
+
+TEST(LoadGen, OpenLoopDeterminism)
+{
+    BurstConfig burst;
+    LoadGenerator a(750, burst, 9, 3);
+    LoadGenerator b(750, burst, 9, 3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(LoadGen, DifferentStreamsDiffer)
+{
+    BurstConfig burst;
+    LoadGenerator a(750, burst, 9, 1);
+    LoadGenerator b(750, burst, 9, 2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 5);
+}
+
+TEST(LoadGen, ZeroRateFatal)
+{
+    BurstConfig burst;
+    EXPECT_THROW(LoadGenerator(0, burst, 1, 0), std::runtime_error);
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for logging helpers and miscellaneous server shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/experiment.h"
+#include "sim/log.h"
+
+TEST(Log, PanicThrowsLogicError)
+{
+    EXPECT_THROW(hh::sim::panic("boom ", 42), std::logic_error);
+    EXPECT_TRUE(hh::sim::errorReported());
+}
+
+TEST(Log, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(hh::sim::fatal("bad config: ", "x"),
+                 std::runtime_error);
+}
+
+TEST(Log, WarnAndInformDoNotThrow)
+{
+    hh::sim::warn("a warning with value ", 1.5);
+    hh::sim::inform("status: ", "ok");
+}
+
+TEST(Log, MessageConcatenation)
+{
+    try {
+        hh::sim::panic("a=", 1, " b=", 2.5, " c=", "str");
+        FAIL();
+    } catch (const std::logic_error &e) {
+        EXPECT_NE(std::string(e.what()).find("a=1 b=2.5 c=str"),
+                  std::string::npos);
+    }
+}
+
+TEST(ServerShapes, SmallServerRuns)
+{
+    using namespace hh::cluster;
+    SystemConfig cfg = makeSystem(SystemKind::HardHarvestBlock);
+    cfg.cores = 12;
+    cfg.primaryVms = 2;
+    cfg.coresPerPrimary = 4;
+    cfg.requestsPerVm = 40;
+    cfg.accessSampling = 32;
+    const auto res = runServer(cfg, "DC", 3);
+    ASSERT_EQ(res.services.size(), 2u);
+    for (const auto &s : res.services)
+        EXPECT_EQ(s.count, 36u);
+    EXPECT_LE(res.avgBusyCores, 12.0);
+}
+
+TEST(ServerShapes, LoadScaleIncreasesPressure)
+{
+    using namespace hh::cluster;
+    SystemConfig cfg = makeSystem(SystemKind::NoHarvest);
+    cfg.requestsPerVm = 60;
+    cfg.accessSampling = 32;
+    const auto base = runServer(cfg, "BFS", 5);
+    cfg.loadScale = 4.0;
+    const auto loaded = runServer(cfg, "BFS", 5);
+    // Same request count at 4x the rate finishes much faster.
+    EXPECT_LT(loaded.elapsedSec, base.elapsedSec);
+    EXPECT_GE(loaded.avgBusyCores, base.avgBusyCores);
+}
+
+TEST(ServerShapes, DifferentBatchAppsDifferentThroughput)
+{
+    using namespace hh::cluster;
+    SystemConfig cfg = makeSystem(SystemKind::NoHarvest);
+    cfg.requestsPerVm = 40;
+    cfg.accessSampling = 32;
+    const auto fast = runServer(cfg, "DC", 9);
+    const auto slow = runServer(cfg, "RndFTrain", 9);
+    // DC tasks are shorter and more cache-friendly than RndFTrain.
+    EXPECT_GT(fast.batchThroughput, slow.batchThroughput);
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the inter-server fabric and the NIC (DDIO path).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/set_assoc.h"
+#include "net/fabric.h"
+#include "net/nic.h"
+#include "sim/simulator.h"
+
+using namespace hh::net;
+using hh::sim::Cycles;
+using hh::sim::Simulator;
+
+TEST(Fabric, RoundTripIsTwiceOneWay)
+{
+    Fabric f;
+    EXPECT_EQ(f.roundTrip(256), 2 * f.oneWay(256));
+}
+
+TEST(Fabric, BaseRoundTripNearOneMicrosecond)
+{
+    Fabric f;
+    const double us = hh::sim::cyclesToUs(f.roundTrip(0));
+    EXPECT_NEAR(us, 1.0, 0.05);
+}
+
+TEST(Fabric, SerializationGrowsWithSize)
+{
+    Fabric f;
+    EXPECT_GT(f.oneWay(1 << 20), f.oneWay(64));
+}
+
+TEST(Fabric, CustomConfig)
+{
+    FabricConfig cfg;
+    cfg.roundTrip = 6000; // 2 us
+    cfg.bytesPerCycle = 1.0;
+    Fabric f(cfg);
+    EXPECT_EQ(f.oneWay(100), 3000u + 100u);
+}
+
+TEST(Nic, DeliversAfterProcessingLatency)
+{
+    Simulator sim;
+    Nic nic(sim, 300);
+    Cycles delivered = 0;
+    nic.setHandler([&](const Packet &) { delivered = sim.now(); });
+    sim.schedule(1000, [&] {
+        Packet p;
+        p.dstVm = 3;
+        nic.receive(p);
+    });
+    sim.run();
+    EXPECT_EQ(delivered, 1300u);
+    EXPECT_EQ(nic.packetsReceived(), 1u);
+}
+
+TEST(Nic, StampsArrivalTime)
+{
+    Simulator sim;
+    Nic nic(sim, 10);
+    Cycles arrival = 0;
+    nic.setHandler([&](const Packet &p) { arrival = p.arrival; });
+    sim.schedule(500, [&] { nic.receive(Packet{}); });
+    sim.run();
+    EXPECT_EQ(arrival, 500u);
+}
+
+TEST(Nic, NoHandlerPanics)
+{
+    Simulator sim;
+    Nic nic(sim);
+    EXPECT_THROW(nic.receive(Packet{}), std::logic_error);
+}
+
+TEST(Nic, DdioDepositsPayloadLines)
+{
+    Simulator sim;
+    Nic nic(sim, 10);
+    nic.setHandler([](const Packet &) {});
+    hh::cache::SetAssocArray llc(
+        hh::cache::Geometry{64, 8, 36},
+        hh::cache::makePolicy(hh::cache::ReplKind::LRU));
+    nic.setLlcLookup(
+        [&](std::uint32_t vm) -> hh::cache::SetAssocArray * {
+            return vm == 1 ? &llc : nullptr;
+        });
+
+    Packet p;
+    p.dstVm = 1;
+    p.payloadBytes = 512; // 8 lines
+    nic.receive(p);
+    EXPECT_EQ(nic.linesDeposited(), 8u);
+    EXPECT_EQ(llc.validCount(), 8u);
+
+    // Packets for VMs without a partition do not deposit.
+    Packet q;
+    q.dstVm = 2;
+    nic.receive(q);
+    EXPECT_EQ(nic.linesDeposited(), 8u);
+    sim.run();
+}
+
+TEST(Nic, PartialLineRoundsUp)
+{
+    Simulator sim;
+    Nic nic(sim, 10);
+    nic.setHandler([](const Packet &) {});
+    hh::cache::SetAssocArray llc(
+        hh::cache::Geometry{64, 8, 36},
+        hh::cache::makePolicy(hh::cache::ReplKind::LRU));
+    nic.setLlcLookup([&](std::uint32_t) { return &llc; });
+    Packet p;
+    p.payloadBytes = 65; // 2 lines
+    nic.receive(p);
+    EXPECT_EQ(nic.linesDeposited(), 2u);
+    sim.run();
+}

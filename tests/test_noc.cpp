@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the mesh and control-tree network models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/control_tree.h"
+#include "noc/mesh.h"
+
+using hh::noc::ControlTree;
+using hh::noc::Mesh2D;
+
+TEST(Mesh, HopCountsManhattan)
+{
+    Mesh2D m(6, 6, 5);
+    EXPECT_EQ(m.hops(0, 0), 0u);
+    EXPECT_EQ(m.hops(0, 5), 5u);   // same row
+    EXPECT_EQ(m.hops(0, 30), 5u);  // same column
+    EXPECT_EQ(m.hops(0, 35), 10u); // opposite corner
+}
+
+TEST(Mesh, HopsSymmetric)
+{
+    Mesh2D m(6, 6);
+    for (unsigned a = 0; a < 36; a += 5) {
+        for (unsigned b = 0; b < 36; b += 7)
+            EXPECT_EQ(m.hops(a, b), m.hops(b, a));
+    }
+}
+
+TEST(Mesh, LatencyScalesWithHopCost)
+{
+    Mesh2D m(4, 4, 7);
+    EXPECT_EQ(m.latency(0, 3), 21u);
+}
+
+TEST(Mesh, CenterLatencyBounded)
+{
+    Mesh2D m(6, 6, 5);
+    for (unsigned n = 0; n < m.nodes(); ++n)
+        EXPECT_LE(m.latencyToCenter(n), 6u * 5u);
+}
+
+TEST(Mesh, OutOfRangePanics)
+{
+    Mesh2D m(2, 2);
+    EXPECT_THROW(m.hops(0, 4), std::logic_error);
+}
+
+TEST(Mesh, DegenerateDimensionsFatal)
+{
+    EXPECT_THROW(Mesh2D(0, 4), std::runtime_error);
+}
+
+TEST(ControlTree, DepthGrowsLogarithmically)
+{
+    EXPECT_EQ(ControlTree(4, 4).depth(), 1u);
+    EXPECT_EQ(ControlTree(16, 4).depth(), 2u);
+    EXPECT_EQ(ControlTree(17, 4).depth(), 3u);
+    EXPECT_EQ(ControlTree(36, 4).depth(), 3u);
+    EXPECT_EQ(ControlTree(64, 4).depth(), 3u);
+}
+
+TEST(ControlTree, LatencyMath)
+{
+    ControlTree t(36, 4, 2);
+    EXPECT_EQ(t.coreToController(), 6u);
+    EXPECT_EQ(t.roundTrip(), 12u);
+}
+
+TEST(ControlTree, BinaryFanout)
+{
+    ControlTree t(36, 2, 1);
+    EXPECT_EQ(t.depth(), 6u); // 2^6 = 64 >= 36
+}
+
+TEST(ControlTree, InvalidConfigFatal)
+{
+    EXPECT_THROW(ControlTree(0, 4), std::runtime_error);
+    EXPECT_THROW(ControlTree(8, 1), std::runtime_error);
+}
+
+TEST(ControlTree, MuchCheaperThanSoftwarePolling)
+{
+    // The whole point of the control tree (§4.1.8): a queue
+    // operation is tens of cycles, not tens of microseconds.
+    ControlTree t(36, 4, 2);
+    EXPECT_LT(t.roundTrip(), hh::sim::usToCycles(0.1));
+}

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Randomized property tests ("fuzz against a reference model") for
+ * the stateful HardHarvest structures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/rq.h"
+#include "sim/rng.h"
+
+using namespace hh::core;
+
+/**
+ * SubQueue vs a trivial reference model: a FIFO with capacity and an
+ * unbounded overflow, plus running/blocked sets.
+ */
+class SubQueueFuzz : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(SubQueueFuzz, MatchesReferenceModel)
+{
+    hh::sim::Rng rng(GetParam(), 77);
+    RequestQueue rq(4, 4);
+    SubQueue q(rq);
+    for (int i = 0; i < 2; ++i) {
+        const int c = rq.allocChunk();
+        ASSERT_TRUE(q.addChunk(static_cast<unsigned>(c)));
+    }
+
+    // Reference model.
+    std::deque<std::uint64_t> ready;
+    std::deque<std::uint64_t> overflow;
+    std::set<std::uint64_t> running;
+    std::set<std::uint64_t> blocked;
+    const auto capacity = [&] { return q.capacity(); };
+    const auto occupancy = [&] {
+        return ready.size() + running.size() + blocked.size();
+    };
+    const auto drain = [&] {
+        while (!overflow.empty() && occupancy() < capacity()) {
+            ready.push_back(overflow.front());
+            overflow.pop_front();
+        }
+    };
+
+    std::uint64_t next = 1;
+    for (int step = 0; step < 5000; ++step) {
+        switch (rng.uniformInt(std::uint64_t{5})) {
+          case 0: { // enqueue
+            const std::uint64_t id = next++;
+            q.enqueue(id);
+            if (!overflow.empty() || occupancy() >= capacity())
+                overflow.push_back(id);
+            else
+                ready.push_back(id);
+            break;
+          }
+          case 1: { // dequeue
+            const auto got = q.dequeue();
+            if (ready.empty()) {
+                EXPECT_FALSE(got.has_value());
+            } else {
+                ASSERT_TRUE(got.has_value());
+                EXPECT_EQ(*got, ready.front());
+                running.insert(ready.front());
+                ready.pop_front();
+                drain();
+            }
+            break;
+          }
+          case 2: { // block a running request
+            if (running.empty())
+                break;
+            const std::uint64_t id = *running.begin();
+            q.markBlocked(id);
+            running.erase(id);
+            blocked.insert(id);
+            break;
+          }
+          case 3: { // unblock
+            if (blocked.empty())
+                break;
+            const std::uint64_t id = *blocked.begin();
+            q.markReady(id);
+            blocked.erase(id);
+            ready.push_front(id);
+            break;
+          }
+          case 4: { // complete
+            if (running.empty())
+                break;
+            const std::uint64_t id = *running.rbegin();
+            q.complete(id);
+            running.erase(id);
+            drain();
+            break;
+          }
+        }
+        ASSERT_EQ(q.occupancy(), occupancy());
+        ASSERT_EQ(q.overflowSize(), overflow.size());
+        ASSERT_EQ(q.hasReady(), !ready.empty());
+        ASSERT_EQ(q.readyCount(), ready.size());
+        ASSERT_LE(q.occupancy(), q.capacity());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubQueueFuzz,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+/**
+ * Controller churn: random VM arrivals/departures must conserve RQ
+ * chunks and keep every VM's subqueue non-empty.
+ */
+class ControllerChurn : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ControllerChurn, ChunksConservedAcrossChurn)
+{
+    hh::sim::Rng rng(GetParam(), 88);
+    HardHarvestController ctrl(ControllerConfig{}, 36);
+    std::vector<std::uint32_t> live;
+    std::uint32_t next_vm = 0;
+
+    for (int step = 0; step < 300; ++step) {
+        const bool add = live.size() < 2 ||
+                         (live.size() < 14 && rng.bernoulli(0.5));
+        if (add) {
+            const auto weight =
+                static_cast<unsigned>(rng.uniformInt(
+                    std::int64_t{1}, std::int64_t{8}));
+            ctrl.registerVm(next_vm, rng.bernoulli(0.8), weight);
+            live.push_back(next_vm++);
+        } else {
+            const auto idx = rng.uniformInt(live.size());
+            ctrl.removeVm(live[idx]);
+            live.erase(live.begin() +
+                       static_cast<std::ptrdiff_t>(idx));
+        }
+
+        // Invariants: every live VM has at least one chunk; total
+        // allocated + free chunks equals the physical array.
+        unsigned allocated = 0;
+        for (const std::uint32_t vm : live) {
+            const auto *qm = ctrl.qmFor(vm);
+            ASSERT_NE(qm, nullptr);
+            const auto chunks = qm->queue().rqMap().size();
+            ASSERT_GE(chunks, 1u);
+            allocated += static_cast<unsigned>(chunks);
+        }
+        ASSERT_EQ(allocated + ctrl.rq().freeChunks(),
+                  ctrl.rq().numChunks());
+        // No chunk may be owned twice.
+        std::set<unsigned> owned;
+        for (const std::uint32_t vm : live) {
+            for (unsigned c : ctrl.qmFor(vm)->queue().rqMap())
+                ASSERT_TRUE(owned.insert(c).second);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControllerChurn,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+/**
+ * Requests survive chunk donation: enqueue under churn, then drain
+ * everything and verify nothing was lost or duplicated.
+ */
+class ControllerDrain : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ControllerDrain, NoRequestLostAcrossDonation)
+{
+    hh::sim::Rng rng(GetParam(), 99);
+    HardHarvestController ctrl(ControllerConfig{}, 36);
+    ctrl.registerVm(0, true, 4);
+
+    std::set<std::uint64_t> outstanding;
+    std::uint64_t next = 1;
+    for (int i = 0; i < 3000; ++i) {
+        ctrl.enqueue(0, next);
+        outstanding.insert(next);
+        ++next;
+    }
+    // Churn other VMs to force repeated donation/spill/regrow.
+    for (std::uint32_t vm = 1; vm <= 6; ++vm)
+        ctrl.registerVm(vm, true, 4);
+    for (std::uint32_t vm = 1; vm <= 6; ++vm)
+        ctrl.removeVm(vm);
+
+    // Drain: everything must come out exactly once, in FIFO order.
+    std::uint64_t expected = 1;
+    while (true) {
+        const auto got = ctrl.dequeue(0);
+        if (!got)
+            break;
+        ASSERT_EQ(*got, expected);
+        ++expected;
+        ASSERT_EQ(outstanding.erase(*got), 1u);
+        ctrl.complete(0, *got);
+    }
+    EXPECT_TRUE(outstanding.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControllerDrain,
+                         ::testing::Range<std::uint64_t>(1, 5));

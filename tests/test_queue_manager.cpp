@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the hardware Queue Managers (§4.1.2-4.1.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/queue_manager.h"
+
+using hh::core::QueueManager;
+using hh::core::RequestQueue;
+
+TEST(QueueManager, Identity)
+{
+    RequestQueue rq(4, 8);
+    QueueManager qm(3, 7, true, rq);
+    EXPECT_EQ(qm.id(), 3u);
+    EXPECT_EQ(qm.vm(), 7u);
+    EXPECT_TRUE(qm.isPrimary());
+}
+
+TEST(QueueManager, CoreBinding)
+{
+    RequestQueue rq(4, 8);
+    QueueManager qm(0, 0, true, rq);
+    qm.bindCore(2);
+    qm.bindCore(5);
+    EXPECT_TRUE(qm.isBound(2));
+    EXPECT_TRUE(qm.isBound(5));
+    EXPECT_FALSE(qm.isBound(3));
+    EXPECT_EQ(qm.boundCores().size(), 2u);
+    qm.unbindCore(2);
+    EXPECT_FALSE(qm.isBound(2));
+}
+
+TEST(QueueManager, DoubleBindPanics)
+{
+    RequestQueue rq(4, 8);
+    QueueManager qm(0, 0, true, rq);
+    qm.bindCore(1);
+    EXPECT_THROW(qm.bindCore(1), std::logic_error);
+}
+
+TEST(QueueManager, UnbindUnknownPanics)
+{
+    RequestQueue rq(4, 8);
+    QueueManager qm(0, 0, true, rq);
+    EXPECT_THROW(qm.unbindCore(1), std::logic_error);
+}
+
+TEST(QueueManager, LoanLifecycle)
+{
+    RequestQueue rq(4, 8);
+    QueueManager qm(0, 0, true, rq);
+    qm.bindCore(1);
+    qm.bindCore(2);
+    EXPECT_FALSE(qm.hasLoanedCore());
+    qm.noteLoan(2);
+    EXPECT_TRUE(qm.hasLoanedCore());
+    EXPECT_TRUE(qm.isOnLoan(2));
+    EXPECT_FALSE(qm.isOnLoan(1));
+    EXPECT_EQ(qm.loanedCount(), 1u);
+    qm.noteReturn(2);
+    EXPECT_FALSE(qm.hasLoanedCore());
+}
+
+TEST(QueueManager, ReclaimPicksLowestLoanedCore)
+{
+    RequestQueue rq(4, 8);
+    QueueManager qm(0, 0, true, rq);
+    for (unsigned c : {4u, 7u, 9u})
+        qm.bindCore(c);
+    EXPECT_EQ(qm.loanedCoreToReclaim(), -1);
+    qm.noteLoan(9);
+    qm.noteLoan(4);
+    EXPECT_EQ(qm.loanedCoreToReclaim(), 4);
+}
+
+TEST(QueueManager, HarvestVmCannotLend)
+{
+    RequestQueue rq(4, 8);
+    QueueManager qm(0, 8, false, rq);
+    qm.bindCore(1);
+    EXPECT_THROW(qm.noteLoan(1), std::logic_error);
+}
+
+TEST(QueueManager, LoanRequiresBoundCore)
+{
+    RequestQueue rq(4, 8);
+    QueueManager qm(0, 0, true, rq);
+    EXPECT_THROW(qm.noteLoan(3), std::logic_error);
+}
+
+TEST(QueueManager, DoubleLoanPanics)
+{
+    RequestQueue rq(4, 8);
+    QueueManager qm(0, 0, true, rq);
+    qm.bindCore(1);
+    qm.noteLoan(1);
+    EXPECT_THROW(qm.noteLoan(1), std::logic_error);
+}
+
+TEST(QueueManager, ReturnWithoutLoanPanics)
+{
+    RequestQueue rq(4, 8);
+    QueueManager qm(0, 0, true, rq);
+    qm.bindCore(1);
+    EXPECT_THROW(qm.noteReturn(1), std::logic_error);
+}
+
+TEST(QueueManager, UnbindClearsLoan)
+{
+    RequestQueue rq(4, 8);
+    QueueManager qm(0, 0, true, rq);
+    qm.bindCore(1);
+    qm.noteLoan(1);
+    qm.unbindCore(1);
+    EXPECT_FALSE(qm.hasLoanedCore());
+}
+
+TEST(QueueManager, OwnsQueueAndRegisters)
+{
+    RequestQueue rq(4, 8);
+    QueueManager qm(0, 0, true, rq);
+    qm.vmState().write(hh::core::VmStateRegisterSet::Cr3, 0x1234);
+    EXPECT_EQ(qm.vmState().read(hh::core::VmStateRegisterSet::Cr3),
+              0x1234u);
+    qm.harvestMask().setFraction(0.5);
+    EXPECT_NE(qm.harvestMask().mask(hh::core::MaskedStruct::L1D), 0u);
+}

@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Unit tests for the replacement policies, with special focus on
+ * the HardHarvest policy's Algorithm 1 semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cache/repl_hardharvest.h"
+#include "cache/repl_lru.h"
+#include "cache/repl_rrip.h"
+#include "cache/replacement.h"
+#include "cache/set_assoc.h"
+#include "sim/rng.h"
+
+using namespace hh::cache;
+
+namespace {
+
+/** Build a 4-way set context for direct policy testing. */
+struct SetFixture
+{
+    std::vector<WayState> ways;
+    SetContext ctx;
+
+    explicit SetFixture(unsigned n = 4)
+        : ways(n)
+    {
+        ctx.harvestMask = 0b0011; // ways 0-1 are the harvest region
+        ctx.allowedMask = (WayMask{1} << n) - 1;
+        ctx.candidateMask = ctx.allowedMask;
+        refresh();
+    }
+
+    void
+    refresh()
+    {
+        ctx.ways = std::span<const WayState>(ways.data(), ways.size());
+    }
+
+    void
+    fillAll(bool shared, std::uint64_t base_tick = 1)
+    {
+        for (std::size_t i = 0; i < ways.size(); ++i) {
+            ways[i].valid = true;
+            ways[i].shared = shared;
+            ways[i].tag = 100 + i;
+            ways[i].lastUse = base_tick + i;
+        }
+        refresh();
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------- LRU
+
+TEST(Lru, PrefersInvalidSlots)
+{
+    SetFixture f;
+    f.fillAll(true);
+    f.ways[2].valid = false;
+    f.refresh();
+    LruPolicy p;
+    EXPECT_EQ(p.victim(f.ctx, true), 2u);
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed)
+{
+    SetFixture f;
+    f.fillAll(true);
+    f.ways[3].lastUse = 0; // oldest
+    f.refresh();
+    LruPolicy p;
+    EXPECT_EQ(p.victim(f.ctx, true), 3u);
+}
+
+TEST(Lru, RespectsAllowedMask)
+{
+    SetFixture f;
+    f.fillAll(true);
+    f.ways[0].lastUse = 0; // globally LRU but not allowed
+    f.ctx.allowedMask = 0b1100;
+    f.refresh();
+    LruPolicy p;
+    const unsigned v = p.victim(f.ctx, true);
+    EXPECT_TRUE(v == 2 || v == 3);
+}
+
+// --------------------------------------------------------------- RRIP
+
+TEST(Rrip, InsertsAtLongInterval)
+{
+    RripPolicy p;
+    WayState w;
+    p.fill(w, 1);
+    EXPECT_EQ(w.rrpv, 2);
+}
+
+TEST(Rrip, PromotesOnHit)
+{
+    RripPolicy p;
+    WayState w;
+    p.fill(w, 1);
+    p.touch(w, 2);
+    EXPECT_EQ(w.rrpv, 0);
+}
+
+TEST(Rrip, VictimHasMaxRrpv)
+{
+    SetFixture f;
+    f.fillAll(true);
+    f.ways[0].rrpv = 1;
+    f.ways[1].rrpv = 3;
+    f.ways[2].rrpv = 2;
+    f.ways[3].rrpv = 0;
+    f.refresh();
+    RripPolicy p;
+    EXPECT_EQ(p.victim(f.ctx, true), 1u);
+}
+
+TEST(Rrip, TieBrokenByLru)
+{
+    SetFixture f;
+    f.fillAll(true);
+    for (auto &w : f.ways)
+        w.rrpv = 2;
+    f.ways[2].lastUse = 0;
+    f.refresh();
+    RripPolicy p;
+    EXPECT_EQ(p.victim(f.ctx, true), 2u);
+}
+
+// -------------------------------------------- HardHarvest Algorithm 1
+
+TEST(HardHarvest, SharedEntryPrefersInvalidNonHarvestSlot)
+{
+    SetFixture f;
+    f.fillAll(true);
+    f.ways[1].valid = false; // harvest region
+    f.ways[3].valid = false; // non-harvest region
+    f.refresh();
+    HardHarvestPolicy p;
+    EXPECT_EQ(p.victim(f.ctx, /*incoming_shared=*/true), 3u);
+}
+
+TEST(HardHarvest, PrivateEntryPrefersInvalidHarvestSlot)
+{
+    SetFixture f;
+    f.fillAll(true);
+    f.ways[1].valid = false;
+    f.ways[3].valid = false;
+    f.refresh();
+    HardHarvestPolicy p;
+    EXPECT_EQ(p.victim(f.ctx, /*incoming_shared=*/false), 1u);
+}
+
+TEST(HardHarvest, AnyInvalidSlotWhenPreferredRegionFull)
+{
+    SetFixture f;
+    f.fillAll(true);
+    f.ways[0].valid = false; // only a harvest slot is empty
+    f.refresh();
+    HardHarvestPolicy p;
+    // Shared entry would prefer non-harvest, but takes the empty slot.
+    EXPECT_EQ(p.victim(f.ctx, true), 0u);
+}
+
+TEST(HardHarvest, SharedEvictsPrivateInNonHarvestFirst)
+{
+    SetFixture f;
+    f.fillAll(true);
+    f.ways[1].shared = false; // private in harvest region
+    f.ways[2].shared = false; // private in non-harvest region
+    f.refresh();
+    HardHarvestPolicy p;
+    EXPECT_EQ(p.victim(f.ctx, true), 2u);
+}
+
+TEST(HardHarvest, SharedFallsBackToPrivateInHarvest)
+{
+    SetFixture f;
+    f.fillAll(true);
+    f.ways[0].shared = false; // only private entry, harvest region
+    f.refresh();
+    HardHarvestPolicy p;
+    EXPECT_EQ(p.victim(f.ctx, true), 0u);
+}
+
+TEST(HardHarvest, PrivateEvictsPrivateInHarvestFirst)
+{
+    SetFixture f;
+    f.fillAll(true);
+    f.ways[1].shared = false; // private in harvest region
+    f.ways[2].shared = false; // private in non-harvest region
+    f.refresh();
+    HardHarvestPolicy p;
+    EXPECT_EQ(p.victim(f.ctx, false), 1u);
+}
+
+TEST(HardHarvest, PrivateFallsBackToPrivateInNonHarvest)
+{
+    SetFixture f;
+    f.fillAll(true);
+    f.ways[3].shared = false;
+    f.refresh();
+    HardHarvestPolicy p;
+    EXPECT_EQ(p.victim(f.ctx, false), 3u);
+}
+
+TEST(HardHarvest, AllSharedFallsBackToLru)
+{
+    SetFixture f;
+    f.fillAll(true);
+    f.ways[2].lastUse = 0;
+    f.refresh();
+    HardHarvestPolicy p;
+    EXPECT_EQ(p.victim(f.ctx, true), 2u);
+    EXPECT_EQ(p.victim(f.ctx, false), 2u);
+}
+
+TEST(HardHarvest, CandidateMaskRestrictsEviction)
+{
+    SetFixture f;
+    f.fillAll(true);
+    f.ways[0].shared = false; // private, harvest, but NOT a candidate
+    f.ways[3].lastUse = 0;    // LRU among candidates
+    f.ctx.candidateMask = 0b1110;
+    f.refresh();
+    HardHarvestPolicy p;
+    // Incoming private would take way 0, but it is protected;
+    // no other private entries, so LRU among candidates: way 3.
+    EXPECT_EQ(p.victim(f.ctx, false), 3u);
+}
+
+TEST(HardHarvest, InvalidSlotsIgnoreCandidateRestriction)
+{
+    SetFixture f;
+    f.fillAll(true);
+    f.ways[0].valid = false;
+    f.ctx.candidateMask = 0b1110; // way 0 not a candidate
+    f.refresh();
+    HardHarvestPolicy p;
+    EXPECT_EQ(p.victim(f.ctx, false), 0u);
+}
+
+TEST(HardHarvest, TieWithinClassBrokenByLru)
+{
+    SetFixture f;
+    f.fillAll(true);
+    f.ways[2].shared = false;
+    f.ways[3].shared = false;
+    f.ways[3].lastUse = 0;
+    f.refresh();
+    HardHarvestPolicy p;
+    EXPECT_EQ(p.victim(f.ctx, true), 3u);
+}
+
+// ------------------------------------------------------ priority mux
+// §4.2.4: the two priority multiplexers, exhaustively on a 2-way set
+// (way 0 harvest, way 1 non-harvest).
+
+TEST(HardHarvest, PriorityMuxSharedIncoming)
+{
+    SetFixture f(2);
+    f.ctx.harvestMask = 0b01;
+    f.ctx.allowedMask = 0b11;
+    f.ctx.candidateMask = 0b11;
+    HardHarvestPolicy p;
+
+    // Invalid & NotHarvest beats Invalid & Harvest.
+    f.ways[0] = WayState{};
+    f.ways[1] = WayState{};
+    f.refresh();
+    EXPECT_EQ(p.victim(f.ctx, true), 1u);
+
+    // NotHarvest & private beats Harvest & private.
+    f.fillAll(false);
+    EXPECT_EQ(p.victim(f.ctx, true), 1u);
+}
+
+TEST(HardHarvest, PriorityMuxPrivateIncoming)
+{
+    SetFixture f(2);
+    f.ctx.harvestMask = 0b01;
+    f.ctx.allowedMask = 0b11;
+    f.ctx.candidateMask = 0b11;
+    HardHarvestPolicy p;
+
+    // Invalid & Harvest preferred.
+    f.ways[0] = WayState{};
+    f.ways[1] = WayState{};
+    f.refresh();
+    EXPECT_EQ(p.victim(f.ctx, false), 0u);
+
+    // Harvest & private beats NotHarvest & private.
+    f.fillAll(false);
+    EXPECT_EQ(p.victim(f.ctx, false), 0u);
+}
+
+// ----------------------------------------------------------- factory
+
+TEST(Factory, MakesEachKind)
+{
+    EXPECT_STREQ(makePolicy(ReplKind::LRU)->name(), "LRU");
+    EXPECT_STREQ(makePolicy(ReplKind::RRIP)->name(), "RRIP");
+    EXPECT_STREQ(makePolicy(ReplKind::HardHarvest)->name(),
+                 "HardHarvest");
+}
+
+TEST(Factory, BeladyRequiresOracle)
+{
+    EXPECT_THROW(makePolicy(ReplKind::Belady), std::runtime_error);
+}
+
+TEST(Factory, KindNames)
+{
+    EXPECT_STREQ(replKindName(ReplKind::LRU), "LRU");
+    EXPECT_STREQ(replKindName(ReplKind::Belady), "Belady");
+}
+
+// --------------------------------------------- behavioural property
+// The HardHarvest policy should preserve shared (cross-invocation)
+// state better than LRU when private streaming data washes through.
+
+class SharedRetention : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(SharedRetention, HardHarvestBeatsLruOnSharedReuse)
+{
+    const std::uint64_t seed = GetParam();
+
+    auto run = [&](ReplKind kind) {
+        SetAssocArray arr(Geometry{16, 8, 1}, makePolicy(kind));
+        arr.setHarvestWayCount(4);
+        if (kind == ReplKind::HardHarvest)
+            arr.setCandidateFraction(0.75);
+        hh::sim::Rng rng(seed, 99);
+        // Shared working set that fits; private stream that doesn't.
+        std::uint64_t shared_hits = 0;
+        std::uint64_t shared_refs = 0;
+        std::uint64_t next_private = 1'000'000;
+        for (int i = 0; i < 30000; ++i) {
+            if (rng.bernoulli(0.5)) {
+                ++shared_refs;
+                shared_hits +=
+                    arr.access(rng.uniformInt(std::uint64_t{48}), true)
+                            .hit
+                        ? 1
+                        : 0;
+            } else {
+                arr.access(next_private++, false);
+            }
+        }
+        return static_cast<double>(shared_hits) /
+               static_cast<double>(shared_refs);
+    };
+
+    EXPECT_GT(run(ReplKind::HardHarvest), run(ReplKind::LRU));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharedRetention,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));

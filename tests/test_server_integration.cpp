@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Integration tests: full-server simulations at reduced scale.
+ *
+ * These exercise the complete request path (loadgen -> NIC -> queues
+ * -> cores -> caches -> completion), harvesting, reclamation and the
+ * statistics pipeline across all five system configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/experiment.h"
+
+using namespace hh::cluster;
+
+namespace {
+
+SystemConfig
+tinyConfig(SystemKind kind)
+{
+    SystemConfig cfg = makeSystem(kind);
+    cfg.requestsPerVm = 60;
+    cfg.accessSampling = 32;
+    cfg.seed = 11;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ServerIntegration, AllRequestsCompleteEverySystem)
+{
+    for (const auto kind :
+         {SystemKind::NoHarvest, SystemKind::HarvestTerm,
+          SystemKind::HarvestBlock, SystemKind::HardHarvestTerm,
+          SystemKind::HardHarvestBlock}) {
+        const auto cfg = tinyConfig(kind);
+        const auto res = runServer(cfg, "BFS", 11);
+        ASSERT_EQ(res.services.size(), 8u) << systemName(kind);
+        for (const auto &s : res.services) {
+            // warmup skips 10%: 54 measured completions per VM.
+            EXPECT_EQ(s.count, 54u)
+                << systemName(kind) << " " << s.name;
+            EXPECT_GT(s.p50Ms, 0.0);
+            EXPECT_GE(s.p99Ms, s.p50Ms);
+        }
+        EXPECT_GT(res.elapsedSec, 0.0);
+    }
+}
+
+TEST(ServerIntegration, NoHarvestNeverMovesCores)
+{
+    const auto res = runServer(tinyConfig(SystemKind::NoHarvest),
+                               "BFS", 11);
+    EXPECT_EQ(res.coreLoans, 0u);
+    EXPECT_EQ(res.coreReclaims, 0u);
+}
+
+TEST(ServerIntegration, HarvestingSystemsMoveCores)
+{
+    for (const auto kind :
+         {SystemKind::HarvestTerm, SystemKind::HardHarvestBlock}) {
+        const auto res = runServer(tinyConfig(kind), "BFS", 11);
+        EXPECT_GT(res.coreLoans, 0u) << systemName(kind);
+        EXPECT_GT(res.coreReclaims, 0u) << systemName(kind);
+    }
+}
+
+TEST(ServerIntegration, HarvestingRaisesUtilization)
+{
+    const auto no =
+        runServer(tinyConfig(SystemKind::NoHarvest), "BFS", 11);
+    const auto hh =
+        runServer(tinyConfig(SystemKind::HardHarvestBlock), "BFS", 11);
+    EXPECT_GT(hh.avgBusyCores, no.avgBusyCores * 2);
+    EXPECT_LE(hh.avgBusyCores, 36.0);
+}
+
+TEST(ServerIntegration, HarvestingRaisesBatchThroughput)
+{
+    const auto no =
+        runServer(tinyConfig(SystemKind::NoHarvest), "CC", 11);
+    const auto hh =
+        runServer(tinyConfig(SystemKind::HardHarvestBlock), "CC", 11);
+    EXPECT_GT(hh.batchThroughput, no.batchThroughput * 1.5);
+}
+
+TEST(ServerIntegration, DeterministicForSameSeed)
+{
+    const auto a =
+        runServer(tinyConfig(SystemKind::HardHarvestBlock), "BFS", 42);
+    const auto b =
+        runServer(tinyConfig(SystemKind::HardHarvestBlock), "BFS", 42);
+    for (std::size_t i = 0; i < a.services.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.services[i].p50Ms, b.services[i].p50Ms);
+        EXPECT_DOUBLE_EQ(a.services[i].p99Ms, b.services[i].p99Ms);
+    }
+    EXPECT_EQ(a.batchTasksCompleted, b.batchTasksCompleted);
+    EXPECT_EQ(a.coreLoans, b.coreLoans);
+}
+
+TEST(ServerIntegration, SeedChangesResults)
+{
+    const auto a =
+        runServer(tinyConfig(SystemKind::NoHarvest), "BFS", 1);
+    const auto b =
+        runServer(tinyConfig(SystemKind::NoHarvest), "BFS", 2);
+    EXPECT_NE(a.services[0].p50Ms, b.services[0].p50Ms);
+}
+
+TEST(ServerIntegration, BreakdownComponentsPopulated)
+{
+    const auto res = runServer(
+        tinyConfig(SystemKind::HarvestBlock), "BFS", 11);
+    double reassign = 0;
+    double flush = 0;
+    double exec = 0;
+    for (const auto &s : res.services) {
+        reassign += s.reassignMs;
+        flush += s.flushMs;
+        exec += s.execMs;
+    }
+    EXPECT_GT(exec, 0.0);
+    // Software harvesting charges hypervisor + flush overheads.
+    EXPECT_GT(reassign, 0.0);
+    EXPECT_GT(flush, 0.0);
+}
+
+TEST(ServerIntegration, HardHarvestReassignOverheadTiny)
+{
+    const auto sw = runServer(
+        tinyConfig(SystemKind::HarvestBlock), "BFS", 11);
+    const auto hw = runServer(
+        tinyConfig(SystemKind::HardHarvestBlock), "BFS", 11);
+    double sw_reassign = 0;
+    double hw_reassign = 0;
+    for (std::size_t i = 0; i < sw.services.size(); ++i) {
+        sw_reassign += sw.services[i].reassignMs;
+        hw_reassign += hw.services[i].reassignMs;
+    }
+    EXPECT_LT(hw_reassign, sw_reassign / 10.0);
+}
+
+TEST(ServerIntegration, L2HitRateSane)
+{
+    const auto res =
+        runServer(tinyConfig(SystemKind::NoHarvest), "BFS", 11);
+    EXPECT_GT(res.primaryL2HitRate, 0.0);
+    EXPECT_LE(res.primaryL2HitRate, 1.0);
+}
+
+namespace {
+
+/** Mean execution component across services (isolates cache cost
+ *  from queueing/arrival noise). */
+double
+meanExecMs(const ServerResults &res)
+{
+    double e = 0;
+    for (const auto &s : res.services)
+        e += s.execMs;
+    return e / static_cast<double>(res.services.size());
+}
+
+} // namespace
+
+TEST(ServerIntegration, InfiniteCachesAreFaster)
+{
+    auto cfg = tinyConfig(SystemKind::NoHarvest);
+    cfg.accessSampling = 4; // preserve locality for this assertion
+    const auto base = runServer(cfg, "BFS", 11);
+    cfg.infiniteCaches = true;
+    const auto inf = runServer(cfg, "BFS", 11);
+    EXPECT_LT(meanExecMs(inf), meanExecMs(base) * 1.02);
+}
+
+TEST(ServerIntegration, SmallerCachesAreSlower)
+{
+    auto cfg = tinyConfig(SystemKind::NoHarvest);
+    cfg.accessSampling = 4;
+    cfg.waysFraction = 0.25;
+    const auto small = runServer(cfg, "BFS", 11);
+    cfg.waysFraction = 1.0;
+    const auto full = runServer(cfg, "BFS", 11);
+    EXPECT_GE(meanExecMs(small), meanExecMs(full) * 0.99);
+}
+
+TEST(ClusterExperiment, AggregatesAcrossServers)
+{
+    auto cfg = tinyConfig(SystemKind::HardHarvestBlock);
+    cfg.requestsPerVm = 40;
+    const auto res = runCluster(cfg, 2, 11);
+    ASSERT_EQ(res.services.size(), 8u);
+    ASSERT_EQ(res.batchThroughput.size(), 2u);
+    EXPECT_EQ(res.batchThroughput[0].first, "BFS");
+    EXPECT_EQ(res.batchThroughput[1].first, "CC");
+    EXPECT_GT(res.avgBusyCores, 0.0);
+    for (const auto &s : res.services)
+        EXPECT_EQ(s.count, 2u * 36u); // 2 servers x 36 measured
+}
+
+TEST(ClusterExperiment, ServerCountValidated)
+{
+    const auto cfg = tinyConfig(SystemKind::NoHarvest);
+    EXPECT_THROW(runCluster(cfg, 0, 1), std::runtime_error);
+    EXPECT_THROW(runCluster(cfg, 99, 1), std::runtime_error);
+}

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit tests for the generic set-associative array: lookups, fills,
+ * way masks, harvest regions, selective flushing and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/repl_lru.h"
+#include "cache/set_assoc.h"
+
+using hh::cache::Geometry;
+using hh::cache::LruPolicy;
+using hh::cache::SetAssocArray;
+using hh::cache::WayMask;
+
+namespace {
+
+SetAssocArray
+makeArray(std::uint32_t sets = 4, std::uint32_t ways = 4)
+{
+    return SetAssocArray(Geometry{sets, ways, 1},
+                         std::make_unique<LruPolicy>());
+}
+
+} // namespace
+
+TEST(SetAssoc, MissThenHit)
+{
+    auto a = makeArray();
+    EXPECT_FALSE(a.access(0x100, true).hit);
+    EXPECT_TRUE(a.access(0x100, true).hit);
+    EXPECT_EQ(a.hits(), 1u);
+    EXPECT_EQ(a.misses(), 1u);
+}
+
+TEST(SetAssoc, DistinctKeysDistinctEntries)
+{
+    auto a = makeArray();
+    a.access(1, true);
+    a.access(2, true);
+    EXPECT_TRUE(a.probe(1));
+    EXPECT_TRUE(a.probe(2));
+    EXPECT_EQ(a.validCount(), 2u);
+}
+
+TEST(SetAssoc, LruEvictionOrder)
+{
+    auto a = makeArray(1, 2);
+    a.access(1, true);
+    a.access(2, true);
+    a.access(1, true);       // 2 is now LRU
+    const auto r = a.access(3, true);
+    EXPECT_TRUE(r.evictedValid);
+    EXPECT_FALSE(a.probe(2)); // the LRU entry was evicted
+    EXPECT_TRUE(a.probe(1));
+    EXPECT_TRUE(a.probe(3));
+}
+
+TEST(SetAssoc, EvictionCountsOnlyValidVictims)
+{
+    auto a = makeArray(1, 2);
+    a.access(1, true);
+    a.access(2, true);
+    EXPECT_EQ(a.evictions(), 0u);
+    a.access(3, true);
+    EXPECT_EQ(a.evictions(), 1u);
+}
+
+TEST(SetAssoc, KeysMapToSetsByLowBits)
+{
+    auto a = makeArray(4, 1);
+    // Keys 0 and 4 share set 0 with 1 way: second evicts first.
+    a.access(0, true);
+    a.access(4, true);
+    EXPECT_FALSE(a.probe(0));
+    // Key 1 lives in set 1, untouched.
+    a.access(1, true);
+    EXPECT_TRUE(a.probe(1));
+    EXPECT_TRUE(a.probe(4));
+}
+
+TEST(SetAssoc, ProbeDoesNotFill)
+{
+    auto a = makeArray();
+    EXPECT_FALSE(a.probe(42));
+    EXPECT_EQ(a.validCount(), 0u);
+    EXPECT_EQ(a.misses(), 0u);
+}
+
+TEST(SetAssoc, FlushAllInvalidatesEverything)
+{
+    auto a = makeArray();
+    for (int i = 0; i < 8; ++i)
+        a.access(static_cast<hh::cache::Addr>(i), true);
+    a.flushAll();
+    EXPECT_EQ(a.validCount(), 0u);
+    EXPECT_FALSE(a.probe(0));
+}
+
+TEST(SetAssoc, FlushWaysIsSelective)
+{
+    auto a = makeArray(1, 4);
+    // Fill ways 0..3 with keys 0,1,2,3 (all map to set 0 via sets=1).
+    for (int i = 0; i < 4; ++i)
+        a.access(static_cast<hh::cache::Addr>(i), true);
+    EXPECT_EQ(a.validCount(), 4u);
+    a.flushWays(0b0011);
+    EXPECT_EQ(a.validCount(), 2u);
+}
+
+TEST(SetAssoc, AllowedMaskRestrictsFills)
+{
+    auto a = makeArray(1, 4);
+    // Only way 0 allowed: repeated fills keep evicting way 0.
+    a.access(1, true, 0b0001);
+    a.access(2, true, 0b0001);
+    EXPECT_EQ(a.validCount(), 1u);
+    EXPECT_FALSE(a.probe(1));
+    EXPECT_TRUE(a.probe(2));
+}
+
+TEST(SetAssoc, LookupScansAllWaysRegardlessOfMask)
+{
+    auto a = makeArray(1, 4);
+    a.access(1, true, 0b1000); // filled into way 3
+    // Even with a different allowed mask, the lookup still hits.
+    EXPECT_TRUE(a.access(1, true, 0b0001).hit);
+}
+
+TEST(SetAssoc, EmptyAllowedMaskPanics)
+{
+    auto a = makeArray();
+    EXPECT_THROW(a.access(1, true, 0), std::logic_error);
+}
+
+TEST(SetAssoc, HarvestWayHelpers)
+{
+    auto a = makeArray(2, 8);
+    a.setHarvestWayCount(4);
+    EXPECT_EQ(a.harvestWays(), 0b1111u);
+    a.setHarvestWays(0b1010'1010);
+    EXPECT_EQ(a.harvestWays(), 0b1010'1010u);
+    EXPECT_EQ(a.allWays(), 0xFFu);
+}
+
+TEST(SetAssoc, HarvestMaskClampedToWays)
+{
+    auto a = makeArray(2, 4);
+    a.setHarvestWays(~WayMask{0});
+    EXPECT_EQ(a.harvestWays(), 0b1111u);
+    a.setHarvestWayCount(100);
+    EXPECT_EQ(a.harvestWays(), 0b1111u);
+}
+
+TEST(SetAssoc, HitRate)
+{
+    auto a = makeArray();
+    a.access(1, true);
+    a.access(1, true);
+    a.access(1, true);
+    a.access(2, true);
+    EXPECT_DOUBLE_EQ(a.hitRate(), 0.5);
+    a.resetStats();
+    EXPECT_DOUBLE_EQ(a.hitRate(), 0.0);
+    EXPECT_EQ(a.hits(), 0u);
+}
+
+TEST(SetAssoc, SharedBitStoredPerEntry)
+{
+    auto a = makeArray(1, 2);
+    a.access(1, true);
+    a.access(2, false);
+    EXPECT_TRUE(a.wayState(0, 0).shared);
+    EXPECT_FALSE(a.wayState(0, 1).shared);
+}
+
+TEST(SetAssoc, CandidateFractionValidation)
+{
+    auto a = makeArray();
+    EXPECT_THROW(a.setCandidateFraction(0.0), std::runtime_error);
+    EXPECT_THROW(a.setCandidateFraction(1.5), std::runtime_error);
+    a.setCandidateFraction(0.75); // fine
+}
+
+TEST(SetAssoc, InvalidGeometryFatal)
+{
+    EXPECT_THROW(SetAssocArray(Geometry{0, 4, 1},
+                               std::make_unique<LruPolicy>()),
+                 std::runtime_error);
+    EXPECT_THROW(SetAssocArray(Geometry{4, 0, 1},
+                               std::make_unique<LruPolicy>()),
+                 std::runtime_error);
+    EXPECT_THROW(SetAssocArray(Geometry{4, 65, 1},
+                               std::make_unique<LruPolicy>()),
+                 std::runtime_error);
+}
+
+TEST(SetAssoc, NonPowerOfTwoSetsWork)
+{
+    auto a = SetAssocArray(Geometry{3, 2, 1},
+                           std::make_unique<LruPolicy>());
+    for (hh::cache::Addr k = 0; k < 6; ++k)
+        a.access(k, true);
+    EXPECT_EQ(a.validCount(), 6u);
+}
+
+TEST(SetAssoc, WayStateOutOfRangePanics)
+{
+    auto a = makeArray(2, 2);
+    EXPECT_THROW(a.wayState(2, 0), std::logic_error);
+    EXPECT_THROW(a.wayState(0, 2), std::logic_error);
+}
+
+/** Property: filling N distinct keys never exceeds capacity. */
+class SetAssocCapacity
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{};
+
+TEST_P(SetAssocCapacity, ValidCountBounded)
+{
+    const auto [sets, ways] = GetParam();
+    SetAssocArray a(Geometry{sets, ways, 1},
+                    std::make_unique<LruPolicy>());
+    for (hh::cache::Addr k = 0; k < sets * ways * 3; ++k)
+        a.access(k * 7919, true);
+    EXPECT_LE(a.validCount(),
+              static_cast<std::uint64_t>(sets) * ways);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SetAssocCapacity,
+    ::testing::Values(std::make_pair(1u, 1u), std::make_pair(4u, 2u),
+                      std::make_pair(64u, 12u),
+                      std::make_pair(256u, 8u),
+                      std::make_pair(32u, 16u)));

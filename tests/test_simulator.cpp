@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the simulation driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+using hh::sim::Cycles;
+using hh::sim::Simulator;
+
+TEST(Simulator, ClockStartsAtZero)
+{
+    Simulator s;
+    EXPECT_EQ(s.now(), 0u);
+    EXPECT_TRUE(s.idle());
+}
+
+TEST(Simulator, ClockAdvancesToEventTime)
+{
+    Simulator s;
+    s.schedule(100, [] {});
+    s.run();
+    EXPECT_EQ(s.now(), 100u);
+}
+
+TEST(Simulator, RelativeSchedulingFromInsideEvents)
+{
+    Simulator s;
+    Cycles second = 0;
+    s.schedule(10, [&] {
+        s.schedule(5, [&] { second = s.now(); });
+    });
+    s.run();
+    EXPECT_EQ(second, 15u);
+}
+
+TEST(Simulator, RunHonorsHorizon)
+{
+    Simulator s;
+    int ran = 0;
+    s.schedule(10, [&] { ++ran; });
+    s.schedule(20, [&] { ++ran; });
+    s.schedule(30, [&] { ++ran; });
+    const auto n = s.run(20);
+    EXPECT_EQ(n, 2u);
+    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(s.pendingEvents(), 1u);
+}
+
+TEST(Simulator, EventAtExactHorizonRuns)
+{
+    Simulator s;
+    bool ran = false;
+    s.schedule(50, [&] { ran = true; });
+    s.run(50);
+    EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, StepExecutesOne)
+{
+    Simulator s;
+    int ran = 0;
+    s.schedule(1, [&] { ++ran; });
+    s.schedule(2, [&] { ++ran; });
+    EXPECT_TRUE(s.step());
+    EXPECT_EQ(ran, 1);
+    EXPECT_TRUE(s.step());
+    EXPECT_EQ(ran, 2);
+    EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, CancelPreventsExecution)
+{
+    Simulator s;
+    bool ran = false;
+    const auto id = s.schedule(5, [&] { ran = true; });
+    EXPECT_TRUE(s.cancel(id));
+    s.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime)
+{
+    Simulator s;
+    Cycles when = 0;
+    s.scheduleAt(123, [&] { when = s.now(); });
+    s.run();
+    EXPECT_EQ(when, 123u);
+}
+
+TEST(Simulator, ScheduleIntoPastPanics)
+{
+    Simulator s;
+    s.schedule(100, [] {});
+    s.run();
+    EXPECT_THROW(s.scheduleAt(50, [] {}), std::logic_error);
+}
+
+TEST(Simulator, ExecutedEventsCounts)
+{
+    Simulator s;
+    for (int i = 0; i < 7; ++i)
+        s.schedule(static_cast<Cycles>(i), [] {});
+    s.run();
+    EXPECT_EQ(s.executedEvents(), 7u);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime)
+{
+    Simulator s;
+    s.schedule(10, [] {});
+    s.run();
+    Cycles when = ~Cycles{0};
+    s.schedule(0, [&] { when = s.now(); });
+    s.run();
+    EXPECT_EQ(when, 10u);
+}
+
+TEST(Time, Conversions)
+{
+    using namespace hh::sim;
+    EXPECT_EQ(usToCycles(1.0), 3000u);
+    EXPECT_EQ(msToCycles(1.0), 3'000'000u);
+    EXPECT_EQ(nsToCycles(100.0), 300u);
+    EXPECT_DOUBLE_EQ(cyclesToUs(3000), 1.0);
+    EXPECT_DOUBLE_EQ(cyclesToMs(3'000'000), 1.0);
+    EXPECT_DOUBLE_EQ(cyclesToSec(kClockHz), 1.0);
+    EXPECT_NEAR(cyclesToNs(3), 1.0, 1e-9);
+}
+
+TEST(Time, RoundTripStable)
+{
+    using namespace hh::sim;
+    for (double us : {0.5, 1.0, 17.25, 1000.0}) {
+        EXPECT_NEAR(cyclesToUs(usToCycles(us)), us, 1e-3);
+    }
+}

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for counters, accumulators, histograms and the
+ * percentile recorder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/counter.h"
+#include "stats/histogram.h"
+#include "stats/percentile.h"
+
+using hh::stats::Accumulator;
+using hh::stats::Counter;
+using hh::stats::Histogram;
+using hh::stats::LatencyRecorder;
+using hh::stats::LogHistogram;
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c("x");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(c.name(), "x");
+}
+
+TEST(Accumulator, Moments)
+{
+    Accumulator a;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        a.add(v);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 4.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 1.25);
+}
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, NegativeValues)
+{
+    Accumulator a;
+    a.add(-5.0);
+    a.add(5.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), -5.0);
+}
+
+TEST(Histogram, BucketsAndFractions)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(i + 0.5);
+    EXPECT_EQ(h.totalCount(), 10u);
+    for (std::size_t b = 0; b < 10; ++b) {
+        EXPECT_EQ(h.bucketCount(b), 1u);
+        EXPECT_DOUBLE_EQ(h.bucketFraction(b), 0.1);
+    }
+}
+
+TEST(Histogram, OutOfRangeClamped)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-5.0);
+    h.add(100.0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+}
+
+TEST(Histogram, BucketLowEdges)
+{
+    Histogram h(10.0, 20.0, 5);
+    EXPECT_DOUBLE_EQ(h.bucketLow(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.bucketLow(4), 18.0);
+}
+
+TEST(Histogram, InvalidConfigPanics)
+{
+    EXPECT_THROW(Histogram(0.0, 10.0, 0), std::logic_error);
+    EXPECT_THROW(Histogram(10.0, 10.0, 5), std::logic_error);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(0, 1, 2);
+    h.add(0.5);
+    h.reset();
+    EXPECT_EQ(h.totalCount(), 0u);
+}
+
+TEST(LogHistogram, PowerOfTwoBuckets)
+{
+    LogHistogram h(10);
+    h.add(1.0);   // bucket 0
+    h.add(2.0);   // bucket 1
+    h.add(3.9);   // bucket 1
+    h.add(4.0);   // bucket 2
+    h.add(1000.0); // bucket 9 (log2=9.96 -> 9 via clamp)
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+    EXPECT_EQ(h.totalCount(), 5u);
+}
+
+TEST(LatencyRecorder, ExactPercentilesSmallSet)
+{
+    LatencyRecorder r;
+    for (double v : {1.0, 2.0, 3.0, 4.0, 5.0})
+        r.record(v);
+    EXPECT_DOUBLE_EQ(r.p50(), 3.0);
+    EXPECT_DOUBLE_EQ(r.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(r.percentile(100), 5.0);
+    EXPECT_DOUBLE_EQ(r.max(), 5.0);
+    EXPECT_DOUBLE_EQ(r.mean(), 3.0);
+}
+
+TEST(LatencyRecorder, InterpolatesBetweenRanks)
+{
+    LatencyRecorder r;
+    r.record(0.0);
+    r.record(10.0);
+    EXPECT_DOUBLE_EQ(r.p50(), 5.0);
+    EXPECT_DOUBLE_EQ(r.percentile(25), 2.5);
+}
+
+TEST(LatencyRecorder, EmptyReturnsZero)
+{
+    LatencyRecorder r;
+    EXPECT_EQ(r.p99(), 0.0);
+    EXPECT_EQ(r.mean(), 0.0);
+    EXPECT_EQ(r.count(), 0u);
+}
+
+TEST(LatencyRecorder, SingleSample)
+{
+    LatencyRecorder r;
+    r.record(7.0);
+    EXPECT_DOUBLE_EQ(r.p50(), 7.0);
+    EXPECT_DOUBLE_EQ(r.p99(), 7.0);
+}
+
+TEST(LatencyRecorder, UnsortedInputHandled)
+{
+    LatencyRecorder r;
+    for (double v : {9.0, 1.0, 5.0, 3.0, 7.0})
+        r.record(v);
+    EXPECT_DOUBLE_EQ(r.p50(), 5.0);
+    // Recording after a query re-sorts correctly.
+    r.record(0.0);
+    EXPECT_DOUBLE_EQ(r.percentile(0), 0.0);
+}
+
+TEST(LatencyRecorder, OutOfRangePanics)
+{
+    LatencyRecorder r;
+    r.record(1.0);
+    EXPECT_THROW(r.percentile(-1), std::logic_error);
+    EXPECT_THROW(r.percentile(101), std::logic_error);
+}
+
+TEST(LatencyRecorder, ResetDropsSamples)
+{
+    LatencyRecorder r;
+    r.record(1.0);
+    r.reset();
+    EXPECT_EQ(r.count(), 0u);
+    EXPECT_EQ(r.p99(), 0.0);
+}
+
+TEST(EmpiricalCdf, FractionsAtQueryPoints)
+{
+    const std::vector<double> samples{1, 2, 3, 4, 5};
+    const auto cdf =
+        hh::stats::empiricalCdf(samples, {0.5, 2.0, 4.5, 10.0});
+    ASSERT_EQ(cdf.size(), 4u);
+    EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+    EXPECT_DOUBLE_EQ(cdf[1], 0.4);
+    EXPECT_DOUBLE_EQ(cdf[2], 0.8);
+    EXPECT_DOUBLE_EQ(cdf[3], 1.0);
+}
+
+/** Property: percentiles are monotone in p. */
+class PercentileMonotone : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(PercentileMonotone, NonDecreasing)
+{
+    LatencyRecorder r;
+    // Pseudo-random-ish but deterministic samples.
+    std::uint64_t x = static_cast<std::uint64_t>(GetParam()) + 1;
+    for (int i = 0; i < 500; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        r.record(static_cast<double>(x % 10000) / 100.0);
+    }
+    double prev = r.percentile(0);
+    for (int p = 1; p <= 100; ++p) {
+        const double v = r.percentile(p);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone,
+                         ::testing::Range(0, 8));

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests that the storage/area/power model reproduces §6.8 exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/storage_cost.h"
+
+using hh::core::computeStorageCost;
+using hh::core::StorageCostParams;
+
+TEST(StorageCost, RqArraySize)
+{
+    const auto c = computeStorageCost();
+    // 2048 entries x 66 bits = 16.5 KB.
+    EXPECT_NEAR(c.rqKb, 16.5, 0.01);
+}
+
+TEST(StorageCost, QmPairsSize)
+{
+    const auto c = computeStorageCost();
+    // 16 x (128 B VM state + 24 B RQ-Map + 5 B HarvestMask).
+    EXPECT_NEAR(c.qmKb, 16.0 * 157.0 / 1024.0, 0.01);
+}
+
+TEST(StorageCost, ControllerMatchesPaper)
+{
+    const auto c = computeStorageCost();
+    // §6.8: 18.9 KB per controller, 0.53 KB per core.
+    EXPECT_NEAR(c.controllerKb, 18.9, 0.2);
+    EXPECT_NEAR(c.controllerPerCoreKb, 0.53, 0.02);
+}
+
+TEST(StorageCost, SharedBitsMatchPaper)
+{
+    const auto c = computeStorageCost();
+    // §6.8: 67.8 KB per server (1.9 KB per core).
+    EXPECT_NEAR(c.sharedBitsPerCoreKb, 1.9, 0.05);
+    EXPECT_NEAR(c.sharedBitsServerKb, 67.8, 1.5);
+}
+
+TEST(StorageCost, AreaAndPowerOverheadsMatchPaper)
+{
+    const auto c = computeStorageCost();
+    // §6.8: 0.19% area and 0.16% power at 7 nm.
+    EXPECT_NEAR(c.areaOverheadPct, 0.19, 0.02);
+    EXPECT_NEAR(c.powerOverheadPct, 0.16, 0.02);
+}
+
+TEST(StorageCost, ScalesWithRqEntries)
+{
+    StorageCostParams p;
+    p.rqEntries = 4096;
+    const auto c = computeStorageCost(p);
+    EXPECT_NEAR(c.rqKb, 33.0, 0.01);
+}
+
+TEST(StorageCost, TotalsAreConsistent)
+{
+    const auto c = computeStorageCost();
+    EXPECT_NEAR(c.totalServerKb,
+                c.controllerKb + c.sharedBitsServerKb, 1e-9);
+    EXPECT_NEAR(c.controllerKb, c.rqKb + c.qmKb, 1e-9);
+}

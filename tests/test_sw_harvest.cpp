@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the SmartHarvest-like lending policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/sw_harvest.h"
+
+using hh::vm::SmartHarvestPolicy;
+using hh::vm::SwHarvestConfig;
+
+TEST(SwHarvest, EwmaTracksObservations)
+{
+    SmartHarvestPolicy p;
+    p.observe(0, 2.0);
+    EXPECT_DOUBLE_EQ(p.predictedBusy(0), 2.0);
+    p.observe(0, 0.0);
+    EXPECT_LT(p.predictedBusy(0), 2.0);
+    EXPECT_GT(p.predictedBusy(0), 0.0);
+}
+
+TEST(SwHarvest, UnknownVmPredictsZero)
+{
+    SmartHarvestPolicy p;
+    EXPECT_DOUBLE_EQ(p.predictedBusy(7), 0.0);
+}
+
+TEST(SwHarvest, EmergencyBufferReservesCores)
+{
+    SwHarvestConfig cfg;
+    cfg.emergencyBuffer = 2;
+    SmartHarvestPolicy p(cfg);
+    p.observe(0, 0.0);
+    // 4 bound cores, all idle long enough: only 2 may be lent.
+    EXPECT_EQ(p.lendableCores(0, 4, 4, 4), 2u);
+}
+
+TEST(SwHarvest, PredictionReducesLending)
+{
+    SwHarvestConfig cfg;
+    cfg.emergencyBuffer = 1;
+    SmartHarvestPolicy p(cfg);
+    p.observe(0, 2.0); // expects 2 busy cores soon
+    EXPECT_EQ(p.lendableCores(0, 4, 4, 4), 1u);
+}
+
+TEST(SwHarvest, NoLendingWhenFullyUtilized)
+{
+    SwHarvestConfig cfg;
+    cfg.emergencyBuffer = 1;
+    SmartHarvestPolicy p(cfg);
+    p.observe(0, 4.0);
+    EXPECT_EQ(p.lendableCores(0, 4, 0, 0), 0u);
+}
+
+TEST(SwHarvest, LimitedByIdleAndThresholdCounts)
+{
+    SwHarvestConfig cfg;
+    cfg.emergencyBuffer = 0;
+    SmartHarvestPolicy p(cfg);
+    p.observe(0, 0.0);
+    EXPECT_EQ(p.lendableCores(0, 4, 2, 1), 1u);
+    EXPECT_EQ(p.lendableCores(0, 4, 2, 2), 2u);
+}
+
+TEST(SwHarvest, FractionalPredictionRoundsUp)
+{
+    SwHarvestConfig cfg;
+    cfg.emergencyBuffer = 0;
+    SmartHarvestPolicy p(cfg);
+    p.observe(0, 0.4); // ceil -> reserves one core
+    EXPECT_EQ(p.lendableCores(0, 4, 4, 4), 3u);
+}
+
+TEST(SwHarvest, VmsTrackedIndependently)
+{
+    SmartHarvestPolicy p;
+    p.observe(0, 4.0);
+    p.observe(1, 0.0);
+    EXPECT_LT(p.lendableCores(0, 4, 4, 4),
+              p.lendableCores(1, 4, 4, 4));
+}

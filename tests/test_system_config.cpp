@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the five evaluated system configurations (§5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/system_config.h"
+
+using namespace hh::cluster;
+
+TEST(SystemConfig, Names)
+{
+    EXPECT_STREQ(systemName(SystemKind::NoHarvest), "NoHarvest");
+    EXPECT_STREQ(systemName(SystemKind::HarvestTerm), "Harvest-Term");
+    EXPECT_STREQ(systemName(SystemKind::HarvestBlock),
+                 "Harvest-Block");
+    EXPECT_STREQ(systemName(SystemKind::HardHarvestTerm),
+                 "HardHarvest-Term");
+    EXPECT_STREQ(systemName(SystemKind::HardHarvestBlock),
+                 "HardHarvest-Block");
+}
+
+TEST(SystemConfig, NoHarvestDisablesEverything)
+{
+    const auto cfg = makeSystem(SystemKind::NoHarvest);
+    EXPECT_FALSE(cfg.harvesting);
+    EXPECT_FALSE(cfg.hwSched);
+    EXPECT_FALSE(cfg.hwQueue);
+    EXPECT_FALSE(cfg.hwCtxtSwitch);
+    EXPECT_FALSE(cfg.partitioning);
+    EXPECT_EQ(cfg.repl, hh::cache::ReplKind::LRU);
+}
+
+TEST(SystemConfig, SoftwareHarvestingUsesOptimizedImpl)
+{
+    for (const auto kind :
+         {SystemKind::HarvestTerm, SystemKind::HarvestBlock}) {
+        const auto cfg = makeSystem(kind);
+        EXPECT_TRUE(cfg.harvesting);
+        EXPECT_FALSE(cfg.hwSched);
+        EXPECT_TRUE(cfg.swFlushOnReassign);
+        EXPECT_EQ(cfg.swImpl, hh::vm::ReassignImpl::Optimized);
+        EXPECT_EQ(cfg.repl, hh::cache::ReplKind::LRU);
+    }
+}
+
+TEST(SystemConfig, TermVsBlockDiffersOnlyInAggressiveness)
+{
+    const auto term = makeSystem(SystemKind::HarvestTerm);
+    const auto block = makeSystem(SystemKind::HarvestBlock);
+    EXPECT_FALSE(term.harvestOnBlock);
+    EXPECT_TRUE(block.harvestOnBlock);
+}
+
+TEST(SystemConfig, HardHarvestEnablesAllHardware)
+{
+    for (const auto kind : {SystemKind::HardHarvestTerm,
+                            SystemKind::HardHarvestBlock}) {
+        const auto cfg = makeSystem(kind);
+        EXPECT_TRUE(cfg.harvesting);
+        EXPECT_TRUE(cfg.hwSched);
+        EXPECT_TRUE(cfg.hwQueue);
+        EXPECT_TRUE(cfg.hwCtxtSwitch);
+        EXPECT_TRUE(cfg.partitioning);
+        EXPECT_TRUE(cfg.efficientFlush);
+        EXPECT_EQ(cfg.repl, hh::cache::ReplKind::HardHarvest);
+    }
+}
+
+TEST(SystemConfig, Table1Defaults)
+{
+    const auto cfg = makeSystem(SystemKind::HardHarvestBlock);
+    EXPECT_EQ(cfg.cores, 36u);
+    EXPECT_EQ(cfg.primaryVms, 8u);
+    EXPECT_EQ(cfg.coresPerPrimary, 4u);
+    EXPECT_DOUBLE_EQ(cfg.candidateFraction, 0.75);
+    EXPECT_DOUBLE_EQ(cfg.harvestWayFraction, 0.5);
+    EXPECT_DOUBLE_EQ(cfg.llcMbPerCore, 2.0);
+}

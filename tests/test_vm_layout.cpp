@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unit tests for VM descriptors and the per-server layout (§5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "vm/vm.h"
+
+using namespace hh::vm;
+
+TEST(VmLayout, PaperDefaultShape)
+{
+    const auto vms = defaultServerLayout();
+    ASSERT_EQ(vms.size(), 9u);
+    for (unsigned i = 0; i < 8; ++i) {
+        EXPECT_TRUE(vms[i].isPrimary());
+        EXPECT_EQ(vms[i].cores.size(), 4u);
+    }
+    EXPECT_FALSE(vms[8].isPrimary());
+    EXPECT_EQ(vms[8].cores.size(), 4u);
+    EXPECT_EQ(vms[8].type, VmType::Harvest);
+}
+
+TEST(VmLayout, CoresPartitionTheServer)
+{
+    const auto vms = defaultServerLayout(36, 8, 4);
+    std::set<unsigned> cores;
+    for (const auto &vm : vms)
+        cores.insert(vm.cores.begin(), vm.cores.end());
+    EXPECT_EQ(cores.size(), 36u);
+    EXPECT_EQ(*cores.begin(), 0u);
+    EXPECT_EQ(*cores.rbegin(), 35u);
+}
+
+TEST(VmLayout, IdsAndAsidsUnique)
+{
+    const auto vms = defaultServerLayout();
+    std::set<std::uint32_t> ids;
+    for (const auto &vm : vms) {
+        EXPECT_EQ(vm.id, vm.asid);
+        ids.insert(vm.id);
+    }
+    EXPECT_EQ(ids.size(), vms.size());
+}
+
+TEST(VmLayout, CustomShapes)
+{
+    const auto vms = defaultServerLayout(16, 3, 4);
+    ASSERT_EQ(vms.size(), 4u);
+    EXPECT_EQ(vms[3].cores.size(), 4u);
+}
+
+TEST(VmLayout, NoHarvestCoresFatal)
+{
+    EXPECT_THROW(defaultServerLayout(32, 8, 4), std::runtime_error);
+}

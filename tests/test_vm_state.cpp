@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Unit tests for the VM State Register Sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vm_state.h"
+
+using hh::core::VmStateRegisterSet;
+
+TEST(VmState, ReadWriteNamedRegisters)
+{
+    VmStateRegisterSet s;
+    s.write(VmStateRegisterSet::VmcsPtr, 0xABCD);
+    s.write(VmStateRegisterSet::Cr3, 0x1000);
+    EXPECT_EQ(s.read(VmStateRegisterSet::VmcsPtr), 0xABCDu);
+    EXPECT_EQ(s.read(VmStateRegisterSet::Cr3), 0x1000u);
+    EXPECT_EQ(s.read(VmStateRegisterSet::Gdtr), 0u);
+}
+
+TEST(VmState, AllSixteenRegistersUsable)
+{
+    VmStateRegisterSet s;
+    for (unsigned i = 0; i < VmStateRegisterSet::kNumRegs; ++i)
+        s.write(i, i * 11);
+    for (unsigned i = 0; i < VmStateRegisterSet::kNumRegs; ++i)
+        EXPECT_EQ(s.read(i), i * 11);
+}
+
+TEST(VmState, OutOfRangePanics)
+{
+    VmStateRegisterSet s;
+    EXPECT_THROW(s.read(16), std::logic_error);
+    EXPECT_THROW(s.write(16, 1), std::logic_error);
+}
+
+TEST(VmState, ImageRoundTrip)
+{
+    VmStateRegisterSet a;
+    for (unsigned i = 0; i < VmStateRegisterSet::kNumRegs; ++i)
+        a.write(i, 100 + i);
+    VmStateRegisterSet b;
+    b.load(a.image());
+    for (unsigned i = 0; i < VmStateRegisterSet::kNumRegs; ++i)
+        EXPECT_EQ(b.read(i), 100 + i);
+}
+
+TEST(VmState, StorageMatchesPaper)
+{
+    // §6.8: 16 VM State registers of 8 B each.
+    EXPECT_EQ(VmStateRegisterSet::storageBytes(), 128u);
+}
