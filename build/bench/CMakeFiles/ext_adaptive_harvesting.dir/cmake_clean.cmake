@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_adaptive_harvesting.dir/ext_adaptive_harvesting.cpp.o"
+  "CMakeFiles/ext_adaptive_harvesting.dir/ext_adaptive_harvesting.cpp.o.d"
+  "ext_adaptive_harvesting"
+  "ext_adaptive_harvesting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_adaptive_harvesting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

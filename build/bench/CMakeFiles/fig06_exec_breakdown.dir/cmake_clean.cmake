@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_exec_breakdown.dir/fig06_exec_breakdown.cpp.o"
+  "CMakeFiles/fig06_exec_breakdown.dir/fig06_exec_breakdown.cpp.o.d"
+  "fig06_exec_breakdown"
+  "fig06_exec_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_exec_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_sched_ctxtsw.dir/fig13_sched_ctxtsw.cpp.o"
+  "CMakeFiles/fig13_sched_ctxtsw.dir/fig13_sched_ctxtsw.cpp.o.d"
+  "fig13_sched_ctxtsw"
+  "fig13_sched_ctxtsw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_sched_ctxtsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_l2_hitrate.dir/fig14_l2_hitrate.cpp.o"
+  "CMakeFiles/fig14_l2_hitrate.dir/fig14_l2_hitrate.cpp.o.d"
+  "fig14_l2_hitrate"
+  "fig14_l2_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_l2_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

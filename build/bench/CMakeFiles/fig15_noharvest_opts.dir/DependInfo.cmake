@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig15_noharvest_opts.cpp" "bench/CMakeFiles/fig15_noharvest_opts.dir/fig15_noharvest_opts.cpp.o" "gcc" "bench/CMakeFiles/fig15_noharvest_opts.dir/fig15_noharvest_opts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hh_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/hh_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/hh_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hh_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/hh_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hh_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hh_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hh_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

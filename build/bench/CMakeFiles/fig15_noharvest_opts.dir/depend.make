@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_noharvest_opts.
+# This may be replaced when dependencies are built.

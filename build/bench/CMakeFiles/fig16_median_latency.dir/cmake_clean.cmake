@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_median_latency.dir/fig16_median_latency.cpp.o"
+  "CMakeFiles/fig16_median_latency.dir/fig16_median_latency.cpp.o.d"
+  "fig16_median_latency"
+  "fig16_median_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_median_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_harvest_throughput.dir/fig17_harvest_throughput.cpp.o"
+  "CMakeFiles/fig17_harvest_throughput.dir/fig17_harvest_throughput.cpp.o.d"
+  "fig17_harvest_throughput"
+  "fig17_harvest_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_harvest_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_llc_sensitivity.dir/fig18_llc_sensitivity.cpp.o"
+  "CMakeFiles/fig18_llc_sensitivity.dir/fig18_llc_sensitivity.cpp.o.d"
+  "fig18_llc_sensitivity"
+  "fig18_llc_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_llc_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

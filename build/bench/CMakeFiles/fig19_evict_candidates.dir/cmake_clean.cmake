@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_evict_candidates.dir/fig19_evict_candidates.cpp.o"
+  "CMakeFiles/fig19_evict_candidates.dir/fig19_evict_candidates.cpp.o.d"
+  "fig19_evict_candidates"
+  "fig19_evict_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_evict_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

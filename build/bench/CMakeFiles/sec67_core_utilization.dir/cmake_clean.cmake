@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec67_core_utilization.dir/sec67_core_utilization.cpp.o"
+  "CMakeFiles/sec67_core_utilization.dir/sec67_core_utilization.cpp.o.d"
+  "sec67_core_utilization"
+  "sec67_core_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec67_core_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec68_storage_cost.dir/sec68_storage_cost.cpp.o"
+  "CMakeFiles/sec68_storage_cost.dir/sec68_storage_cost.cpp.o.d"
+  "sec68_storage_cost"
+  "sec68_storage_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec68_storage_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

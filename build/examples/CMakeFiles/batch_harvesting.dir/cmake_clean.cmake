@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_harvesting.dir/batch_harvesting.cpp.o"
+  "CMakeFiles/batch_harvesting.dir/batch_harvesting.cpp.o.d"
+  "batch_harvesting"
+  "batch_harvesting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_harvesting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replacement_explorer.dir/replacement_explorer.cpp.o"
+  "CMakeFiles/replacement_explorer.dir/replacement_explorer.cpp.o.d"
+  "replacement_explorer"
+  "replacement_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replacement_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/config.cc" "src/cache/CMakeFiles/hh_cache.dir/config.cc.o" "gcc" "src/cache/CMakeFiles/hh_cache.dir/config.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/cache/CMakeFiles/hh_cache.dir/hierarchy.cc.o" "gcc" "src/cache/CMakeFiles/hh_cache.dir/hierarchy.cc.o.d"
+  "/root/repo/src/cache/repl_belady.cc" "src/cache/CMakeFiles/hh_cache.dir/repl_belady.cc.o" "gcc" "src/cache/CMakeFiles/hh_cache.dir/repl_belady.cc.o.d"
+  "/root/repo/src/cache/repl_cdp.cc" "src/cache/CMakeFiles/hh_cache.dir/repl_cdp.cc.o" "gcc" "src/cache/CMakeFiles/hh_cache.dir/repl_cdp.cc.o.d"
+  "/root/repo/src/cache/repl_hardharvest.cc" "src/cache/CMakeFiles/hh_cache.dir/repl_hardharvest.cc.o" "gcc" "src/cache/CMakeFiles/hh_cache.dir/repl_hardharvest.cc.o.d"
+  "/root/repo/src/cache/repl_lru.cc" "src/cache/CMakeFiles/hh_cache.dir/repl_lru.cc.o" "gcc" "src/cache/CMakeFiles/hh_cache.dir/repl_lru.cc.o.d"
+  "/root/repo/src/cache/repl_rrip.cc" "src/cache/CMakeFiles/hh_cache.dir/repl_rrip.cc.o" "gcc" "src/cache/CMakeFiles/hh_cache.dir/repl_rrip.cc.o.d"
+  "/root/repo/src/cache/replacement.cc" "src/cache/CMakeFiles/hh_cache.dir/replacement.cc.o" "gcc" "src/cache/CMakeFiles/hh_cache.dir/replacement.cc.o.d"
+  "/root/repo/src/cache/set_assoc.cc" "src/cache/CMakeFiles/hh_cache.dir/set_assoc.cc.o" "gcc" "src/cache/CMakeFiles/hh_cache.dir/set_assoc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hh_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

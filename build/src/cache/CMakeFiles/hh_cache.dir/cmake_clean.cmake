@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_cache.dir/config.cc.o"
+  "CMakeFiles/hh_cache.dir/config.cc.o.d"
+  "CMakeFiles/hh_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/hh_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/hh_cache.dir/repl_belady.cc.o"
+  "CMakeFiles/hh_cache.dir/repl_belady.cc.o.d"
+  "CMakeFiles/hh_cache.dir/repl_cdp.cc.o"
+  "CMakeFiles/hh_cache.dir/repl_cdp.cc.o.d"
+  "CMakeFiles/hh_cache.dir/repl_hardharvest.cc.o"
+  "CMakeFiles/hh_cache.dir/repl_hardharvest.cc.o.d"
+  "CMakeFiles/hh_cache.dir/repl_lru.cc.o"
+  "CMakeFiles/hh_cache.dir/repl_lru.cc.o.d"
+  "CMakeFiles/hh_cache.dir/repl_rrip.cc.o"
+  "CMakeFiles/hh_cache.dir/repl_rrip.cc.o.d"
+  "CMakeFiles/hh_cache.dir/replacement.cc.o"
+  "CMakeFiles/hh_cache.dir/replacement.cc.o.d"
+  "CMakeFiles/hh_cache.dir/set_assoc.cc.o"
+  "CMakeFiles/hh_cache.dir/set_assoc.cc.o.d"
+  "libhh_cache.a"
+  "libhh_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_cluster.dir/experiment.cc.o"
+  "CMakeFiles/hh_cluster.dir/experiment.cc.o.d"
+  "CMakeFiles/hh_cluster.dir/server.cc.o"
+  "CMakeFiles/hh_cluster.dir/server.cc.o.d"
+  "CMakeFiles/hh_cluster.dir/system_config.cc.o"
+  "CMakeFiles/hh_cluster.dir/system_config.cc.o.d"
+  "libhh_cluster.a"
+  "libhh_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

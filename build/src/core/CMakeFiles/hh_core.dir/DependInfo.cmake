@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/context_memory.cc" "src/core/CMakeFiles/hh_core.dir/context_memory.cc.o" "gcc" "src/core/CMakeFiles/hh_core.dir/context_memory.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/hh_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/hh_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/harvest_mask.cc" "src/core/CMakeFiles/hh_core.dir/harvest_mask.cc.o" "gcc" "src/core/CMakeFiles/hh_core.dir/harvest_mask.cc.o.d"
+  "/root/repo/src/core/queue_manager.cc" "src/core/CMakeFiles/hh_core.dir/queue_manager.cc.o" "gcc" "src/core/CMakeFiles/hh_core.dir/queue_manager.cc.o.d"
+  "/root/repo/src/core/rq.cc" "src/core/CMakeFiles/hh_core.dir/rq.cc.o" "gcc" "src/core/CMakeFiles/hh_core.dir/rq.cc.o.d"
+  "/root/repo/src/core/storage_cost.cc" "src/core/CMakeFiles/hh_core.dir/storage_cost.cc.o" "gcc" "src/core/CMakeFiles/hh_core.dir/storage_cost.cc.o.d"
+  "/root/repo/src/core/vm_state.cc" "src/core/CMakeFiles/hh_core.dir/vm_state.cc.o" "gcc" "src/core/CMakeFiles/hh_core.dir/vm_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hh_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/hh_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hh_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

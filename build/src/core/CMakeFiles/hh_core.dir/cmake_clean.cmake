@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_core.dir/context_memory.cc.o"
+  "CMakeFiles/hh_core.dir/context_memory.cc.o.d"
+  "CMakeFiles/hh_core.dir/controller.cc.o"
+  "CMakeFiles/hh_core.dir/controller.cc.o.d"
+  "CMakeFiles/hh_core.dir/harvest_mask.cc.o"
+  "CMakeFiles/hh_core.dir/harvest_mask.cc.o.d"
+  "CMakeFiles/hh_core.dir/queue_manager.cc.o"
+  "CMakeFiles/hh_core.dir/queue_manager.cc.o.d"
+  "CMakeFiles/hh_core.dir/rq.cc.o"
+  "CMakeFiles/hh_core.dir/rq.cc.o.d"
+  "CMakeFiles/hh_core.dir/storage_cost.cc.o"
+  "CMakeFiles/hh_core.dir/storage_cost.cc.o.d"
+  "CMakeFiles/hh_core.dir/vm_state.cc.o"
+  "CMakeFiles/hh_core.dir/vm_state.cc.o.d"
+  "libhh_core.a"
+  "libhh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

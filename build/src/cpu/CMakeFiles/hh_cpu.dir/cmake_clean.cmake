@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_cpu.dir/core.cc.o"
+  "CMakeFiles/hh_cpu.dir/core.cc.o.d"
+  "libhh_cpu.a"
+  "libhh_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_mem.dir/dram.cc.o"
+  "CMakeFiles/hh_mem.dir/dram.cc.o.d"
+  "libhh_mem.a"
+  "libhh_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

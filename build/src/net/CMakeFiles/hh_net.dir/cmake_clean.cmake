@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_net.dir/fabric.cc.o"
+  "CMakeFiles/hh_net.dir/fabric.cc.o.d"
+  "CMakeFiles/hh_net.dir/nic.cc.o"
+  "CMakeFiles/hh_net.dir/nic.cc.o.d"
+  "libhh_net.a"
+  "libhh_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

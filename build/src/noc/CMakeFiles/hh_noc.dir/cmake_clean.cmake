@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_noc.dir/control_tree.cc.o"
+  "CMakeFiles/hh_noc.dir/control_tree.cc.o.d"
+  "CMakeFiles/hh_noc.dir/mesh.cc.o"
+  "CMakeFiles/hh_noc.dir/mesh.cc.o.d"
+  "libhh_noc.a"
+  "libhh_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_sim.dir/event_queue.cc.o"
+  "CMakeFiles/hh_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/hh_sim.dir/log.cc.o"
+  "CMakeFiles/hh_sim.dir/log.cc.o.d"
+  "CMakeFiles/hh_sim.dir/rng.cc.o"
+  "CMakeFiles/hh_sim.dir/rng.cc.o.d"
+  "CMakeFiles/hh_sim.dir/simulator.cc.o"
+  "CMakeFiles/hh_sim.dir/simulator.cc.o.d"
+  "libhh_sim.a"
+  "libhh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

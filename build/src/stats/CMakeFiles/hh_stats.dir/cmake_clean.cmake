@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_stats.dir/histogram.cc.o"
+  "CMakeFiles/hh_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/hh_stats.dir/percentile.cc.o"
+  "CMakeFiles/hh_stats.dir/percentile.cc.o.d"
+  "CMakeFiles/hh_stats.dir/utilization.cc.o"
+  "CMakeFiles/hh_stats.dir/utilization.cc.o.d"
+  "libhh_stats.a"
+  "libhh_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/hypervisor.cc" "src/vm/CMakeFiles/hh_vm.dir/hypervisor.cc.o" "gcc" "src/vm/CMakeFiles/hh_vm.dir/hypervisor.cc.o.d"
+  "/root/repo/src/vm/sw_harvest.cc" "src/vm/CMakeFiles/hh_vm.dir/sw_harvest.cc.o" "gcc" "src/vm/CMakeFiles/hh_vm.dir/sw_harvest.cc.o.d"
+  "/root/repo/src/vm/vm.cc" "src/vm/CMakeFiles/hh_vm.dir/vm.cc.o" "gcc" "src/vm/CMakeFiles/hh_vm.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

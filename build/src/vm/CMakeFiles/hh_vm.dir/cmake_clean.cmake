@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_vm.dir/hypervisor.cc.o"
+  "CMakeFiles/hh_vm.dir/hypervisor.cc.o.d"
+  "CMakeFiles/hh_vm.dir/sw_harvest.cc.o"
+  "CMakeFiles/hh_vm.dir/sw_harvest.cc.o.d"
+  "CMakeFiles/hh_vm.dir/vm.cc.o"
+  "CMakeFiles/hh_vm.dir/vm.cc.o.d"
+  "libhh_vm.a"
+  "libhh_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/address_space.cc" "src/workload/CMakeFiles/hh_workload.dir/address_space.cc.o" "gcc" "src/workload/CMakeFiles/hh_workload.dir/address_space.cc.o.d"
+  "/root/repo/src/workload/alibaba.cc" "src/workload/CMakeFiles/hh_workload.dir/alibaba.cc.o" "gcc" "src/workload/CMakeFiles/hh_workload.dir/alibaba.cc.o.d"
+  "/root/repo/src/workload/batch.cc" "src/workload/CMakeFiles/hh_workload.dir/batch.cc.o" "gcc" "src/workload/CMakeFiles/hh_workload.dir/batch.cc.o.d"
+  "/root/repo/src/workload/loadgen.cc" "src/workload/CMakeFiles/hh_workload.dir/loadgen.cc.o" "gcc" "src/workload/CMakeFiles/hh_workload.dir/loadgen.cc.o.d"
+  "/root/repo/src/workload/service.cc" "src/workload/CMakeFiles/hh_workload.dir/service.cc.o" "gcc" "src/workload/CMakeFiles/hh_workload.dir/service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hh_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hh_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_workload.dir/address_space.cc.o"
+  "CMakeFiles/hh_workload.dir/address_space.cc.o.d"
+  "CMakeFiles/hh_workload.dir/alibaba.cc.o"
+  "CMakeFiles/hh_workload.dir/alibaba.cc.o.d"
+  "CMakeFiles/hh_workload.dir/batch.cc.o"
+  "CMakeFiles/hh_workload.dir/batch.cc.o.d"
+  "CMakeFiles/hh_workload.dir/loadgen.cc.o"
+  "CMakeFiles/hh_workload.dir/loadgen.cc.o.d"
+  "CMakeFiles/hh_workload.dir/service.cc.o"
+  "CMakeFiles/hh_workload.dir/service.cc.o.d"
+  "libhh_workload.a"
+  "libhh_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

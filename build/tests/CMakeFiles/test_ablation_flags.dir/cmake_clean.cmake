@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ablation_flags.dir/test_ablation_flags.cpp.o"
+  "CMakeFiles/test_ablation_flags.dir/test_ablation_flags.cpp.o.d"
+  "test_ablation_flags"
+  "test_ablation_flags.pdb"
+  "test_ablation_flags[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ablation_flags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alibaba.dir/test_alibaba.cpp.o"
+  "CMakeFiles/test_alibaba.dir/test_alibaba.cpp.o.d"
+  "test_alibaba"
+  "test_alibaba.pdb"
+  "test_alibaba[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alibaba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

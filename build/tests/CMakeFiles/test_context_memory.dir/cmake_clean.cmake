@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_context_memory.dir/test_context_memory.cpp.o"
+  "CMakeFiles/test_context_memory.dir/test_context_memory.cpp.o.d"
+  "test_context_memory"
+  "test_context_memory.pdb"
+  "test_context_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_context_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

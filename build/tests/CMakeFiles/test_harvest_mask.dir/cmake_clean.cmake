@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harvest_mask.dir/test_harvest_mask.cpp.o"
+  "CMakeFiles/test_harvest_mask.dir/test_harvest_mask.cpp.o.d"
+  "test_harvest_mask"
+  "test_harvest_mask.pdb"
+  "test_harvest_mask[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harvest_mask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_log_misc.dir/test_log_misc.cpp.o"
+  "CMakeFiles/test_log_misc.dir/test_log_misc.cpp.o.d"
+  "test_log_misc"
+  "test_log_misc.pdb"
+  "test_log_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_log_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

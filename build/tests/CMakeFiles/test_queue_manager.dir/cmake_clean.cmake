@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queue_manager.dir/test_queue_manager.cpp.o"
+  "CMakeFiles/test_queue_manager.dir/test_queue_manager.cpp.o.d"
+  "test_queue_manager"
+  "test_queue_manager.pdb"
+  "test_queue_manager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queue_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

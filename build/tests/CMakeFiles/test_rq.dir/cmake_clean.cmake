@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rq.dir/test_rq.cpp.o"
+  "CMakeFiles/test_rq.dir/test_rq.cpp.o.d"
+  "test_rq"
+  "test_rq.pdb"
+  "test_rq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage_cost.dir/test_storage_cost.cpp.o"
+  "CMakeFiles/test_storage_cost.dir/test_storage_cost.cpp.o.d"
+  "test_storage_cost"
+  "test_storage_cost.pdb"
+  "test_storage_cost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

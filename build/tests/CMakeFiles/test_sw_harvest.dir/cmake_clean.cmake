@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sw_harvest.dir/test_sw_harvest.cpp.o"
+  "CMakeFiles/test_sw_harvest.dir/test_sw_harvest.cpp.o.d"
+  "test_sw_harvest"
+  "test_sw_harvest.pdb"
+  "test_sw_harvest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sw_harvest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

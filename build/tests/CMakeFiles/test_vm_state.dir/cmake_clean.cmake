@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_state.dir/test_vm_state.cpp.o"
+  "CMakeFiles/test_vm_state.dir/test_vm_state.cpp.o.d"
+  "test_vm_state"
+  "test_vm_state.pdb"
+  "test_vm_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
