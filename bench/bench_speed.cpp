@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Simulator speed tracker: measures the wall-clock of the parallel
+ * cluster engine against the sequential baseline and the event-queue
+ * hot path against the seed implementation, then writes the numbers
+ * as machine-readable JSON so the perf trajectory is tracked across
+ * PRs.
+ *
+ * Usage:  bench_speed [output.json]
+ *   default output: BENCH_sim_speed.json in the current directory.
+ * Honors HH_REQUESTS / HH_SERVERS / HH_SAMPLING / HH_SEED /
+ * HH_THREADS; the cluster run uses all 8 batch apps unless
+ * HH_SERVERS says otherwise.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "legacy_event_queue.h"
+#include "sim/event_queue.h"
+#include "sim/thread_pool.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+/** Ops/sec of the schedule/cancel/pop mix over @p rounds rounds. */
+template <typename Queue>
+double
+measureQueueMix(std::uint64_t rounds)
+{
+    std::uint64_t sink = 0;
+    hh::sim::Rng rng(7, 0xE0);
+    Queue q;
+    hh::sim::Cycles now = 0;
+    std::vector<typename Queue::EventId> pending;
+    for (int i = 0; i < 64; ++i)
+        pending.push_back(
+            q.schedule(now + 1 + (i % 13), [&sink] { ++sink; }));
+    const auto start = Clock::now();
+    for (std::uint64_t r = 0; r < rounds; ++r)
+        hh::bench::eventQueueMixRound(q, rng, now, pending, sink);
+    const double sec = secondsSince(start);
+    return sec > 0 ? static_cast<double>(rounds) / sec : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace hh::bench;
+    using namespace hh::cluster;
+
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_sim_speed.json";
+
+    BenchScale scale;
+    scale.servers = envUnsigned("HH_SERVERS", 8);
+    SystemConfig cfg = makeSystem(SystemKind::HardHarvestBlock);
+    applyScale(cfg, scale);
+
+    const unsigned workers =
+        resolveWorkers(0, scale.servers);
+
+    printHeader("bench_speed", "simulator wall-clock tracker");
+    std::printf("servers=%u requests/VM=%u workers=%u\n",
+                scale.servers, scale.requests, workers);
+
+    // Sequential baseline: thread pool pinned to one worker (the
+    // runParallel fast path runs tasks inline on the calling thread).
+    std::printf("sequential cluster run...\n");
+    const auto t_seq = Clock::now();
+    const ClusterResults seq =
+        runCluster(cfg, scale.servers, scale.seed, 1);
+    const double seq_sec = secondsSince(t_seq);
+
+    std::printf("parallel cluster run (%u workers)...\n", workers);
+    const auto t_par = Clock::now();
+    const ClusterResults par =
+        runCluster(cfg, scale.servers, scale.seed, workers);
+    const double par_sec = secondsSince(t_par);
+
+    const bool identical = seq.serialized() == par.serialized();
+    const double speedup = par_sec > 0 ? seq_sec / par_sec : 0.0;
+
+    std::printf("event-queue mix (seed baseline vs slab)...\n");
+    const std::uint64_t rounds = 4'000'000;
+    const double legacy_ops =
+        measureQueueMix<LegacyEventQueue>(rounds);
+    const double slab_ops =
+        measureQueueMix<hh::sim::EventQueue>(rounds);
+    const double queue_speedup =
+        legacy_ops > 0 ? slab_ops / legacy_ops : 0.0;
+
+    std::printf("\ncluster:  seq %.2fs  par %.2fs  speedup %.2fx  "
+                "bit-identical %s\n",
+                seq_sec, par_sec, speedup,
+                identical ? "yes" : "NO");
+    std::printf("eventq:   legacy %.2f Mops/s  slab %.2f Mops/s  "
+                "speedup %.2fx\n",
+                legacy_ops / 1e6, slab_ops / 1e6, queue_speedup);
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"host\": {\n");
+    std::fprintf(f, "    \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "    \"pool_workers\": %u\n", workers);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"scale\": {\n");
+    std::fprintf(f, "    \"servers\": %u,\n", scale.servers);
+    std::fprintf(f, "    \"requests_per_vm\": %u,\n", scale.requests);
+    std::fprintf(f, "    \"access_sampling\": %u,\n", scale.sampling);
+    std::fprintf(f, "    \"seed\": %llu\n",
+                 static_cast<unsigned long long>(scale.seed));
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"cluster\": {\n");
+    std::fprintf(f, "    \"sequential_sec\": %.4f,\n", seq_sec);
+    std::fprintf(f, "    \"parallel_sec\": %.4f,\n", par_sec);
+    std::fprintf(f, "    \"speedup\": %.3f,\n", speedup);
+    std::fprintf(f, "    \"bit_identical\": %s\n",
+                 identical ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"event_queue\": {\n");
+    std::fprintf(f, "    \"mix_rounds\": %llu,\n",
+                 static_cast<unsigned long long>(rounds));
+    std::fprintf(f, "    \"legacy_ops_per_sec\": %.0f,\n", legacy_ops);
+    std::fprintf(f, "    \"slab_ops_per_sec\": %.0f,\n", slab_ops);
+    std::fprintf(f, "    \"speedup\": %.3f\n", queue_speedup);
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+
+    return identical ? 0 : 1;
+}

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cluster/experiment.h"
+#include "cluster/parallel.h"
 #include "cluster/system_config.h"
 
 namespace hh::bench {
@@ -50,6 +51,22 @@ applyScale(hh::cluster::SystemConfig &cfg, const BenchScale &s)
     cfg.requestsPerVm = s.requests;
     cfg.accessSampling = s.sampling;
     cfg.seed = s.seed;
+}
+
+/**
+ * Run one server simulation per sweep point, in parallel (one
+ * thread-pool task per point; workers from HH_THREADS or hardware
+ * concurrency). Results come back in sweep order and are identical
+ * to running the points sequentially.
+ */
+inline std::vector<hh::cluster::ServerResults>
+runServerSweep(const std::vector<hh::cluster::SystemConfig> &cfgs,
+               const std::string &batchApp, std::uint64_t seed)
+{
+    return hh::cluster::runParallel<hh::cluster::ServerResults>(
+        cfgs.size(), [&cfgs, &batchApp, seed](std::size_t i) {
+            return hh::cluster::runServer(cfgs[i], batchApp, seed);
+        });
 }
 
 /** Print a standard header naming the experiment. */

@@ -33,15 +33,19 @@ main()
     };
 
     std::vector<std::string> series;
-    std::vector<std::vector<ServiceResult>> runs;
-    std::vector<double> avg;
+    std::vector<SystemConfig> cfgs;
     for (const auto &v : variants) {
         SystemConfig cfg = makeSystem(SystemKind::NoHarvest);
         applyScale(cfg, scale);
         cfg.infiniteCaches = v.infinite;
         cfg.waysFraction = v.fraction;
-        const auto res = runServer(cfg, "BFS", scale.seed);
+        cfgs.push_back(cfg);
         series.emplace_back(v.name);
+    }
+
+    std::vector<std::vector<ServiceResult>> runs;
+    std::vector<double> avg;
+    for (const auto &res : runServerSweep(cfgs, "BFS", scale.seed)) {
         runs.push_back(res.services);
         avg.push_back(res.avgP99Ms());
     }

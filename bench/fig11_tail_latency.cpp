@@ -26,18 +26,21 @@ main()
         SystemKind::HardHarvestBlock};
 
     std::vector<std::string> series;
-    std::vector<std::vector<ServiceResult>> runs;
-    std::vector<double> avg_p99;
-    std::vector<ServerResults> full;
+    std::vector<SystemConfig> cfgs;
     for (const SystemKind kind : kinds) {
         SystemConfig cfg = makeSystem(kind);
         applyScale(cfg, scale);
-        const ServerResults res =
-            runServer(cfg, "BFS", scale.seed);
+        cfgs.push_back(cfg);
         series.emplace_back(systemName(kind));
+    }
+    const std::vector<ServerResults> full =
+        runServerSweep(cfgs, "BFS", scale.seed);
+
+    std::vector<std::vector<ServiceResult>> runs;
+    std::vector<double> avg_p99;
+    for (const ServerResults &res : full) {
         runs.push_back(res.services);
         avg_p99.push_back(res.avgP99Ms());
-        full.push_back(res);
     }
 
     printServiceTable(series, runs, "p99[ms]",

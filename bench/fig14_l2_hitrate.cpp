@@ -178,22 +178,35 @@ main()
     double a_hh = 0;
     double a_bel = 0;
     const auto services = hh::workload::deathStarBenchServices();
-    for (const auto &spec : services) {
-        const auto trace = makeTrace(spec, scale.seed, 60);
-        const double lru =
-            replay(trace, makePolicy(ReplKind::LRU), 1.0);
-        const double rrip =
-            replay(trace, makePolicy(ReplKind::RRIP), 1.0);
-        const double hh =
-            replay(trace, makePolicy(ReplKind::HardHarvest), 0.75);
-        const double bel = replayBelady(trace);
+
+    // One parallel task per service: trace generation + the four
+    // replays are independent across services.
+    struct Rates
+    {
+        double lru = 0, rrip = 0, hh = 0, bel = 0;
+    };
+    const auto rates = hh::cluster::runParallel<Rates>(
+        services.size(), [&services, &scale](std::size_t i) {
+            const auto trace =
+                makeTrace(services[i], scale.seed, 60);
+            Rates r;
+            r.lru = replay(trace, makePolicy(ReplKind::LRU), 1.0);
+            r.rrip = replay(trace, makePolicy(ReplKind::RRIP), 1.0);
+            r.hh = replay(trace, makePolicy(ReplKind::HardHarvest),
+                          0.75);
+            r.bel = replayBelady(trace);
+            return r;
+        });
+
+    for (std::size_t i = 0; i < services.size(); ++i) {
+        const Rates &r = rates[i];
         std::printf("%-10s %9.1f%% %9.1f%% %11.1f%% %9.1f%%\n",
-                    spec.name.c_str(), lru * 100, rrip * 100,
-                    hh * 100, bel * 100);
-        a_lru += lru;
-        a_rrip += rrip;
-        a_hh += hh;
-        a_bel += bel;
+                    services[i].name.c_str(), r.lru * 100,
+                    r.rrip * 100, r.hh * 100, r.bel * 100);
+        a_lru += r.lru;
+        a_rrip += r.rrip;
+        a_hh += r.hh;
+        a_bel += r.bel;
     }
     const double n = static_cast<double>(services.size());
     std::printf("%-10s %9.1f%% %9.1f%% %11.1f%% %9.1f%%\n", "Avg",

@@ -25,13 +25,17 @@ main()
         SystemKind::HardHarvestBlock};
 
     std::vector<std::string> series;
-    std::vector<std::vector<ServiceResult>> runs;
-    std::vector<double> avg;
+    std::vector<SystemConfig> cfgs;
     for (const SystemKind kind : kinds) {
         SystemConfig cfg = makeSystem(kind);
         applyScale(cfg, scale);
-        const auto res = runServer(cfg, "BFS", scale.seed);
+        cfgs.push_back(cfg);
         series.emplace_back(systemName(kind));
+    }
+
+    std::vector<std::vector<ServiceResult>> runs;
+    std::vector<double> avg;
+    for (const auto &res : runServerSweep(cfgs, "BFS", scale.seed)) {
         runs.push_back(res.services);
         avg.push_back(res.avgP50Ms());
     }

@@ -21,16 +21,20 @@ main()
 
     const double sizes[] = {2.5, 2.0, 1.0, 0.5};
     std::vector<std::string> series;
-    std::vector<std::vector<ServiceResult>> runs;
-    std::vector<double> avg;
+    std::vector<SystemConfig> cfgs;
     for (const double mb : sizes) {
         SystemConfig cfg = makeSystem(SystemKind::HardHarvestBlock);
         applyScale(cfg, scale);
         cfg.llcMbPerCore = mb;
-        const auto res = runServer(cfg, "BFS", scale.seed);
+        cfgs.push_back(cfg);
         char label[32];
         std::snprintf(label, sizeof label, "%.1fMB/core", mb);
         series.emplace_back(label);
+    }
+
+    std::vector<std::vector<ServiceResult>> runs;
+    std::vector<double> avg;
+    for (const auto &res : runServerSweep(cfgs, "BFS", scale.seed)) {
         runs.push_back(res.services);
         avg.push_back(res.avgP99Ms());
     }

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The seed EventQueue implementation, kept verbatim (modulo the
+ * class name) as the baseline for event-queue benchmarks:
+ * std::function callbacks, a hash map from id to callback, and a
+ * hash set of cancelled ids consulted on every pop.
+ *
+ * Benchmark-only code — the simulator uses hh::sim::EventQueue.
+ */
+
+#ifndef HH_BENCH_LEGACY_EVENT_QUEUE_H
+#define HH_BENCH_LEGACY_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hh::bench {
+
+class LegacyEventQueue
+{
+  public:
+    using EventId = std::uint64_t;
+    using Callback = std::function<void()>;
+
+    EventId
+    schedule(hh::sim::Cycles when, Callback cb)
+    {
+        const EventId id = next_id_++;
+        heap_.push(Entry{when, next_seq_++, id});
+        callbacks_.emplace(id, std::move(cb));
+        ++live_;
+        return id;
+    }
+
+    bool
+    cancel(EventId id)
+    {
+        const auto it = callbacks_.find(id);
+        if (it == callbacks_.end())
+            return false;
+        callbacks_.erase(it);
+        cancelled_.insert(id);
+        --live_;
+        return true;
+    }
+
+    bool empty() const { return live_ == 0; }
+
+    Callback
+    pop(hh::sim::Cycles &when)
+    {
+        skipDead();
+        const Entry top = heap_.top();
+        heap_.pop();
+        when = top.when;
+        const auto it = callbacks_.find(top.id);
+        Callback cb = std::move(it->second);
+        callbacks_.erase(it);
+        --live_;
+        return cb;
+    }
+
+  private:
+    struct Entry
+    {
+        hh::sim::Cycles when;
+        std::uint64_t seq;
+        EventId id;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    void
+    skipDead()
+    {
+        while (!heap_.empty() &&
+               cancelled_.find(heap_.top().id) != cancelled_.end()) {
+            cancelled_.erase(heap_.top().id);
+            heap_.pop();
+        }
+    }
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<EventId> cancelled_;
+    std::unordered_map<EventId, Callback> callbacks_;
+    std::uint64_t next_seq_ = 0;
+    EventId next_id_ = 1;
+    std::size_t live_ = 0;
+};
+
+/**
+ * The schedule/cancel/pop mix the server simulation generates: keep
+ * a window of pending events; each round schedules one, cancels a
+ * superseded timer with probability 1/4, and pops one.
+ *
+ * @return An accumulator defeating dead-code elimination.
+ */
+template <typename Queue, typename Rng>
+std::uint64_t
+eventQueueMixRound(Queue &q, Rng &rng, hh::sim::Cycles &now,
+                   std::vector<typename Queue::EventId> &pending,
+                   std::uint64_t &sink)
+{
+    pending.push_back(
+        q.schedule(now + 1 + rng.uniformInt(std::uint64_t{50}),
+                   [&sink] { ++sink; }));
+    if (rng.bernoulli(0.25) && !pending.empty()) {
+        const auto victim =
+            rng.uniformInt(std::uint64_t{pending.size()});
+        q.cancel(pending[victim]);
+        pending[victim] = pending.back();
+        pending.pop_back();
+    }
+    if (!q.empty()) {
+        auto cb = q.pop(now);
+        if (cb)
+            cb();
+    }
+    return sink;
+}
+
+} // namespace hh::bench
+
+#endif // HH_BENCH_LEGACY_EVENT_QUEUE_H

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the discrete-event queue hot
+ * path: schedule/pop cycles, schedule/cancel churn, and the mixed
+ * workload the server simulation actually generates (most events
+ * run, a sizable fraction of timers is superseded and cancelled).
+ *
+ * `hh::bench::LegacyEventQueue` reproduces the seed implementation —
+ * std::function callbacks plus unordered_map/unordered_set id
+ * bookkeeping — so the speedup of the slab/InlineFunction rewrite is
+ * measured side by side in one binary.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "legacy_event_queue.h"
+#include "sim/event_queue.h"
+#include "sim/inline_function.h"
+#include "sim/rng.h"
+
+namespace {
+
+using hh::sim::Cycles;
+
+/** The mixed schedule/cancel/pop workload (see legacy_event_queue.h). */
+template <typename Queue>
+void
+runMix(benchmark::State &state)
+{
+    std::uint64_t sink = 0;
+    hh::sim::Rng rng(7, 0xE0);
+    Queue q;
+    Cycles now = 0;
+    std::vector<typename Queue::EventId> pending;
+    // Prime a window so pops always succeed.
+    for (int i = 0; i < 64; ++i)
+        pending.push_back(
+            q.schedule(now + 1 + (i % 13), [&sink] { ++sink; }));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            hh::bench::eventQueueMixRound(q, rng, now, pending, sink));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_EventQueueMix_Legacy(benchmark::State &state)
+{
+    runMix<hh::bench::LegacyEventQueue>(state);
+}
+BENCHMARK(BM_EventQueueMix_Legacy);
+
+void
+BM_EventQueueMix_Slab(benchmark::State &state)
+{
+    runMix<hh::sim::EventQueue>(state);
+}
+BENCHMARK(BM_EventQueueMix_Slab);
+
+/** Pure schedule/pop cycles, no cancellation. */
+template <typename Queue>
+void
+runSchedulePop(benchmark::State &state)
+{
+    std::uint64_t sink = 0;
+    Queue q;
+    Cycles now = 0;
+    for (int i = 0; i < 64; ++i)
+        q.schedule(now + 1 + (i % 7), [&sink] { ++sink; });
+    for (auto _ : state) {
+        q.schedule(now + 5, [&sink] { ++sink; });
+        q.pop(now)();
+    }
+    state.SetItemsProcessed(state.iterations());
+    benchmark::DoNotOptimize(sink);
+}
+
+void
+BM_EventQueueSchedulePop_Legacy(benchmark::State &state)
+{
+    runSchedulePop<hh::bench::LegacyEventQueue>(state);
+}
+BENCHMARK(BM_EventQueueSchedulePop_Legacy);
+
+void
+BM_EventQueueSchedulePop_Slab(benchmark::State &state)
+{
+    runSchedulePop<hh::sim::EventQueue>(state);
+}
+BENCHMARK(BM_EventQueueSchedulePop_Slab);
+
+/** Schedule + immediate cancel churn (superseded timers). */
+template <typename Queue>
+void
+runScheduleCancel(benchmark::State &state)
+{
+    Queue q;
+    std::uint64_t sink = 0;
+    Cycles t = 1;
+    for (auto _ : state) {
+        const auto id = q.schedule(t++, [&sink] { ++sink; });
+        benchmark::DoNotOptimize(q.cancel(id));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_EventQueueScheduleCancel_Legacy(benchmark::State &state)
+{
+    runScheduleCancel<hh::bench::LegacyEventQueue>(state);
+}
+BENCHMARK(BM_EventQueueScheduleCancel_Legacy);
+
+void
+BM_EventQueueScheduleCancel_Slab(benchmark::State &state)
+{
+    runScheduleCancel<hh::sim::EventQueue>(state);
+}
+BENCHMARK(BM_EventQueueScheduleCancel_Slab);
+
+/** Callback wrapper cost in isolation: construct + invoke. */
+void
+BM_CallbackWrap_StdFunction(benchmark::State &state)
+{
+    std::uint64_t sink = 0;
+    std::uint64_t a = 1, b = 2, c = 3, d = 4;
+    for (auto _ : state) {
+        std::function<void()> f =
+            [&sink, a, b, c, d] { sink += a + b + c + d; };
+        f();
+        benchmark::DoNotOptimize(f);
+    }
+}
+BENCHMARK(BM_CallbackWrap_StdFunction);
+
+void
+BM_CallbackWrap_InlineFunction(benchmark::State &state)
+{
+    std::uint64_t sink = 0;
+    std::uint64_t a = 1, b = 2, c = 3, d = 4;
+    for (auto _ : state) {
+        hh::sim::InlineFunction<void()> f =
+            [&sink, a, b, c, d] { sink += a + b + c + d; };
+        f();
+        benchmark::DoNotOptimize(f);
+    }
+}
+BENCHMARK(BM_CallbackWrap_InlineFunction);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -14,6 +14,7 @@
 #include "cache/set_assoc.h"
 #include "core/controller.h"
 #include "sim/rng.h"
+#include "sim/simulator.h"
 #include "workload/service.h"
 
 using namespace hh::cache;
@@ -97,5 +98,40 @@ BM_HarvestRegionFlush(benchmark::State &state)
         h.flushHarvestRegion(0, 1000);
 }
 BENCHMARK(BM_HarvestRegionFlush);
+
+// Full simulator dispatch loop: schedule + step through the
+// Simulator (clock update, event-queue pop, callback invoke). This
+// is the per-event overhead every simulated component pays.
+static void
+BM_SimulatorScheduleStep(benchmark::State &state)
+{
+    hh::sim::Simulator sim;
+    std::uint64_t sink = 0;
+    for (int i = 0; i < 32; ++i)
+        sim.schedule(i + 1, [&sink] { ++sink; });
+    for (auto _ : state) {
+        sim.schedule(8, [&sink] { ++sink; });
+        sim.step();
+    }
+    state.SetItemsProcessed(state.iterations());
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_SimulatorScheduleStep);
+
+// Timer-superseded pattern: schedule a timeout, cancel it when the
+// (simulated) notification wins the race. Exercises the O(1)
+// generation-tag cancel.
+static void
+BM_SimulatorScheduleCancel(benchmark::State &state)
+{
+    hh::sim::Simulator sim;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        const auto id = sim.schedule(1000, [&sink] { ++sink; });
+        benchmark::DoNotOptimize(sim.cancel(id));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorScheduleCancel);
 
 BENCHMARK_MAIN();

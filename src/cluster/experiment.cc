@@ -1,5 +1,8 @@
 #include "cluster/experiment.h"
 
+#include <sstream>
+
+#include "cluster/parallel.h"
 #include "sim/log.h"
 #include "workload/batch.h"
 
@@ -27,6 +30,24 @@ ClusterResults::avgP50Ms() const
     return s / static_cast<double>(services.size());
 }
 
+std::string
+ClusterResults::serialized() const
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    for (const auto &r : services) {
+        os << r.name << ' ' << r.count << ' ' << r.meanMs << ' '
+           << r.p50Ms << ' ' << r.p99Ms << ' ' << r.queueMs << ' '
+           << r.reassignMs << ' ' << r.flushMs << ' ' << r.execMs
+           << ' ' << r.ioMs << '\n';
+    }
+    for (const auto &[app, tput] : batchThroughput)
+        os << app << ' ' << tput << '\n';
+    os << avgBusyCores << ' ' << utilization << ' ' << coreLoans
+       << ' ' << coreReclaims << ' ' << primaryL2HitRate << '\n';
+    return os.str();
+}
+
 ServerResults
 runServer(const SystemConfig &cfg, const std::string &batchApp,
           std::uint64_t seed)
@@ -37,21 +58,30 @@ runServer(const SystemConfig &cfg, const std::string &batchApp,
 
 ClusterResults
 runCluster(const SystemConfig &cfg, unsigned servers,
-           std::uint64_t seed)
+           std::uint64_t seed, unsigned workers)
 {
     const auto batch = hh::workload::batchApplications();
     if (servers == 0 || servers > batch.size())
         hh::sim::fatal("runCluster: servers must be in [1, ",
                        batch.size(), "]");
 
+    // One task per server; each ServerSim owns its Simulator, RNG
+    // streams and stats, so tasks share nothing mutable. Results are
+    // collected by server index, making the aggregation below — and
+    // therefore ClusterResults — bit-identical for any worker count.
+    const std::vector<ServerResults> runs =
+        runParallel<ServerResults>(
+            servers,
+            [&cfg, &batch, seed](std::size_t s) {
+                return runServer(cfg, batch[s].name,
+                                 seed + static_cast<std::uint64_t>(s));
+            },
+            workers);
+
     ClusterResults agg;
-    std::vector<ServerResults> runs;
-    runs.reserve(servers);
     for (unsigned s = 0; s < servers; ++s) {
-        runs.push_back(
-            runServer(cfg, batch[s].name, seed + s));
         agg.batchThroughput.emplace_back(batch[s].name,
-                                         runs.back().batchThroughput);
+                                         runs[s].batchThroughput);
     }
 
     // Average per-service stats across servers (services appear once

@@ -35,6 +35,13 @@ struct ClusterResults
 
     double avgP99Ms() const;
     double avgP50Ms() const;
+
+    /**
+     * Canonical byte-exact serialization (hexfloat) of every field.
+     * Two runs are bit-identical iff their serializations compare
+     * equal; used by the determinism tests and bench_speed.
+     */
+    std::string serialized() const;
 };
 
 /**
@@ -48,12 +55,20 @@ ServerResults runServer(const SystemConfig &cfg,
 /**
  * Run the full 8-server cluster: one batch application per server.
  *
+ * Servers never communicate, so each runs as an independent task on
+ * a thread pool, seeded `seed + serverIndex`; results are aggregated
+ * in server order and are bit-identical for any worker count.
+ *
  * @param cfg     System configuration (shared by all servers).
  * @param servers How many of the 8 batch apps to run (tests may use
  *                fewer); defaults to all 8.
+ * @param seed    Base experiment seed.
+ * @param workers Thread-pool workers: 0 picks the `HH_THREADS`
+ *                environment variable or the hardware concurrency;
+ *                1 forces the sequential path.
  */
 ClusterResults runCluster(const SystemConfig &cfg, unsigned servers = 8,
-                          std::uint64_t seed = 1);
+                          std::uint64_t seed = 1, unsigned workers = 0);
 
 } // namespace hh::cluster
 

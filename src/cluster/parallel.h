@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic parallel sweep runner.
+ *
+ * Cluster experiments and figure sweeps are embarrassingly parallel:
+ * every task is an independent simulation with its own seed and its
+ * own `Simulator` instance (no shared mutable state — see
+ * docs/PERFORMANCE.md). `runParallel()` fans tasks out over a
+ * ThreadPool and collects results *by index*, so the output is
+ * byte-identical to the sequential loop regardless of worker count
+ * or completion order.
+ */
+
+#ifndef HH_CLUSTER_PARALLEL_H
+#define HH_CLUSTER_PARALLEL_H
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sim/thread_pool.h"
+
+namespace hh::cluster {
+
+/**
+ * Resolve a requested worker count against the task count.
+ *
+ * @param workers Requested workers; 0 means ThreadPool default
+ *                (`HH_THREADS` env or hardware concurrency).
+ * @param tasks   Number of independent tasks.
+ */
+inline unsigned
+resolveWorkers(unsigned workers, std::size_t tasks)
+{
+    if (workers == 0)
+        workers = hh::sim::ThreadPool::defaultWorkers();
+    return static_cast<unsigned>(
+        std::min<std::size_t>(workers, std::max<std::size_t>(tasks, 1)));
+}
+
+/**
+ * Evaluate `fn(0) .. fn(n-1)` and return the results in index order.
+ *
+ * @tparam Result Element type of the returned vector; `fn(i)` must be
+ *                convertible to it. Must be default-constructible.
+ * @param n       Number of tasks.
+ * @param fn      Task body; called exactly once per index. With more
+ *                than one worker, invocations run concurrently and
+ *                must not share mutable state.
+ * @param workers Worker threads (0 = auto). With 1 worker the tasks
+ *                run sequentially on the calling thread, in order.
+ * @return results[i] == fn(i), independent of worker count.
+ *
+ * Exceptions thrown by fn propagate (the first one, for parallel
+ * runs); remaining tasks still complete.
+ */
+template <typename Result, typename Fn>
+std::vector<Result>
+runParallel(std::size_t n, Fn &&fn, unsigned workers = 0)
+{
+    std::vector<Result> results(n);
+    if (n == 0)
+        return results;
+    workers = resolveWorkers(workers, n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            results[i] = fn(i);
+        return results;
+    }
+    hh::sim::ThreadPool pool(workers);
+    for (std::size_t i = 0; i < n; ++i) {
+        pool.submit([&results, &fn, i] { results[i] = fn(i); });
+    }
+    pool.wait();
+    return results;
+}
+
+} // namespace hh::cluster
+
+#endif // HH_CLUSTER_PARALLEL_H

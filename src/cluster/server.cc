@@ -570,8 +570,16 @@ ServerSim::lendCore(unsigned core)
         cost += hyp_->wbinvdCost();
     }
 
-    sim_.schedule(cost, [this, core] {
+    // Track the completion so a reclaim arriving mid-transition
+    // cancels it (via preemptHarvestSlice). The `onLoan` guard alone
+    // is not enough: after lend -> reclaim-in-transition -> lend, two
+    // completions would be in flight and both would see onLoan=true,
+    // spawning two concurrent slice chains on one core — the second
+    // chain's slice-done events escape cancellation and later clobber
+    // the core while it runs a Primary request, orphaning it.
+    ctx.pendingEvent = sim_.schedule(cost, [this, core] {
         CoreCtx &c = core_ctx_[core];
+        c.pendingEvent = hh::sim::kInvalidEventId;
         if (!c.onLoan)
             return; // reclaimed while transitioning
         c.phase = Phase::Idle;

@@ -1,39 +1,104 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 #include "sim/log.h"
 
 namespace hh::sim {
 
+namespace {
+
+constexpr std::uint32_t kGenShift = 32;
+
+inline EventId
+makeId(std::uint32_t gen, std::uint32_t slot)
+{
+    return (static_cast<EventId>(gen) << kGenShift) |
+           (static_cast<EventId>(slot) + 1);
+}
+
+} // namespace
+
+std::uint32_t
+EventQueue::allocSlot()
+{
+    if (!free_slots_.empty()) {
+        const std::uint32_t slot = free_slots_.back();
+        free_slots_.pop_back();
+        return slot;
+    }
+    slab_.emplace_back();
+    return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void
+EventQueue::freeSlot(std::uint32_t slot)
+{
+    Record &rec = slab_[slot];
+    rec.cb.reset();
+    ++rec.gen;
+    free_slots_.push_back(slot);
+}
+
 EventId
 EventQueue::schedule(Cycles when, Callback cb)
 {
-    const EventId id = next_id_++;
-    heap_.push(Entry{when, next_seq_++, id});
-    callbacks_.emplace(id, std::move(cb));
+    const std::uint32_t slot = allocSlot();
+    Record &rec = slab_[slot];
+    rec.cb = std::move(cb);
+    heap_.push_back(Entry{when, next_seq_++, slot, rec.gen});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
     ++live_;
-    return id;
+    return makeId(rec.gen, slot);
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    const auto it = callbacks_.find(id);
-    if (it == callbacks_.end())
+    if (id == kInvalidEventId)
         return false;
-    callbacks_.erase(it);
-    cancelled_.insert(id);
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>((id & 0xffffffffu) - 1);
+    const std::uint32_t gen =
+        static_cast<std::uint32_t>(id >> kGenShift);
+    if (slot >= slab_.size() || slab_[slot].gen != gen ||
+        !slab_[slot].cb)
+        return false;
+    // Invalidate the slot; its heap entry becomes dead and is reaped
+    // lazily on pop/compaction.
+    freeSlot(slot);
     --live_;
+    ++dead_;
+    maybeCompact();
     return true;
 }
 
 void
 EventQueue::skipDead() const
 {
-    while (!heap_.empty() &&
-           cancelled_.find(heap_.top().id) != cancelled_.end()) {
-        cancelled_.erase(heap_.top().id);
-        heap_.pop();
+    while (!heap_.empty() && dead(heap_.front())) {
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        heap_.pop_back();
+        --dead_;
     }
+}
+
+void
+EventQueue::maybeCompact()
+{
+    // Rebuild once cancelled entries dominate the heap. The threshold
+    // of 64 avoids rebuilding tiny heaps; the > live_ condition makes
+    // the O(n) rebuild amortised O(1) per cancel while capping heap
+    // memory at ~2x the live event count.
+    if (dead_ <= 64 || dead_ <= live_)
+        return;
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                               [this](const Entry &e) {
+                                   return dead(e);
+                               }),
+                heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+    dead_ = 0;
 }
 
 Cycles
@@ -42,7 +107,7 @@ EventQueue::nextTime() const
     skipDead();
     if (heap_.empty())
         panic("EventQueue::nextTime on empty queue");
-    return heap_.top().when;
+    return heap_.front().when;
 }
 
 EventQueue::Callback
@@ -51,12 +116,12 @@ EventQueue::pop(Cycles &when)
     skipDead();
     if (heap_.empty())
         panic("EventQueue::pop on empty queue");
-    const Entry top = heap_.top();
-    heap_.pop();
+    const Entry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
     when = top.when;
-    const auto it = callbacks_.find(top.id);
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
+    Callback cb = std::move(slab_[top.slot].cb);
+    freeSlot(top.slot);
     --live_;
     return cb;
 }

@@ -6,23 +6,35 @@
  * ties are broken FIFO so the simulation is deterministic. Events can
  * be cancelled by id (used for timers that are superseded, e.g. a
  * polling core that gets a hardware notification first).
+ *
+ * Hot-path design: callbacks live in a slab of reusable records and
+ * are stored in a small-buffer-optimised `InlineFunction`, so the
+ * schedule/pop cycle performs no heap allocation for typical events.
+ * An `EventId` encodes (generation, slot); cancellation bumps the
+ * slot's generation, which is O(1) and needs no hash-map lookup —
+ * stale heap entries are recognised by a generation mismatch and
+ * discarded lazily, with periodic compaction keeping the heap
+ * proportional to the number of live events.
  */
 
 #ifndef HH_SIM_EVENT_QUEUE_H
 #define HH_SIM_EVENT_QUEUE_H
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_function.h"
 #include "sim/time.h"
 
 namespace hh::sim {
 
-/** Opaque handle identifying a scheduled event. */
+/**
+ * Opaque handle identifying a scheduled event.
+ *
+ * Encodes (generation << 32) | (slot + 1); the +1 keeps 0 free as the
+ * invalid sentinel. Generations make stale ids safe: cancelling or
+ * running an event invalidates every outstanding id for its slot.
+ */
 using EventId = std::uint64_t;
 
 /** Sentinel id returned for operations that cannot be cancelled. */
@@ -34,7 +46,9 @@ inline constexpr EventId kInvalidEventId = 0;
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineFunction<void()>;
+    /** Member alias so generic code can name the id type. */
+    using EventId = hh::sim::EventId;
 
     /**
      * Schedule a callback at an absolute time.
@@ -71,14 +85,34 @@ class EventQueue
      */
     Callback pop(Cycles &when);
 
+    /** @name Introspection (tests/benchmarks) @{ */
+    /** Heap entries currently held, including not-yet-reaped
+     *  cancelled ones. Bounded by compaction to O(live). */
+    std::size_t heapEntries() const { return heap_.size(); }
+    /** Slab records allocated (high-water mark of concurrent
+     *  events, live or reusable). */
+    std::size_t slabSlots() const { return slab_.size(); }
+    /** @} */
+
   private:
+    /** One reusable event record. */
+    struct Record
+    {
+        Callback cb;
+        /** Bumped on cancel/pop; mismatching heap entries are dead. */
+        std::uint32_t gen = 1;
+    };
+
+    /** Heap entry: plain data, no callback, no hashing. */
     struct Entry
     {
         Cycles when;
         std::uint64_t seq;
-        EventId id;
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
 
+    /** Min-heap order on (when, seq) via std::*_heap's max-heap. */
     struct Later
     {
         bool
@@ -90,15 +124,27 @@ class EventQueue
         }
     };
 
+    bool dead(const Entry &e) const
+    {
+        return slab_[e.slot].gen != e.gen;
+    }
+
     /** Drop cancelled entries from the top of the heap. */
     void skipDead() const;
 
-    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    mutable std::unordered_set<EventId> cancelled_;
-    std::unordered_map<EventId, Callback> callbacks_;
+    /** Rebuild the heap without dead entries when they dominate. */
+    void maybeCompact();
+
+    std::uint32_t allocSlot();
+    void freeSlot(std::uint32_t slot);
+
+    mutable std::vector<Entry> heap_;
+    std::vector<Record> slab_;
+    std::vector<std::uint32_t> free_slots_;
     std::uint64_t next_seq_ = 0;
-    EventId next_id_ = 1;
     std::size_t live_ = 0;
+    /** Cancelled entries still sitting in heap_. */
+    mutable std::size_t dead_ = 0;
 };
 
 } // namespace hh::sim

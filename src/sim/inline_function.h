@@ -1,0 +1,207 @@
+/**
+ * @file
+ * A small-buffer-optimised, move-only callable wrapper.
+ *
+ * The discrete-event hot path schedules tens of millions of short
+ * callbacks per simulated second. `std::function` heap-allocates for
+ * anything larger than two pointers of captured state, and its copy
+ * machinery drags in type-erasure overhead the simulator never uses
+ * (events are executed exactly once and never copied).
+ *
+ * `InlineFunction<R(Args...), N>` stores any callable whose state
+ * fits in N bytes directly inside the object — no allocation, one
+ * indirect call to invoke — and transparently falls back to the heap
+ * for oversized captures. It is move-only by design.
+ */
+
+#ifndef HH_SIM_INLINE_FUNCTION_H
+#define HH_SIM_INLINE_FUNCTION_H
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hh::sim {
+
+/** Default inline capacity: room for `this` plus several words of
+ *  captured ids/cycles, the common shape of simulator events. */
+inline constexpr std::size_t kInlineFunctionCapacity = 48;
+
+template <typename Signature,
+          std::size_t Capacity = kInlineFunctionCapacity>
+class InlineFunction; // undefined; specialised below
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity>
+{
+  public:
+    InlineFunction() noexcept = default;
+
+    /** Wrap any callable. Small, nothrow-movable callables live in
+     *  the inline buffer; everything else goes to the heap. */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    InlineFunction(F &&f) // NOLINT(google-explicit-constructor)
+    {
+        assign(std::forward<F>(f));
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    InlineFunction &
+    operator=(F &&f)
+    {
+        reset();
+        assign(std::forward<F>(f));
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    /** Destroy the held callable, leaving the wrapper empty. */
+    void
+    reset() noexcept
+    {
+        if (ops_) {
+            ops_->destroy(&buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    /** True when a callable is held. */
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    /** Invoke the held callable. @pre bool(*this). */
+    R
+    operator()(Args... args)
+    {
+        return ops_->invoke(&buf_, std::forward<Args>(args)...);
+    }
+
+    /** True when the held callable lives in the inline buffer (no
+     *  heap allocation) — exposed for tests and benchmarks. */
+    bool
+    isInline() const noexcept
+    {
+        return ops_ != nullptr && ops_->inline_storage;
+    }
+
+  private:
+    struct Ops
+    {
+        R (*invoke)(void *, Args &&...);
+        /** Move-construct into @p dst from @p src, destroying src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *) noexcept;
+        bool inline_storage;
+    };
+
+    template <typename F>
+    static constexpr bool kFitsInline =
+        sizeof(F) <= Capacity &&
+        alignof(F) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<F>;
+
+    template <typename F>
+    struct InlineOps
+    {
+        static R
+        invoke(void *p, Args &&...args)
+        {
+            return (*std::launder(reinterpret_cast<F *>(p)))(
+                std::forward<Args>(args)...);
+        }
+
+        static void
+        relocate(void *dst, void *src) noexcept
+        {
+            F *from = std::launder(reinterpret_cast<F *>(src));
+            ::new (dst) F(std::move(*from));
+            from->~F();
+        }
+
+        static void
+        destroy(void *p) noexcept
+        {
+            std::launder(reinterpret_cast<F *>(p))->~F();
+        }
+
+        static constexpr Ops ops{&invoke, &relocate, &destroy, true};
+    };
+
+    template <typename F>
+    struct HeapOps
+    {
+        static R
+        invoke(void *p, Args &&...args)
+        {
+            return (**static_cast<F **>(p))(std::forward<Args>(args)...);
+        }
+
+        static void
+        relocate(void *dst, void *src) noexcept
+        {
+            *static_cast<F **>(dst) = *static_cast<F **>(src);
+        }
+
+        static void
+        destroy(void *p) noexcept
+        {
+            delete *static_cast<F **>(p);
+        }
+
+        static constexpr Ops ops{&invoke, &relocate, &destroy, false};
+    };
+
+    template <typename F>
+    void
+    assign(F &&f)
+    {
+        using D = std::decay_t<F>;
+        if constexpr (kFitsInline<D>) {
+            ::new (static_cast<void *>(&buf_)) D(std::forward<F>(f));
+            ops_ = &InlineOps<D>::ops;
+        } else {
+            *reinterpret_cast<D **>(&buf_) = new D(std::forward<F>(f));
+            ops_ = &HeapOps<D>::ops;
+        }
+    }
+
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        if (other.ops_) {
+            other.ops_->relocate(&buf_, &other.buf_);
+            ops_ = other.ops_;
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[Capacity];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace hh::sim
+
+#endif // HH_SIM_INLINE_FUNCTION_H

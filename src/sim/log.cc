@@ -1,5 +1,6 @@
 #include "sim/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -20,7 +21,8 @@ levelName(LogLevel level)
     return "?";
 }
 
-bool g_error_reported = false;
+// Atomic: parallel sweep tasks may report errors concurrently.
+std::atomic<bool> g_error_reported{false};
 
 } // namespace
 

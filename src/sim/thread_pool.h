@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A deliberately simple fixed-size thread pool for experiment-level
+ * parallelism.
+ *
+ * The simulator itself stays strictly single-threaded — determinism
+ * comes from the event queue's FIFO tie-breaking — but independent
+ * simulations (servers of a cluster, points of a parameter sweep)
+ * can run concurrently. Tasks are coarse (whole server runs, seconds
+ * each), so a single mutex-protected queue is the right tool: no
+ * work stealing, no lock-free cleverness, nothing for ThreadSanitizer
+ * to frown at.
+ */
+
+#ifndef HH_SIM_THREAD_POOL_H
+#define HH_SIM_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hh::sim {
+
+/**
+ * Fixed set of worker threads draining one shared FIFO of jobs.
+ */
+class ThreadPool
+{
+  public:
+    using Job = std::function<void()>;
+
+    /**
+     * @param workers Worker thread count; 0 selects defaultWorkers().
+     */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Joins all workers; pending jobs are completed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Worker count used when none is requested: the `HH_THREADS`
+     * environment variable if set, else the hardware concurrency
+     * (at least 1).
+     */
+    static unsigned defaultWorkers();
+
+    /** Number of worker threads. */
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /** Enqueue a job. Must not be called concurrently with wait(). */
+    void submit(Job job);
+
+    /**
+     * Block until every submitted job has finished.
+     *
+     * If any job threw, the first captured exception is rethrown
+     * here (subsequent ones are dropped).
+     */
+    void wait();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::deque<Job> queue_;
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable all_done_;
+    std::size_t in_flight_ = 0;
+    std::exception_ptr first_error_;
+    bool stopping_ = false;
+};
+
+} // namespace hh::sim
+
+#endif // HH_SIM_THREAD_POOL_H

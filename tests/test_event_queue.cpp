@@ -144,3 +144,110 @@ TEST(EventQueue, ManyEventsStressOrdering)
         prev = t;
     }
 }
+
+TEST(EventQueue, StaleIdAfterSlotReuseFails)
+{
+    EventQueue q;
+    // Pop an event, then schedule a new one: the slab slot is
+    // reused, but the stale id's generation no longer matches.
+    const auto stale = q.schedule(1, [] {});
+    Cycles t = 0;
+    q.pop(t);
+    bool ran = false;
+    q.schedule(2, [&] { ran = true; });
+    EXPECT_FALSE(q.cancel(stale));
+    EXPECT_EQ(q.size(), 1u);
+    q.pop(t)();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, InvalidAndGarbageIdsRejected)
+{
+    EventQueue q;
+    q.schedule(1, [] {});
+    EXPECT_FALSE(q.cancel(hh::sim::kInvalidEventId));
+    // Slot index far beyond the slab.
+    EXPECT_FALSE(q.cancel((std::uint64_t{1} << 32) | 0x7fffffffu));
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, FifoOrderSurvivesCancelChurn)
+{
+    // Interleave cancellations with same-timestamp schedules and
+    // verify the survivors still pop in insertion order.
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<hh::sim::EventId> ids;
+    for (int i = 0; i < 100; ++i)
+        ids.push_back(q.schedule(7, [&order, i] {
+            order.push_back(i);
+        }));
+    for (int i = 0; i < 100; i += 3)
+        q.cancel(ids[static_cast<std::size_t>(i)]);
+    Cycles t = 0;
+    while (!q.empty())
+        q.pop(t)();
+    std::vector<int> expect;
+    for (int i = 0; i < 100; ++i) {
+        if (i % 3 != 0)
+            expect.push_back(i);
+    }
+    EXPECT_EQ(order, expect);
+}
+
+TEST(EventQueue, MillionCancelsStayBounded)
+{
+    // Regression for the seed implementation's leak: cancelled ids
+    // accumulated in an unordered_set for the whole run. The slab
+    // design reuses slots and compacts the heap, so a
+    // schedule-then-cancel storm must not grow either structure.
+    EventQueue q;
+    // A long-lived event keeps the queue non-empty throughout.
+    q.schedule(std::uint64_t{1} << 40, [] {});
+    constexpr int kChurn = 1'000'000;
+    constexpr int kWindow = 32;
+    std::vector<hh::sim::EventId> window;
+    for (int i = 0; i < kChurn; ++i) {
+        window.push_back(
+            q.schedule(static_cast<Cycles>(i + 1), [] {}));
+        if (window.size() == kWindow) {
+            for (const auto id : window)
+                EXPECT_TRUE(q.cancel(id));
+            window.clear();
+        }
+    }
+    for (const auto id : window)
+        EXPECT_TRUE(q.cancel(id));
+    EXPECT_EQ(q.size(), 1u);
+    // Slab high-water mark: the long-lived event plus one churn
+    // window. Heap: compaction caps it near the live count.
+    EXPECT_LE(q.slabSlots(), kWindow + 1u);
+    EXPECT_LE(q.heapEntries(), 256u);
+    Cycles t = 0;
+    q.pop(t);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.heapEntries(), 0u);
+}
+
+TEST(EventQueue, CancelInterleavedWithPopsStaysBounded)
+{
+    // Mixed run/cancel traffic (the simulator's real pattern) must
+    // also keep the heap bounded while preserving pop order.
+    EventQueue q;
+    std::uint64_t executed = 0;
+    Cycles t = 0;
+    std::vector<hh::sim::EventId> pending;
+    for (int round = 0; round < 200'000; ++round) {
+        pending.push_back(q.schedule(
+            static_cast<Cycles>(round + 1),
+            [&executed] { ++executed; }));
+        if (round % 2 == 0 && pending.size() > 4) {
+            q.cancel(pending[pending.size() - 3]);
+            pending.erase(pending.end() - 3);
+        }
+        if (round % 4 == 3)
+            q.pop(t)();
+    }
+    EXPECT_GT(executed, 0u);
+    EXPECT_LE(q.heapEntries(), 2 * q.size() + 128);
+}

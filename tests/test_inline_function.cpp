@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the small-buffer-optimised callable wrapper used by
+ * the event-queue hot path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/inline_function.h"
+
+using hh::sim::InlineFunction;
+
+TEST(InlineFunction, DefaultIsEmpty)
+{
+    InlineFunction<int()> f;
+    EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunction, InvokesSmallLambdaInline)
+{
+    int x = 41;
+    InlineFunction<int()> f = [&x] { return x + 1; };
+    ASSERT_TRUE(static_cast<bool>(f));
+    EXPECT_TRUE(f.isInline());
+    EXPECT_EQ(f(), 42);
+}
+
+TEST(InlineFunction, PassesArgumentsAndReturns)
+{
+    InlineFunction<int(int, int)> f = [](int a, int b) {
+        return a * 10 + b;
+    };
+    EXPECT_EQ(f(3, 4), 34);
+}
+
+TEST(InlineFunction, LargeCaptureFallsBackToHeap)
+{
+    struct Big
+    {
+        std::uint64_t words[16] = {};
+    };
+    Big big;
+    big.words[0] = 7;
+    big.words[15] = 9;
+    InlineFunction<std::uint64_t()> f = [big] {
+        return big.words[0] + big.words[15];
+    };
+    ASSERT_TRUE(static_cast<bool>(f));
+    EXPECT_FALSE(f.isInline());
+    EXPECT_EQ(f(), 16u);
+}
+
+TEST(InlineFunction, MoveTransfersOwnership)
+{
+    int calls = 0;
+    InlineFunction<void()> a = [&calls] { ++calls; };
+    InlineFunction<void()> b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a)); // NOLINT(bugprone-use-after-move)
+    ASSERT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(InlineFunction, MoveAssignReplacesHeldCallable)
+{
+    int first = 0;
+    int second = 0;
+    InlineFunction<void()> f = [&first] { ++first; };
+    f = InlineFunction<void()>([&second] { ++second; });
+    f();
+    EXPECT_EQ(first, 0);
+    EXPECT_EQ(second, 1);
+}
+
+TEST(InlineFunction, MoveOnlyCallableSupported)
+{
+    auto p = std::make_unique<int>(5);
+    InlineFunction<int()> f = [p = std::move(p)] { return *p; };
+    EXPECT_EQ(f(), 5);
+}
+
+TEST(InlineFunction, DestroysCaptureExactlyOnce)
+{
+    struct Probe
+    {
+        int *counter;
+        explicit Probe(int *c) : counter(c) {}
+        Probe(const Probe &o) : counter(o.counter) { ++*counter; }
+        Probe(Probe &&o) noexcept : counter(o.counter)
+        {
+            o.counter = nullptr;
+        }
+        ~Probe()
+        {
+            if (counter)
+                --*counter;
+        }
+    };
+    int alive = 0;
+    {
+        Probe probe(&alive);
+        ++alive; // the capture copy below
+        InlineFunction<void()> f = [p = std::move(probe)] {
+            (void)p;
+        };
+        InlineFunction<void()> g = std::move(f);
+        g();
+        EXPECT_EQ(alive, 1); // only the moved-into capture remains
+    }
+    EXPECT_EQ(alive, 0);
+}
+
+TEST(InlineFunction, ResetDestroysAndEmpties)
+{
+    int alive = 0;
+    struct Probe
+    {
+        int *c;
+        explicit Probe(int *counter) : c(counter) { ++*c; }
+        Probe(Probe &&o) noexcept : c(o.c) { o.c = nullptr; }
+        Probe(const Probe &) = delete;
+        ~Probe()
+        {
+            if (c)
+                --*c;
+        }
+    };
+    InlineFunction<void()> f = [p = Probe(&alive)] { (void)p; };
+    EXPECT_EQ(alive, 1);
+    f.reset();
+    EXPECT_EQ(alive, 0);
+    EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunction, SurvivesVectorReallocation)
+{
+    std::vector<InlineFunction<int()>> fns;
+    for (int i = 0; i < 100; ++i)
+        fns.emplace_back([i] { return i; });
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(fns[static_cast<std::size_t>(i)](), i);
+}

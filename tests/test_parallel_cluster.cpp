@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Determinism tests for the parallel cluster engine: the same
+ * experiment must produce byte-identical ClusterResults at any
+ * thread-pool worker count, because each server simulation is an
+ * isolated task with its own seed and the aggregation is performed
+ * in server order.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/experiment.h"
+
+using namespace hh::cluster;
+
+namespace {
+
+SystemConfig
+tinyConfig()
+{
+    SystemConfig cfg = makeSystem(SystemKind::HardHarvestBlock);
+    cfg.requestsPerVm = 30;
+    cfg.accessSampling = 32;
+    cfg.seed = 11;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ParallelCluster, BitIdenticalAcrossWorkerCounts)
+{
+    const auto cfg = tinyConfig();
+    const ClusterResults seq = runCluster(cfg, 8, 11, 1);
+    const std::string golden = seq.serialized();
+    EXPECT_FALSE(golden.empty());
+
+    for (const unsigned workers : {4u, 8u}) {
+        const ClusterResults par = runCluster(cfg, 8, 11, workers);
+        EXPECT_EQ(par.serialized(), golden)
+            << workers << " workers diverged from sequential";
+    }
+}
+
+TEST(ParallelCluster, AggregationMatchesSequentialFieldByField)
+{
+    const auto cfg = tinyConfig();
+    const ClusterResults a = runCluster(cfg, 4, 11, 1);
+    const ClusterResults b = runCluster(cfg, 4, 11, 4);
+    ASSERT_EQ(a.services.size(), b.services.size());
+    for (std::size_t i = 0; i < a.services.size(); ++i) {
+        EXPECT_EQ(a.services[i].count, b.services[i].count);
+        EXPECT_EQ(a.services[i].p50Ms, b.services[i].p50Ms);
+        EXPECT_EQ(a.services[i].p99Ms, b.services[i].p99Ms);
+        EXPECT_EQ(a.services[i].execMs, b.services[i].execMs);
+    }
+    EXPECT_EQ(a.coreLoans, b.coreLoans);
+    EXPECT_EQ(a.coreReclaims, b.coreReclaims);
+    EXPECT_EQ(a.avgBusyCores, b.avgBusyCores);
+    ASSERT_EQ(a.batchThroughput.size(), b.batchThroughput.size());
+    for (std::size_t i = 0; i < a.batchThroughput.size(); ++i) {
+        EXPECT_EQ(a.batchThroughput[i].first,
+                  b.batchThroughput[i].first);
+        EXPECT_EQ(a.batchThroughput[i].second,
+                  b.batchThroughput[i].second);
+    }
+}
+
+TEST(ParallelCluster, SerializationDistinguishesSeeds)
+{
+    const auto cfg = tinyConfig();
+    const ClusterResults a = runCluster(cfg, 2, 11, 2);
+    const ClusterResults b = runCluster(cfg, 2, 12, 2);
+    EXPECT_NE(a.serialized(), b.serialized());
+}
+
+TEST(ParallelCluster, DefaultWorkerAutoSelectionRuns)
+{
+    // workers = 0 resolves via HH_THREADS/hardware concurrency; the
+    // result must still match the sequential golden run.
+    const auto cfg = tinyConfig();
+    const ClusterResults seq = runCluster(cfg, 2, 11, 1);
+    const ClusterResults aut = runCluster(cfg, 2, 11, 0);
+    EXPECT_EQ(aut.serialized(), seq.serialized());
+}
