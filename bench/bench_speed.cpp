@@ -11,6 +11,12 @@
  * Honors HH_REQUESTS / HH_SERVERS / HH_SAMPLING / HH_SEED /
  * HH_THREADS; the cluster run uses all 8 batch apps unless
  * HH_SERVERS says otherwise.
+ *
+ * Also measures the wall-clock overhead of the observability layer
+ * (request-span tracing + metric sampling, both enabled) against the
+ * tracing-off parallel run. Set HH_OVERHEAD_GATE=<percent> to make
+ * the binary fail when the measured overhead exceeds the gate (used
+ * by CI; off by default because single-core containers are noisy).
  */
 
 #include <chrono>
@@ -94,6 +100,24 @@ main(int argc, char **argv)
     const bool identical = seq.serialized() == par.serialized();
     const double speedup = par_sec > 0 ? seq_sec / par_sec : 0.0;
 
+    // Observability overhead: identical run with tracing + metric
+    // sampling enabled. The span/timeline hot paths branch on a null
+    // tracer pointer when disabled, so par_sec above is the true
+    // zero-cost baseline.
+    std::printf("parallel cluster run, tracing on...\n");
+    SystemConfig traced = cfg;
+    traced.traceEnabled = true;
+    traced.metricsEnabled = true;
+    const auto t_trc = Clock::now();
+    const ClusterResults trc =
+        runCluster(traced, scale.servers, scale.seed, workers);
+    const double trc_sec = secondsSince(t_trc);
+    const double trace_overhead_pct =
+        par_sec > 0 ? 100.0 * (trc_sec / par_sec - 1.0) : 0.0;
+    std::uint64_t trace_events = 0;
+    for (const auto &t : trc.traces)
+        trace_events += t.events.size() + t.dropped;
+
     std::printf("event-queue mix (seed baseline vs slab)...\n");
     const std::uint64_t rounds = 4'000'000;
     const double legacy_ops =
@@ -110,6 +134,10 @@ main(int argc, char **argv)
     std::printf("eventq:   legacy %.2f Mops/s  slab %.2f Mops/s  "
                 "speedup %.2fx\n",
                 legacy_ops / 1e6, slab_ops / 1e6, queue_speedup);
+    std::printf("tracing:  off %.2fs  on %.2fs  overhead %+.1f%%  "
+                "(%llu events)\n",
+                par_sec, trc_sec, trace_overhead_pct,
+                static_cast<unsigned long long>(trace_events));
 
     std::FILE *f = std::fopen(out_path.c_str(), "w");
     if (!f) {
@@ -142,10 +170,28 @@ main(int argc, char **argv)
     std::fprintf(f, "    \"legacy_ops_per_sec\": %.0f,\n", legacy_ops);
     std::fprintf(f, "    \"slab_ops_per_sec\": %.0f,\n", slab_ops);
     std::fprintf(f, "    \"speedup\": %.3f\n", queue_speedup);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"tracing\": {\n");
+    std::fprintf(f, "    \"baseline_sec\": %.4f,\n", par_sec);
+    std::fprintf(f, "    \"traced_sec\": %.4f,\n", trc_sec);
+    std::fprintf(f, "    \"overhead_pct\": %.2f,\n",
+                 trace_overhead_pct);
+    std::fprintf(f, "    \"events\": %llu\n",
+                 static_cast<unsigned long long>(trace_events));
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n", out_path.c_str());
 
+    if (const char *gate = std::getenv("HH_OVERHEAD_GATE")) {
+        const double limit = std::strtod(gate, nullptr);
+        if (limit > 0 && trace_overhead_pct > limit) {
+            std::fprintf(stderr,
+                         "tracing overhead %.1f%% exceeds gate "
+                         "%.1f%%\n",
+                         trace_overhead_pct, limit);
+            return 1;
+        }
+    }
     return identical ? 0 : 1;
 }

@@ -21,6 +21,9 @@
 #include "cluster/experiment.h"
 #include "cluster/parallel.h"
 #include "cluster/system_config.h"
+#include "sim/log.h"
+#include "stats/sampler.h"
+#include "trace/chrome_trace.h"
 
 namespace hh::bench {
 
@@ -54,6 +57,121 @@ applyScale(hh::cluster::SystemConfig &cfg, const BenchScale &s)
 }
 
 /**
+ * Observability command-line options accepted by every figure bench:
+ *
+ *   --trace <out.json>   Enable request-span/transition tracing and
+ *                        write a Chrome trace_event JSON file
+ *                        (loadable in chrome://tracing or Perfetto).
+ *   --metrics <out.csv>  Enable periodic metric sampling and write
+ *                        the time series as CSV.
+ */
+struct ObsOptions
+{
+    std::string tracePath;
+    std::string metricsPath;
+
+    bool traceEnabled() const { return !tracePath.empty(); }
+    bool metricsEnabled() const { return !metricsPath.empty(); }
+};
+
+/** Parse --trace/--metrics; fatal on unknown arguments. */
+inline ObsOptions
+parseObsArgs(int argc, char **argv)
+{
+    ObsOptions o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--trace" && i + 1 < argc) {
+            o.tracePath = argv[++i];
+        } else if (a == "--metrics" && i + 1 < argc) {
+            o.metricsPath = argv[++i];
+        } else {
+            hh::sim::fatal("usage: ", argv[0],
+                           " [--trace out.json] [--metrics out.csv]");
+        }
+    }
+    return o;
+}
+
+/** Turn on the corresponding SystemConfig observability knobs. */
+inline void
+applyObs(hh::cluster::SystemConfig &cfg, const ObsOptions &o)
+{
+    cfg.traceEnabled = cfg.traceEnabled || o.traceEnabled();
+    cfg.metricsEnabled = cfg.metricsEnabled || o.metricsEnabled();
+}
+
+/**
+ * Accumulates trace buffers and metric series across the runs of one
+ * bench and writes the requested output files at the end.
+ */
+struct ObsSink
+{
+    ObsOptions opts;
+    std::vector<hh::trace::ServerTrace> traces;
+    std::vector<hh::stats::SampledSeries> series;
+
+    explicit ObsSink(ObsOptions o) : opts(std::move(o)) {}
+
+    /** Take one server run's observability data (moves it out). */
+    void
+    collect(hh::cluster::ServerResults &res, const std::string &label)
+    {
+        if (opts.traceEnabled()) {
+            hh::trace::ServerTrace t;
+            t.pid = static_cast<unsigned>(traces.size());
+            t.events = std::move(res.traceEvents);
+            t.dropped = res.traceDropped;
+            traces.push_back(std::move(t));
+        }
+        if (opts.metricsEnabled()) {
+            res.metricSeries.label = label;
+            series.push_back(std::move(res.metricSeries));
+        }
+    }
+
+    /** Take a whole cluster run's observability data. */
+    void
+    collect(hh::cluster::ClusterResults &res)
+    {
+        for (auto &t : res.traces) {
+            t.pid = static_cast<unsigned>(traces.size());
+            traces.push_back(std::move(t));
+        }
+        for (auto &s : res.metricSeries)
+            series.push_back(std::move(s));
+        res.traces.clear();
+        res.metricSeries.clear();
+    }
+
+    /** Write the requested files; nonzero on I/O failure. */
+    int
+    finish() const
+    {
+        int rc = 0;
+        if (opts.traceEnabled()) {
+            if (hh::trace::writeChromeTrace(opts.tracePath, traces)) {
+                std::printf("trace: %s (%zu tracks)\n",
+                            opts.tracePath.c_str(), traces.size());
+            } else {
+                hh::sim::warn("cannot write ", opts.tracePath);
+                rc = 1;
+            }
+        }
+        if (opts.metricsEnabled()) {
+            if (hh::stats::writeMetricsCsv(opts.metricsPath, series)) {
+                std::printf("metrics: %s (%zu series)\n",
+                            opts.metricsPath.c_str(), series.size());
+            } else {
+                hh::sim::warn("cannot write ", opts.metricsPath);
+                rc = 1;
+            }
+        }
+        return rc;
+    }
+};
+
+/**
  * Run one server simulation per sweep point, in parallel (one
  * thread-pool task per point; workers from HH_THREADS or hardware
  * concurrency). Results come back in sweep order and are identical
@@ -65,6 +183,8 @@ runServerSweep(const std::vector<hh::cluster::SystemConfig> &cfgs,
 {
     return hh::cluster::runParallel<hh::cluster::ServerResults>(
         cfgs.size(), [&cfgs, &batchApp, seed](std::size_t i) {
+            const hh::sim::LogTagScope tag("sweep" +
+                                           std::to_string(i));
             return hh::cluster::runServer(cfgs[i], batchApp, seed);
         });
 }

@@ -18,12 +18,14 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hh::bench;
     using namespace hh::cluster;
 
     BenchScale scale;
+    const ObsOptions obs = parseObsArgs(argc, argv);
+    ObsSink sink(obs);
     printHeader("Extensions",
                 "adaptive / buffered harvesting and CDP (§4.1.5, "
                 "§6.3)");
@@ -53,7 +55,9 @@ main()
         cfg.adaptiveHarvest = v.adaptive;
         cfg.hwEmergencyBuffer = v.buffer;
         cfg.repl = v.repl;
-        const auto res = runServer(cfg, "BFS", scale.seed);
+        applyObs(cfg, obs);
+        auto res = runServer(cfg, "BFS", scale.seed);
+        sink.collect(res, v.name);
         if (v.repl == hh::cache::ReplKind::CDP)
             cdp_p99 = res.avgP99Ms();
         if (!v.adaptive && v.buffer == 0 &&
@@ -68,5 +72,5 @@ main()
     std::printf("\nCDP vs HardHarvest replacement: %+.1f%% tail "
                 "(paper: +8%%)\n",
                 100.0 * (cdp_p99 / base_p99 - 1.0));
-    return 0;
+    return sink.finish();
 }

@@ -11,12 +11,14 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hh::bench;
     using namespace hh::cluster;
 
     BenchScale scale;
+    const ObsOptions obs = parseObsArgs(argc, argv);
+    ObsSink sink(obs);
     printHeader("Figure 4",
                 "P99 tail with hypervisor reassignment only [ms]");
 
@@ -50,7 +52,9 @@ main()
         // caches are NOT flushed on a core move.
         cfg.harvestVmIdle = true;
         cfg.swFlushOnReassign = false;
-        const auto res = runServer(cfg, "BFS", scale.seed);
+        applyObs(cfg, obs);
+        auto res = runServer(cfg, "BFS", scale.seed);
+        sink.collect(res, v.name);
         series.emplace_back(v.name);
         runs.push_back(res.services);
         avg.push_back(res.avgP99Ms());
@@ -63,5 +67,5 @@ main()
     for (std::size_t i = 1; i < series.size(); ++i)
         std::printf("  %-10s %.2fx\n", series[i].c_str(),
                     avg[i] / avg[0]);
-    return 0;
+    return sink.finish();
 }

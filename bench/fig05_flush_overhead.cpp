@@ -10,12 +10,14 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hh::bench;
     using namespace hh::cluster;
 
     BenchScale scale;
+    const ObsOptions obs = parseObsArgs(argc, argv);
+    ObsSink sink(obs);
     printHeader("Figure 5",
                 "P99 tail with cache/TLB flushing [ms]");
 
@@ -47,7 +49,9 @@ main()
         cfg.harvestOnBlock = v.onBlock;
         cfg.swFlushOnReassign = v.flush;
         cfg.swReassignFree = v.reassignFree;
-        const auto res = runServer(cfg, "BFS", scale.seed);
+        applyObs(cfg, obs);
+        auto res = runServer(cfg, "BFS", scale.seed);
+        sink.collect(res, v.name);
         series.emplace_back(v.name);
         runs.push_back(res.services);
         avg.push_back(res.avgP99Ms());
@@ -60,5 +64,5 @@ main()
     for (std::size_t i = 1; i < series.size(); ++i)
         std::printf("  %-14s %.2fx\n", series[i].c_str(),
                     avg[i] / avg[0]);
-    return 0;
+    return sink.finish();
 }

@@ -12,22 +12,28 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hh::bench;
     using namespace hh::cluster;
 
     BenchScale scale;
+    const ObsOptions obs = parseObsArgs(argc, argv);
+    ObsSink sink(obs);
     printHeader("Figure 6",
                 "single-request time breakdown (mean) [ms]");
 
     SystemConfig no = makeSystem(SystemKind::NoHarvest);
     applyScale(no, scale);
-    const auto base = runServer(no, "BFS", scale.seed);
+    applyObs(no, obs);
+    auto base = runServer(no, "BFS", scale.seed);
+    sink.collect(base, "NoHarvest");
 
     SystemConfig hv = makeSystem(SystemKind::HarvestBlock);
     applyScale(hv, scale);
-    const auto harv = runServer(hv, "BFS", scale.seed);
+    applyObs(hv, obs);
+    auto harv = runServer(hv, "BFS", scale.seed);
+    sink.collect(harv, "Harvesting");
 
     std::printf("%-10s %-12s %10s %10s %10s %10s\n", "service",
                 "system", "reassign", "flush", "exec", "total");
@@ -54,5 +60,5 @@ main()
                 "1.9x)\n", harv_total / base_total);
     std::printf("Avg execution (cold structures):  %.2fx (paper: "
                 "1.2x)\n", harv_exec / base_exec);
-    return 0;
+    return sink.finish();
 }

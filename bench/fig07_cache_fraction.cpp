@@ -11,12 +11,14 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hh::bench;
     using namespace hh::cluster;
 
     BenchScale scale;
+    const ObsOptions obs = parseObsArgs(argc, argv);
+    ObsSink sink(obs);
     printHeader("Figure 7",
                 "P99 tail vs cache/TLB size fraction [ms]");
 
@@ -39,13 +41,17 @@ main()
         applyScale(cfg, scale);
         cfg.infiniteCaches = v.infinite;
         cfg.waysFraction = v.fraction;
+        applyObs(cfg, obs);
         cfgs.push_back(cfg);
         series.emplace_back(v.name);
     }
 
     std::vector<std::vector<ServiceResult>> runs;
     std::vector<double> avg;
-    for (const auto &res : runServerSweep(cfgs, "BFS", scale.seed)) {
+    auto sweep = runServerSweep(cfgs, "BFS", scale.seed);
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        auto &res = sweep[i];
+        sink.collect(res, series[i]);
         runs.push_back(res.services);
         avg.push_back(res.avgP99Ms());
     }
@@ -57,5 +63,5 @@ main()
     for (std::size_t i = 0; i < series.size(); ++i)
         std::printf("  %-5s %.2fx\n", series[i].c_str(),
                     avg[i] / avg[1]);
-    return 0;
+    return sink.finish();
 }

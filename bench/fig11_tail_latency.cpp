@@ -11,12 +11,14 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hh::bench;
     using namespace hh::cluster;
 
     BenchScale scale;
+    const ObsOptions obs = parseObsArgs(argc, argv);
+    ObsSink sink(obs);
     printHeader("Figure 11",
                 "P99 tail latency of Primary VMs, 5 systems [ms]");
 
@@ -30,15 +32,18 @@ main()
     for (const SystemKind kind : kinds) {
         SystemConfig cfg = makeSystem(kind);
         applyScale(cfg, scale);
+        applyObs(cfg, obs);
         cfgs.push_back(cfg);
         series.emplace_back(systemName(kind));
     }
-    const std::vector<ServerResults> full =
+    std::vector<ServerResults> full =
         runServerSweep(cfgs, "BFS", scale.seed);
 
     std::vector<std::vector<ServiceResult>> runs;
     std::vector<double> avg_p99;
-    for (const ServerResults &res : full) {
+    for (std::size_t i = 0; i < full.size(); ++i) {
+        ServerResults &res = full[i];
+        sink.collect(res, series[i]);
         runs.push_back(res.services);
         avg_p99.push_back(res.avgP99Ms());
     }
@@ -65,5 +70,5 @@ main()
                     static_cast<unsigned long long>(
                         full[i].coreReclaims));
     }
-    return 0;
+    return sink.finish();
 }

@@ -15,12 +15,14 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hh::bench;
     using namespace hh::cluster;
 
     BenchScale scale;
+    const ObsOptions obs = parseObsArgs(argc, argv);
+    ObsSink sink(obs);
     printHeader("Figure 12",
                 "cumulative optimization breakdown, P99 [ms]");
 
@@ -54,7 +56,9 @@ main()
         cfg.efficientFlush = step >= Flush;
         cfg.repl = step >= Repl ? hh::cache::ReplKind::HardHarvest
                                 : hh::cache::ReplKind::LRU;
-        const auto res = runServer(cfg, "BFS", scale.seed);
+        applyObs(cfg, obs);
+        auto res = runServer(cfg, "BFS", scale.seed);
+        sink.collect(res, names[step]);
         series.emplace_back(names[step]);
         runs.push_back(res.services);
         avg.push_back(res.avgP99Ms());
@@ -68,5 +72,5 @@ main()
         std::printf("  %-12s %.1f%%\n", series[i].c_str(),
                     100.0 * (1.0 - avg[i] / avg[HarvestBlockBar]));
     }
-    return 0;
+    return sink.finish();
 }

@@ -10,12 +10,14 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hh::bench;
     using namespace hh::cluster;
 
     BenchScale scale;
+    const ObsOptions obs = parseObsArgs(argc, argv);
+    ObsSink sink(obs);
     printHeader("Figure 13",
                 "Sched vs CtxtSw ablation, P99 [ms]");
 
@@ -40,7 +42,9 @@ main()
         applyScale(cfg, scale);
         cfg.hwSched = v.sched;
         cfg.hwCtxtSwitch = v.ctxsw;
-        const auto res = runServer(cfg, "BFS", scale.seed);
+        applyObs(cfg, obs);
+        auto res = runServer(cfg, "BFS", scale.seed);
+        sink.collect(res, v.name);
         series.emplace_back(v.name);
         runs.push_back(res.services);
         avg.push_back(res.avgP99Ms());
@@ -52,5 +56,5 @@ main()
     for (std::size_t i = 1; i < series.size(); ++i)
         std::printf("  %-14s %.1f%%\n", series[i].c_str(),
                     100.0 * (1.0 - avg[i] / avg[0]));
-    return 0;
+    return sink.finish();
 }

@@ -10,12 +10,14 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hh::bench;
     using namespace hh::cluster;
 
     BenchScale scale;
+    const ObsOptions obs = parseObsArgs(argc, argv);
+    ObsSink sink(obs);
     printHeader("Figure 15",
                 "optimizations without harvesting, P99 [ms]");
 
@@ -41,7 +43,9 @@ main()
         cfg.hwCtxtSwitch = step >= CtxtSw;
         cfg.repl = step >= Repl ? hh::cache::ReplKind::HardHarvest
                                 : hh::cache::ReplKind::LRU;
-        const auto res = runServer(cfg, "BFS", scale.seed);
+        applyObs(cfg, obs);
+        auto res = runServer(cfg, "BFS", scale.seed);
+        sink.collect(res, names[step]);
         series.emplace_back(names[step]);
         runs.push_back(res.services);
         avg.push_back(res.avgP99Ms());
@@ -54,5 +58,5 @@ main()
     for (std::size_t i = Sched; i < series.size(); ++i)
         std::printf("  %-12s %.1f%%\n", series[i].c_str(),
                     100.0 * (1.0 - avg[i] / avg[0]));
-    return 0;
+    return sink.finish();
 }

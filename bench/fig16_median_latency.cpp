@@ -11,12 +11,14 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hh::bench;
     using namespace hh::cluster;
 
     BenchScale scale;
+    const ObsOptions obs = parseObsArgs(argc, argv);
+    ObsSink sink(obs);
     printHeader("Figure 16", "median latency, 5 systems [ms]");
 
     const SystemKind kinds[] = {
@@ -29,13 +31,17 @@ main()
     for (const SystemKind kind : kinds) {
         SystemConfig cfg = makeSystem(kind);
         applyScale(cfg, scale);
+        applyObs(cfg, obs);
         cfgs.push_back(cfg);
         series.emplace_back(systemName(kind));
     }
 
     std::vector<std::vector<ServiceResult>> runs;
     std::vector<double> avg;
-    for (const auto &res : runServerSweep(cfgs, "BFS", scale.seed)) {
+    auto sweep = runServerSweep(cfgs, "BFS", scale.seed);
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        auto &res = sweep[i];
+        sink.collect(res, series[i]);
         runs.push_back(res.services);
         avg.push_back(res.avgP50Ms());
     }
@@ -47,5 +53,5 @@ main()
     for (std::size_t i = 1; i < series.size(); ++i)
         std::printf("  %-18s %+0.1f%%\n", series[i].c_str(),
                     100.0 * (avg[i] / avg[0] - 1.0));
-    return 0;
+    return sink.finish();
 }

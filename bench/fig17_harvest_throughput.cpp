@@ -15,12 +15,14 @@
 #include "workload/batch.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hh::bench;
     using namespace hh::cluster;
 
     BenchScale scale;
+    const ObsOptions obs = parseObsArgs(argc, argv);
+    ObsSink sink(obs);
     printHeader("Figure 17",
                 "Harvest VM throughput normalized to NoHarvest");
 
@@ -44,8 +46,10 @@ main()
         for (const SystemKind kind : kinds) {
             SystemConfig cfg = makeSystem(kind);
             applyScale(cfg, scale);
-            const auto res =
-                runServer(cfg, apps[a].name, scale.seed);
+            applyObs(cfg, obs);
+            auto res = runServer(cfg, apps[a].name, scale.seed);
+            sink.collect(res, apps[a].name + "/" +
+                                  systemName(kind));
             tput.push_back(res.batchThroughput);
         }
         std::printf("%-10s", apps[a].name.c_str());
@@ -61,5 +65,5 @@ main()
         std::printf(" %18.2f", avg[s] / n_apps);
     std::printf("\n\n(paper averages: 1.0, 1.7x, ~1.9x, ~2.8x, "
                 "3.1x)\n");
-    return 0;
+    return sink.finish();
 }

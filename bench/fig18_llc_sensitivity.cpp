@@ -10,12 +10,14 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hh::bench;
     using namespace hh::cluster;
 
     BenchScale scale;
+    const ObsOptions obs = parseObsArgs(argc, argv);
+    ObsSink sink(obs);
     printHeader("Figure 18",
                 "HardHarvest-Block P99 vs LLC size [ms]");
 
@@ -26,6 +28,7 @@ main()
         SystemConfig cfg = makeSystem(SystemKind::HardHarvestBlock);
         applyScale(cfg, scale);
         cfg.llcMbPerCore = mb;
+        applyObs(cfg, obs);
         cfgs.push_back(cfg);
         char label[32];
         std::snprintf(label, sizeof label, "%.1fMB/core", mb);
@@ -34,7 +37,10 @@ main()
 
     std::vector<std::vector<ServiceResult>> runs;
     std::vector<double> avg;
-    for (const auto &res : runServerSweep(cfgs, "BFS", scale.seed)) {
+    auto sweep = runServerSweep(cfgs, "BFS", scale.seed);
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        auto &res = sweep[i];
+        sink.collect(res, series[i]);
         runs.push_back(res.services);
         avg.push_back(res.avgP99Ms());
     }
@@ -45,5 +51,5 @@ main()
     for (std::size_t i = 0; i < series.size(); ++i)
         std::printf("  %-10s %.3fx\n", series[i].c_str(),
                     avg[i] / avg[1]);
-    return 0;
+    return sink.finish();
 }

@@ -11,12 +11,14 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hh::bench;
     using namespace hh::cluster;
 
     BenchScale scale;
+    const ObsOptions obs = parseObsArgs(argc, argv);
+    ObsSink sink(obs);
     printHeader("Figure 19",
                 "HardHarvest P99 vs eviction-candidate size [ms]");
 
@@ -28,9 +30,11 @@ main()
         SystemConfig cfg = makeSystem(SystemKind::HardHarvestBlock);
         applyScale(cfg, scale);
         cfg.candidateFraction = m;
-        const auto res = runServer(cfg, "BFS", scale.seed);
+        applyObs(cfg, obs);
+        auto res = runServer(cfg, "BFS", scale.seed);
         char label[16];
         std::snprintf(label, sizeof label, "%.0f%%", m * 100);
+        sink.collect(res, label);
         series.emplace_back(label);
         runs.push_back(res.services);
         avg.push_back(res.avgP99Ms());
@@ -42,5 +46,5 @@ main()
     for (std::size_t i = 0; i < series.size(); ++i)
         std::printf("  %-5s %.3fx\n", series[i].c_str(),
                     avg[i] / avg[2]);
-    return 0;
+    return sink.finish();
 }

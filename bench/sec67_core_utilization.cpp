@@ -11,12 +11,14 @@
 #include "bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hh::bench;
     using namespace hh::cluster;
 
     BenchScale scale;
+    const ObsOptions obs = parseObsArgs(argc, argv);
+    ObsSink sink(obs);
     printHeader("Section 6.7", "average busy cores out of 36");
 
     const SystemKind kinds[] = {
@@ -31,7 +33,9 @@ main()
     for (std::size_t i = 0; i < 5; ++i) {
         SystemConfig cfg = makeSystem(kinds[i]);
         applyScale(cfg, scale);
-        const auto res = runServer(cfg, "BFS", scale.seed);
+        applyObs(cfg, obs);
+        auto res = runServer(cfg, "BFS", scale.seed);
+        sink.collect(res, systemName(kinds[i]));
         busy.push_back(res.avgBusyCores);
         std::printf("%-18s %12.1f %12.1f %9.1f%%\n",
                     systemName(kinds[i]), res.avgBusyCores, paper[i],
@@ -41,5 +45,5 @@ main()
                 "(paper: 1.5x)\n", busy[4] / busy[1]);
     std::printf("HardHarvest-Block vs NoHarvest:    %.2fx "
                 "(paper: 3.4x)\n", busy[4] / busy[0]);
-    return 0;
+    return sink.finish();
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sim/log.h"
+#include "stats/registry.h"
 
 namespace hh::cache {
 
@@ -161,6 +162,18 @@ CoreHierarchy::resetStats()
     l1tlb_->resetStats();
     l2tlb_->resetStats();
     accesses_ = 0;
+}
+
+void
+CoreHierarchy::registerMetrics(hh::stats::MetricRegistry &reg,
+                               const std::string &prefix)
+{
+    l1d_->registerMetrics(reg, prefix + ".l1d");
+    l1i_->registerMetrics(reg, prefix + ".l1i");
+    l2_->registerMetrics(reg, prefix + ".l2");
+    l1tlb_->registerMetrics(reg, prefix + ".l1tlb");
+    l2tlb_->registerMetrics(reg, prefix + ".l2tlb");
+    reg.registerCounter(prefix + ".accesses", accesses_);
 }
 
 } // namespace hh::cache

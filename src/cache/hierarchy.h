@@ -141,6 +141,15 @@ class CoreHierarchy
     /** Reset hit/miss statistics on all levels. */
     void resetStats();
 
+    /**
+     * Register every private structure's counters under
+     * "<prefix>.l1d", "<prefix>.l2tlb", ... plus the access total.
+     * The L3 partition is intentionally excluded: it is per-VM and
+     * re-bindable, so its owner registers it.
+     */
+    void registerMetrics(hh::stats::MetricRegistry &reg,
+                         const std::string &prefix);
+
     const HierarchyConfig &config() const { return cfg_; }
 
   private:

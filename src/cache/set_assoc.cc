@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/log.h"
+#include "stats/registry.h"
 
 namespace hh::cache {
 
@@ -195,6 +196,15 @@ void
 SetAssocArray::resetStats()
 {
     hits_ = misses_ = evictions_ = 0;
+}
+
+void
+SetAssocArray::registerMetrics(hh::stats::MetricRegistry &reg,
+                               const std::string &prefix)
+{
+    reg.registerCounter(prefix + ".hits", hits_);
+    reg.registerCounter(prefix + ".misses", misses_);
+    reg.registerCounter(prefix + ".evictions", evictions_);
 }
 
 std::uint64_t

@@ -19,10 +19,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/config.h"
 #include "cache/replacement.h"
+
+namespace hh::stats {
+class MetricRegistry;
+}
 
 namespace hh::cache {
 
@@ -94,6 +99,14 @@ class SetAssocArray
     std::uint64_t evictions() const { return evictions_; }
     double hitRate() const;
     void resetStats();
+
+    /**
+     * Register hit/miss/eviction counters under
+     * "<prefix>.hits" etc. The array must outlive the registry's
+     * users (snapshots read through the registered callbacks).
+     */
+    void registerMetrics(hh::stats::MetricRegistry &reg,
+                         const std::string &prefix);
     /** @} */
 
     const Geometry &geometry() const { return geom_; }

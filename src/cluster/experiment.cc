@@ -45,7 +45,28 @@ ClusterResults::serialized() const
         os << app << ' ' << tput << '\n';
     os << avgBusyCores << ' ' << utilization << ' ' << coreLoans
        << ' ' << coreReclaims << ' ' << primaryL2HitRate << '\n';
+    // Registry-backed section: every metric of every server, in
+    // registry (= lexicographic) order. Empty unless metrics were
+    // enabled, so default-config serializations are unchanged.
+    for (std::size_t s = 0; s < serverMetrics.size(); ++s) {
+        for (const auto &m : serverMetrics[s])
+            os << "server" << s << '.' << m.name << ' ' << m.value
+               << '\n';
+    }
+    if (!traces.empty()) {
+        os << "trace";
+        for (const auto &t : traces)
+            os << ' ' << t.pid << ':' << t.events.size() << '/'
+               << t.dropped;
+        os << ' ' << traceOpenSpans << ' ' << traceUnbalanced << '\n';
+    }
     return os.str();
+}
+
+std::string
+ClusterResults::traceJson() const
+{
+    return hh::trace::chromeTraceJson(traces);
 }
 
 ServerResults
@@ -69,16 +90,38 @@ runCluster(const SystemConfig &cfg, unsigned servers,
     // streams and stats, so tasks share nothing mutable. Results are
     // collected by server index, making the aggregation below — and
     // therefore ClusterResults — bit-identical for any worker count.
-    const std::vector<ServerResults> runs =
+    std::vector<ServerResults> runs =
         runParallel<ServerResults>(
             servers,
             [&cfg, &batch, seed](std::size_t s) {
+                // Tag this worker's log lines with the server it is
+                // simulating so interleaved warnings stay
+                // attributable.
+                const hh::sim::LogTagScope tag(
+                    "server" + std::to_string(s));
                 return runServer(cfg, batch[s].name,
                                  seed + static_cast<std::uint64_t>(s));
             },
             workers);
 
     ClusterResults agg;
+    for (unsigned s = 0; s < servers; ++s) {
+        ServerResults &run = runs[s];
+        if (cfg.traceEnabled) {
+            hh::trace::ServerTrace t;
+            t.pid = s;
+            t.events = std::move(run.traceEvents);
+            t.dropped = run.traceDropped;
+            agg.traces.push_back(std::move(t));
+            agg.traceOpenSpans += run.traceOpenSpans;
+            agg.traceUnbalanced += run.traceUnbalanced;
+        }
+        if (cfg.metricsEnabled) {
+            agg.serverMetrics.push_back(std::move(run.metricsFinal));
+            run.metricSeries.label = "server" + std::to_string(s);
+            agg.metricSeries.push_back(std::move(run.metricSeries));
+        }
+    }
     for (unsigned s = 0; s < servers; ++s) {
         agg.batchThroughput.emplace_back(batch[s].name,
                                          runs[s].batchThroughput);

@@ -17,6 +17,7 @@
 
 #include "cluster/server.h"
 #include "cluster/system_config.h"
+#include "trace/chrome_trace.h"
 
 namespace hh::cluster {
 
@@ -33,15 +34,33 @@ struct ClusterResults
     std::uint64_t coreReclaims = 0;
     double primaryL2HitRate = 0;
 
+    /** @name Observability (filled only when enabled) @{ */
+    /** Per-server trace buffers (pid = server index). */
+    std::vector<hh::trace::ServerTrace> traces;
+    std::uint64_t traceOpenSpans = 0;  //!< Summed across servers.
+    std::uint64_t traceUnbalanced = 0; //!< Summed across servers.
+    /** Per-server end-of-run metric snapshots ("server<i>" label). */
+    std::vector<std::vector<hh::stats::MetricRegistry::Sample>>
+        serverMetrics;
+    /** Per-server sampled time series ("server<i>" label). */
+    std::vector<hh::stats::SampledSeries> metricSeries;
+    /** @} */
+
     double avgP99Ms() const;
     double avgP50Ms() const;
 
     /**
      * Canonical byte-exact serialization (hexfloat) of every field.
      * Two runs are bit-identical iff their serializations compare
-     * equal; used by the determinism tests and bench_speed.
+     * equal; used by the determinism tests and bench_speed. When
+     * metrics are enabled this includes a registry-backed section
+     * (every metric of every server); the trace buffers are covered
+     * by their event count, drop count and span accounting.
      */
     std::string serialized() const;
+
+    /** Chrome trace_event JSON of all servers' trace buffers. */
+    std::string traceJson() const;
 };
 
 /**

@@ -59,6 +59,11 @@ ServerSim::ServerSim(const SystemConfig &cfg, const std::string &batchApp,
     buildVms(batchApp);
     buildCores();
 
+    if (cfg_.traceEnabled)
+        tracer_ = std::make_unique<hh::trace::Tracer>(
+            cfg_.traceCapacity);
+    registerMetrics();
+
     nic_->setHandler([this](const hh::net::Packet &p) { onPacket(p); });
     nic_->setLlcLookup([this](std::uint32_t vm)
                            -> hh::cache::SetAssocArray * {
@@ -82,6 +87,8 @@ ServerSim::buildVms(const std::string &batchApp)
     for (const auto &desc : layout) {
         VmCtx v;
         v.desc = desc;
+        v.latencies = hh::stats::LatencyRecorder(
+            "vm" + std::to_string(desc.id) + ".latency_ms");
         v.l3 = std::make_unique<hh::cache::SetAssocArray>(
             l3PartitionGeometry(cfg_.llcMbPerCore,
                                 static_cast<unsigned>(
@@ -148,6 +155,33 @@ ServerSim::buildCores()
 }
 
 void
+ServerSim::registerMetrics()
+{
+    // Hierarchical dotted names; the server prefix ("server0.") is
+    // added by the exporter/cluster layer so names can be aggregated
+    // by suffix across servers.
+    const auto now = [this] { return sim_.now(); };
+    nic_->registerMetrics(registry_, "nic");
+    dram_.registerMetrics(registry_, "dram", now);
+    hyp_->registerMetrics(registry_, "hv");
+    ctrl_->registerMetrics(registry_, "ctrl");
+    registry_.registerCounter("server.loans", loans_);
+    registry_.registerCounter("server.reclaims", reclaims_);
+    registry_.registerCounter("server.batch_tasks", batch_tasks_done_);
+    for (auto &v : vms_) {
+        const std::string p = "vm" + std::to_string(v.desc.id);
+        ctrl_->qmFor(v.desc.id)->registerMetrics(registry_, p + ".qm");
+        v.l3->registerMetrics(registry_, p + ".l3");
+        if (v.desc.isPrimary())
+            registry_.registerLatency(p + ".latency_ms", v.latencies);
+    }
+    for (const auto &core : cores_) {
+        core->registerMetrics(
+            registry_, "core" + std::to_string(core->id()), now);
+    }
+}
+
+void
 ServerSim::scheduleFirstArrivals()
 {
     for (auto &v : vms_) {
@@ -177,6 +211,9 @@ ServerSim::onArrival(std::uint32_t vm)
     req.readySince = sim_.now();
     requests_.emplace(id, std::move(req));
 
+    if (tracer_)
+        tracer_->openSpan(id);
+
     hh::net::Packet pkt;
     pkt.kind = hh::net::PacketKind::NewRequest;
     pkt.dstVm = vm;
@@ -203,6 +240,9 @@ ServerSim::onPacket(const hh::net::Packet &pkt)
     if (pkt.kind == hh::net::PacketKind::NewRequest) {
         ctrl_->enqueue(vm, req.id);
         req.state = hh::cpu::RequestState::Queued;
+        if (tracer_)
+            tracer_->instant(hh::trace::EventType::RqEnqueue,
+                             sim_.now(), requestTrack(vm), req.id);
     } else {
         ctrl_->markReady(vm, req.id);
         req.state = hh::cpu::RequestState::Queued;
@@ -336,6 +376,23 @@ ServerSim::startRequestOnCore(unsigned core, std::uint64_t reqId,
     req.breakdown.flush += flushPart;
     req.breakdown.queueing += ctx_cost;
 
+    if (tracer_) {
+        const std::uint32_t track = requestTrack(req.vm);
+        if (sim_.now() > req.readySince)
+            tracer_->record(hh::trace::EventType::QueueWait,
+                            req.readySince,
+                            sim_.now() - req.readySince, track, reqId);
+        tracer_->instant(hh::trace::EventType::Dispatch, sim_.now(),
+                         track, reqId);
+        if (flushPart > 0)
+            tracer_->record(hh::trace::EventType::HarvestFlush,
+                            sim_.now(), flushPart, core, reqId);
+        if (overhead + ctx_cost > 0)
+            tracer_->record(hh::trace::EventType::CtxSwitchStall,
+                            sim_.now(), overhead + ctx_cost, track,
+                            reqId);
+    }
+
     ctx.phase = Phase::RunPrimary;
     ctx.runningRequest = reqId;
     cores_[core]->setState(sim_.now(), hh::cpu::CoreState::RunningPrimary);
@@ -377,6 +434,9 @@ ServerSim::executeSegment(unsigned core, std::uint64_t reqId)
 
     const Cycles dur = replaySegment(core, reqId, seg);
     req.breakdown.execution += dur;
+    if (tracer_)
+        tracer_->record(hh::trace::EventType::ExecSegment, sim_.now(),
+                        dur, requestTrack(req.vm), reqId);
     core_ctx_[core].pendingEvent = sim_.schedule(
         dur, [this, core, reqId] { onSegmentDone(core, reqId); });
 }
@@ -404,6 +464,10 @@ ServerSim::onSegmentDone(unsigned core, std::uint64_t reqId)
         const Cycles io_total =
             fabric_.roundTrip(256) + seg.ioTime;
         req.breakdown.io += io_total;
+        if (tracer_)
+            tracer_->record(hh::trace::EventType::IoBlocked,
+                            sim_.now(), io_total,
+                            requestTrack(req.vm), reqId);
         ewma_block_cycles_[req.vm] =
             0.2 * static_cast<double>(io_total) +
             0.8 * ewma_block_cycles_[req.vm];
@@ -440,6 +504,13 @@ ServerSim::completeRequest(unsigned core, std::uint64_t reqId)
     req.state = hh::cpu::RequestState::Done;
     req.completion = sim_.now();
     ctrl_->complete(req.vm, reqId);
+
+    if (tracer_) {
+        tracer_->record(hh::trace::EventType::RequestSpan, req.arrival,
+                        sim_.now() - req.arrival, requestTrack(req.vm),
+                        reqId);
+        tracer_->closeSpan(reqId);
+    }
 
     VmCtx &v = vmCtx(req.vm);
     ++v.completed;
@@ -539,7 +610,7 @@ ServerSim::lendCore(unsigned core)
     const std::uint32_t vm = cores_[core]->boundVm();
     auto *qm = ctrl_->qmFor(vm);
     qm->noteLoan(core);
-    ++loans_;
+    loans_.inc();
     ctx.onLoan = true;
     ctx.phase = Phase::Transition;
 
@@ -560,14 +631,28 @@ ServerSim::lendCore(unsigned core)
     // VM additionally waits out the worst-case flush bound to close
     // the timing side channel); otherwise a full wbinvd-style flush.
     auto &hier = cores_[core]->hierarchy();
+    Cycles flush_cost = 0;
     if (cfg_.partitioning) {
         hier.flushHarvestRegion(sim_.now(), 0);
-        cost += cfg_.efficientFlush
-                    ? ctrl_->flushBound()
-                    : hyp_->wbinvdCost() / 2;
+        flush_cost = cfg_.efficientFlush
+                         ? ctrl_->flushBound()
+                         : hyp_->wbinvdCost() / 2;
     } else if (cfg_.swFlushOnReassign) {
         hier.flushAll();
-        cost += hyp_->wbinvdCost();
+        flush_cost = hyp_->wbinvdCost();
+    }
+    cost += flush_cost;
+
+    if (tracer_) {
+        tracer_->instant(hh::trace::EventType::Lend, sim_.now(), core,
+                         core);
+        tracer_->record(hh::trace::EventType::LendTransition,
+                        sim_.now(), cost, core, core);
+        if (flush_cost > 0)
+            tracer_->record(hh::trace::EventType::HarvestFlush,
+                            sim_.now() + (cost - flush_cost),
+                            flush_cost, core, core);
+        tracer_->openSpan(lendKey(core));
     }
 
     // Track the completion so a reclaim arriving mid-transition
@@ -582,6 +667,8 @@ ServerSim::lendCore(unsigned core)
         c.pendingEvent = hh::sim::kInvalidEventId;
         if (!c.onLoan)
             return; // reclaimed while transitioning
+        if (tracer_)
+            tracer_->closeSpan(lendKey(core));
         c.phase = Phase::Idle;
         if (cfg_.harvestVmIdle) {
             // Fig 4 study: the Harvest VM has no work; the core sits
@@ -667,6 +754,10 @@ ServerSim::onHarvestSliceDone(unsigned core)
 {
     CoreCtx &ctx = core_ctx_[core];
     ctx.pendingEvent = hh::sim::kInvalidEventId;
+    if (tracer_ && ctx.slice)
+        tracer_->record(hh::trace::EventType::HarvestSlice,
+                        ctx.sliceStart, sim_.now() - ctx.sliceStart,
+                        core, ctx.slice->id);
     ctx.slice.reset();
     ++batch_tasks_done_;
 
@@ -697,6 +788,13 @@ ServerSim::preemptHarvestSlice(unsigned core)
     }
     if (!ctx.slice)
         return;
+    if (tracer_) {
+        tracer_->record(hh::trace::EventType::HarvestSlice,
+                        ctx.sliceStart, sim_.now() - ctx.sliceStart,
+                        core, ctx.slice->id);
+        tracer_->instant(hh::trace::EventType::Preempt, sim_.now(),
+                         core, ctx.slice->id);
+    }
     // Return the unexecuted remainder to the Harvest VM's vCPU queue
     // (Fig 10: the preempted request becomes ready for another core).
     const double f =
@@ -724,9 +822,26 @@ ServerSim::reclaimCore(unsigned core, std::uint32_t vm)
     CoreCtx &ctx = core_ctx_[core];
     auto *qm = ctrl_->qmFor(vm);
     qm->noteReturn(core);
-    ++reclaims_;
+    reclaims_.inc();
     ++pending_reclaims_[vm];
     last_reclaim_at_[vm] = sim_.now();
+
+    // A reclaim arriving while the lend transition is still paying
+    // its costs cancels that lend; its span must close here or it
+    // would be reported as an orphan.
+    const bool lend_in_flight =
+        ctx.onLoan && ctx.phase == Phase::Transition &&
+        ctx.pendingEvent != hh::sim::kInvalidEventId;
+    if (tracer_) {
+        tracer_->instant(hh::trace::EventType::Reclaim, sim_.now(),
+                         core, core);
+        if (lend_in_flight) {
+            tracer_->instant(hh::trace::EventType::LendCancelled,
+                             sim_.now(), core, core);
+            tracer_->closeSpan(lendKey(core));
+        }
+        tracer_->openSpan(reclaimKey(core));
+    }
 
     preemptHarvestSlice(core);
     ctx.onLoan = false;
@@ -752,17 +867,31 @@ ServerSim::reclaimCore(unsigned core, std::uint32_t vm)
                                  ? ctrl_->flushBound()
                                  : hyp_->wbinvdCost() / 2;
         hier.flushHarvestRegion(sim_.now(), bound);
+        if (tracer_)
+            tracer_->record(hh::trace::EventType::HarvestFlush,
+                            sim_.now(), bound, core, core);
     } else if (cfg_.swFlushOnReassign) {
         hier.flushAll();
         flush_cost = hyp_->wbinvdCost();
+        if (tracer_)
+            tracer_->record(hh::trace::EventType::HarvestFlush,
+                            sim_.now(), flush_cost, core, core);
     }
     configureCoreForPrimary(core);
 
     const Cycles total = reassign_cost + flush_cost;
+    if (tracer_)
+        tracer_->record(hh::trace::EventType::ReclaimTransition,
+                        sim_.now(), total, core, core);
     sim_.schedule(total, [this, core, vm, reassign_cost, flush_cost] {
         CoreCtx &c = core_ctx_[core];
         if (pending_reclaims_[vm] > 0)
             --pending_reclaims_[vm];
+        if (tracer_) {
+            tracer_->closeSpan(reclaimKey(core));
+            tracer_->instant(hh::trace::EventType::Restore, sim_.now(),
+                             core, core);
+        }
         c.phase = Phase::Idle;
         c.idleSince = sim_.now();
         const auto id = ctrl_->dequeue(vm);
@@ -872,12 +1001,22 @@ ServerSim::noteDoneMaybeFinish()
     if (!done_ && allDone()) {
         done_ = true;
         end_time_ = sim_.now();
+        // The sampler's self-rescheduling tick would otherwise keep
+        // the event queue non-empty all the way to the horizon.
+        if (sampler_)
+            sampler_->stop();
     }
 }
 
 ServerResults
 ServerSim::run()
 {
+    if (cfg_.metricsEnabled) {
+        sampler_ = std::make_unique<hh::stats::MetricSampler>(
+            sim_, registry_, cfg_.metricsPeriod);
+        sampler_->start();
+    }
+
     // Harvest VM's own cores start working immediately.
     for (unsigned c : vms_[harvest_vm_].desc.cores)
         sim_.schedule(0, [this, c] { onCoreIdle(c); });
@@ -900,6 +1039,8 @@ ServerSim::run()
                       "requests completed");
         end_time_ = sim_.now();
     }
+    if (sampler_)
+        sampler_->stop();
 
     ServerResults res;
     const Cycles end = end_time_ ? end_time_ : sim_.now();
@@ -947,13 +1088,25 @@ ServerSim::run()
     res.avgBusyCores = end > 0 ? busy / static_cast<double>(end) : 0;
     res.utilization =
         res.avgBusyCores / static_cast<double>(cfg_.cores);
-    res.coreLoans = loans_;
-    res.coreReclaims = reclaims_;
+    res.coreLoans = loans_.value();
+    res.coreReclaims = reclaims_.value();
     res.primaryL2HitRate =
         (l2_hits + l2_misses) > 0
             ? static_cast<double>(l2_hits) /
                   static_cast<double>(l2_hits + l2_misses)
             : 0;
+
+    if (tracer_) {
+        res.traceEvents = tracer_->events();
+        res.traceDropped = tracer_->dropped();
+        res.traceOpenSpans = tracer_->openSpans();
+        res.traceUnbalanced = tracer_->unbalancedCloses();
+    }
+    if (cfg_.metricsEnabled) {
+        res.metricsFinal = registry_.snapshot();
+        if (sampler_)
+            res.metricSeries = sampler_->takeSeries();
+    }
     return res;
 }
 

@@ -33,6 +33,9 @@
 #include "noc/mesh.h"
 #include "sim/simulator.h"
 #include "stats/percentile.h"
+#include "stats/registry.h"
+#include "stats/sampler.h"
+#include "trace/trace.h"
 #include "vm/hypervisor.h"
 #include "vm/sw_harvest.h"
 #include "vm/vm.h"
@@ -71,6 +74,18 @@ struct ServerResults
     std::uint64_t coreReclaims = 0;
     double primaryL2HitRate = 0;
 
+    /** @name Observability (filled only when enabled) @{ */
+    /** Buffered trace events, oldest first. */
+    std::vector<hh::trace::Event> traceEvents;
+    std::uint64_t traceDropped = 0;    //!< Ring overwrites.
+    std::uint64_t traceOpenSpans = 0;  //!< Orphaned spans (bug if !=0).
+    std::uint64_t traceUnbalanced = 0; //!< Double closes (bug if !=0).
+    /** End-of-run snapshot of every registered metric. */
+    std::vector<hh::stats::MetricRegistry::Sample> metricsFinal;
+    /** Periodic samples (label filled by the cluster layer). */
+    hh::stats::SampledSeries metricSeries;
+    /** @} */
+
     /** Average P99 across services (ms). */
     double avgP99Ms() const;
     /** Average median across services (ms). */
@@ -102,6 +117,12 @@ class ServerSim
 
     /** The embedded HardHarvest controller (tests). */
     hh::core::HardHarvestController &controller() { return *ctrl_; }
+
+    /** The server's metric registry (tests, ad-hoc inspection). */
+    hh::stats::MetricRegistry &metrics() { return registry_; }
+
+    /** The tracer, or nullptr when tracing is disabled. */
+    hh::trace::Tracer *tracer() { return tracer_.get(); }
 
     const SystemConfig &config() const { return cfg_; }
 
@@ -158,6 +179,26 @@ class ServerSim
     void buildVms(const std::string &batchApp);
     void buildCores();
     void scheduleFirstArrivals();
+    /** Register every component's stats into registry_. */
+    void registerMetrics();
+    /** @} */
+
+    /** @name Tracing helpers @{ */
+    /** Request-span track for @p vm. */
+    static std::uint32_t requestTrack(std::uint32_t vm)
+    {
+        return hh::trace::kRequestTrackBase + vm;
+    }
+    /** Span-accounting key of a core's lend transition. */
+    static std::uint64_t lendKey(unsigned core)
+    {
+        return (std::uint64_t{2} << 60) + core;
+    }
+    /** Span-accounting key of a core's reclaim transition. */
+    static std::uint64_t reclaimKey(unsigned core)
+    {
+        return (std::uint64_t{3} << 60) + core;
+    }
     /** @} */
 
     /** @name Request path @{ */
@@ -240,10 +281,17 @@ class ServerSim
     /** EWMA of blocked-on-I/O durations per VM (adaptive ext.). */
     std::vector<double> ewma_block_cycles_;
 
-    std::uint64_t loans_ = 0;
-    std::uint64_t reclaims_ = 0;
+    hh::stats::Counter loans_{"server.loans"};
+    hh::stats::Counter reclaims_{"server.reclaims"};
     bool done_ = false;
     hh::sim::Cycles end_time_ = 0;
+
+    /** @name Observability @{ */
+    hh::stats::MetricRegistry registry_;
+    std::unique_ptr<hh::stats::MetricSampler> sampler_;
+    /** Null unless cfg_.traceEnabled: hot paths branch on this. */
+    std::unique_ptr<hh::trace::Tracer> tracer_;
+    /** @} */
 };
 
 } // namespace hh::cluster

@@ -8,6 +8,7 @@
 #ifndef HH_CLUSTER_SYSTEM_CONFIG_H
 #define HH_CLUSTER_SYSTEM_CONFIG_H
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -87,6 +88,21 @@ struct SystemConfig
     unsigned cores = 36;
     unsigned primaryVms = 8;
     unsigned coresPerPrimary = 4;
+    /** @} */
+
+    /** @name Observability (PR 2) @{ */
+    /**
+     * Request-span and core-transition tracing. Off by default: the
+     * tracer is then never constructed and hot paths pay only a
+     * branch on a null pointer.
+     */
+    bool traceEnabled = false;
+    /** Trace ring capacity in events (oldest overwritten beyond). */
+    std::size_t traceCapacity = 1u << 17;
+    /** Periodic metric time-series sampling into ServerResults. */
+    bool metricsEnabled = false;
+    /** Sampling cadence in cycles (1 ms at 3 GHz by default). */
+    hh::sim::Cycles metricsPeriod = hh::sim::msToCycles(1.0);
     /** @} */
 
     /** @name Workload scale @{ */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.h"
+#include "stats/registry.h"
 
 namespace hh::core {
 
@@ -204,6 +205,16 @@ hh::sim::Cycles
 HardHarvestController::notifyLatency() const
 {
     return tree_.coreToController();
+}
+
+void
+HardHarvestController::registerMetrics(hh::stats::MetricRegistry &reg,
+                                       const std::string &prefix)
+{
+    reg.registerGauge(prefix + ".free_chunks",
+                      [this] { return double(rq_.freeChunks()); });
+    reg.registerGauge(prefix + ".vms",
+                      [this] { return double(numVms()); });
 }
 
 } // namespace hh::core

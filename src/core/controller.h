@@ -121,6 +121,14 @@ class HardHarvestController
     /** Total weight of registered VMs. */
     unsigned totalWeight() const;
 
+    /**
+     * Register controller-level gauges ("<prefix>.free_chunks",
+     * "<prefix>.vms"). Per-VM subqueue metrics are registered by the
+     * owner of each QM (registration order is VM-lifetime dependent).
+     */
+    void registerMetrics(hh::stats::MetricRegistry &reg,
+                         const std::string &prefix);
+
   private:
     /**
      * Re-proportion RQ chunks to subqueues according to VM weights:

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.h"
+#include "stats/registry.h"
 
 namespace hh::core {
 
@@ -68,6 +69,17 @@ QueueManager::loanedCoreToReclaim() const
         return -1;
     return static_cast<int>(
         *std::min_element(on_loan_.begin(), on_loan_.end()));
+}
+
+void
+QueueManager::registerMetrics(hh::stats::MetricRegistry &reg,
+                              const std::string &prefix)
+{
+    queue_.registerMetrics(reg, prefix + ".rq");
+    reg.registerGauge(prefix + ".bound_cores",
+                      [this] { return double(cores_.size()); });
+    reg.registerGauge(prefix + ".loaned",
+                      [this] { return double(loanedCount()); });
 }
 
 } // namespace hh::core

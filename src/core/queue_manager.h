@@ -69,6 +69,13 @@ class QueueManager
     int loanedCoreToReclaim() const;
     /** @} */
 
+    /**
+     * Register the subqueue's metrics plus QM-level gauges
+     * ("<prefix>.bound_cores", "<prefix>.loaned").
+     */
+    void registerMetrics(hh::stats::MetricRegistry &reg,
+                         const std::string &prefix);
+
   private:
     unsigned id_;
     std::uint32_t vm_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.h"
+#include "stats/registry.h"
 
 namespace hh::core {
 
@@ -101,9 +102,11 @@ SubQueue::occupancy() const
 bool
 SubQueue::enqueue(std::uint64_t payload)
 {
+    enqueues_.inc();
     if (!overflow_.empty() || occupancy() >= capacity()) {
         // Preserve FIFO: once anything has overflowed, new arrivals
         // must queue behind it.
+        overflows_.inc();
         overflow_.push_back(payload);
         return false;
     }
@@ -119,6 +122,7 @@ SubQueue::dequeue()
     const std::uint64_t p = ready_.front();
     ready_.pop_front();
     running_.insert(p);
+    dequeues_.inc();
     drainOverflow();
     return p;
 }
@@ -166,6 +170,21 @@ SubQueue::drainOverflow()
         ready_.push_back(overflow_.front());
         overflow_.pop_front();
     }
+}
+
+void
+SubQueue::registerMetrics(hh::stats::MetricRegistry &reg,
+                          const std::string &prefix)
+{
+    reg.registerCounter(prefix + ".enqueues", enqueues_);
+    reg.registerCounter(prefix + ".dequeues", dequeues_);
+    reg.registerCounter(prefix + ".overflows", overflows_);
+    reg.registerGauge(prefix + ".ready",
+                      [this] { return double(readyCount()); });
+    reg.registerGauge(prefix + ".occupancy",
+                      [this] { return double(occupancy()); });
+    reg.registerGauge(prefix + ".overflow_size",
+                      [this] { return double(overflowSize()); });
 }
 
 } // namespace hh::core

@@ -21,8 +21,15 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <string>
 #include <unordered_set>
 #include <vector>
+
+#include "stats/counter.h"
+
+namespace hh::stats {
+class MetricRegistry;
+}
 
 namespace hh::core {
 
@@ -163,6 +170,20 @@ class SubQueue
     /** RQ-Map storage in bits (32 x (5 id + 1 valid), §6.8). */
     static constexpr std::uint64_t kRqMapBits = 32 * 6;
 
+    /** @name Statistics @{ */
+    const hh::stats::Counter &enqueues() const { return enqueues_; }
+    const hh::stats::Counter &dequeues() const { return dequeues_; }
+    const hh::stats::Counter &overflows() const { return overflows_; }
+
+    /**
+     * Register lifetime counters ("<prefix>.enqueues", ".dequeues",
+     * ".overflows") and instantaneous gauges (".ready", ".occupancy",
+     * ".overflow_size").
+     */
+    void registerMetrics(hh::stats::MetricRegistry &reg,
+                         const std::string &prefix);
+    /** @} */
+
   private:
     /** Move overflowed requests into freed hardware slots. */
     void drainOverflow();
@@ -173,6 +194,9 @@ class SubQueue
     std::unordered_set<std::uint64_t> running_;
     std::unordered_set<std::uint64_t> blocked_;
     std::deque<std::uint64_t> overflow_;
+    hh::stats::Counter enqueues_{"rq.enqueues"};
+    hh::stats::Counter dequeues_{"rq.dequeues"};
+    hh::stats::Counter overflows_{"rq.overflows"};
 };
 
 } // namespace hh::core

@@ -16,4 +16,13 @@ Core::setState(hh::sim::Cycles now, CoreState s)
     state_ = s;
 }
 
+void
+Core::registerMetrics(hh::stats::MetricRegistry &reg,
+                      const std::string &prefix,
+                      hh::stats::MetricRegistry::NowFn now)
+{
+    hier_->registerMetrics(reg, prefix);
+    reg.registerUtilization(prefix + ".busy", busy_, std::move(now));
+}
+
 } // namespace hh::cpu

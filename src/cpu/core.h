@@ -18,6 +18,7 @@
 
 #include "cache/hierarchy.h"
 #include "sim/time.h"
+#include "stats/registry.h"
 #include "stats/utilization.h"
 
 namespace hh::cpu {
@@ -71,6 +72,16 @@ class Core
     /** Id of the request currently executing (0 when none). */
     std::uint64_t currentRequest() const { return current_request_; }
     void setCurrentRequest(std::uint64_t id) { current_request_ = id; }
+
+    /**
+     * Register the hierarchy counters and the busy-time integral
+     * under "<prefix>.l1d.hits", "<prefix>.busy.util", ...
+     *
+     * @param now Simulated-time source for the utilization gauge.
+     */
+    void registerMetrics(hh::stats::MetricRegistry &reg,
+                         const std::string &prefix,
+                         hh::stats::MetricRegistry::NowFn now);
 
   private:
     unsigned id_;

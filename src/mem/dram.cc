@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.h"
+#include "stats/registry.h"
 
 namespace hh::mem {
 
@@ -83,6 +84,20 @@ Dram::resetStats()
 {
     accesses_ = 0;
     total_queue_delay_ = 0;
+}
+
+void
+Dram::registerMetrics(hh::stats::MetricRegistry &reg,
+                      const std::string &prefix,
+                      std::function<hh::sim::Cycles()> now)
+{
+    reg.registerCounter(prefix + ".accesses", accesses_);
+    reg.registerGauge(prefix + ".queue_delay.avg",
+                      [this] { return avgQueueDelay(); },
+                      [this] { resetStats(); });
+    reg.registerGauge(prefix + ".util", [this, now = std::move(now)] {
+        return utilization(now());
+    });
 }
 
 } // namespace hh::mem

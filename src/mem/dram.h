@@ -19,9 +19,15 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <string>
 
 #include "cache/config.h"
 #include "sim/time.h"
+
+namespace hh::stats {
+class MetricRegistry;
+}
 
 namespace hh::mem {
 
@@ -67,6 +73,18 @@ class Dram
     std::uint64_t accesses() const { return accesses_; }
     double avgQueueDelay() const;
     void resetStats();
+
+    /**
+     * Register "<prefix>.accesses", "<prefix>.queue_delay.avg" and
+     * the windowed-utilization gauge "<prefix>.util".
+     *
+     * @param now Simulated-time source for the utilization gauge;
+     *            passed by value as a std::function-compatible
+     *            callable returning Cycles.
+     */
+    void registerMetrics(hh::stats::MetricRegistry &reg,
+                         const std::string &prefix,
+                         std::function<hh::sim::Cycles()> now);
     /** @} */
 
     const DramConfig &config() const { return cfg_; }

@@ -2,6 +2,7 @@
 
 #include "cache/hierarchy.h"
 #include "sim/log.h"
+#include "stats/registry.h"
 
 namespace hh::net {
 
@@ -42,6 +43,14 @@ Nic::receive(Packet pkt)
     if (!handler_)
         hh::sim::panic("Nic: no handler registered");
     sim_.schedule(processing_, [this, pkt] { handler_(pkt); });
+}
+
+void
+Nic::registerMetrics(hh::stats::MetricRegistry &reg,
+                     const std::string &prefix)
+{
+    reg.registerCounter(prefix + ".packets", packets_);
+    reg.registerCounter(prefix + ".lines_deposited", lines_deposited_);
 }
 
 } // namespace hh::net

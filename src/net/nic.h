@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "cache/set_assoc.h"
 #include "net/packet.h"
@@ -57,6 +58,10 @@ class Nic
 
     /** Payload lines DDIO-deposited so far. */
     std::uint64_t linesDeposited() const { return lines_deposited_; }
+
+    /** Register "<prefix>.packets" and "<prefix>.lines_deposited". */
+    void registerMetrics(hh::stats::MetricRegistry &reg,
+                         const std::string &prefix);
 
   private:
     void depositPayload(const Packet &pkt);

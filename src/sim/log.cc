@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 
 namespace hh::sim {
@@ -24,12 +25,37 @@ levelName(LogLevel level)
 // Atomic: parallel sweep tasks may report errors concurrently.
 std::atomic<bool> g_error_reported{false};
 
+// Serializes whole lines: a single unsynchronized stderr write path
+// interleaves corrupted lines under runParallel.
+std::mutex g_log_mutex;
+
+thread_local std::string t_log_tag;
+
 } // namespace
+
+void
+setLogTag(std::string tag)
+{
+    t_log_tag = std::move(tag);
+}
+
+const std::string &
+logTag()
+{
+    return t_log_tag;
+}
 
 void
 logMessage(LogLevel level, const std::string &msg)
 {
-    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+    const std::lock_guard<std::mutex> lock(g_log_mutex);
+    if (t_log_tag.empty()) {
+        std::fprintf(stderr, "[%s] %s\n", levelName(level),
+                     msg.c_str());
+    } else {
+        std::fprintf(stderr, "[%s] [%s] %s\n", levelName(level),
+                     t_log_tag.c_str(), msg.c_str());
+    }
 }
 
 bool

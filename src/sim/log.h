@@ -25,10 +25,40 @@ enum class LogLevel { Inform, Warn, Fatal, Panic };
 /**
  * Emit one log line to stderr.
  *
+ * Lines are serialized with a mutex (parallel cluster tasks would
+ * otherwise interleave partial lines) and prefixed with the calling
+ * thread's log tag, so warnings from `runParallel` workers stay
+ * attributable to a server/task.
+ *
  * @param level Severity of the message.
  * @param msg   Pre-formatted message body.
  */
 void logMessage(LogLevel level, const std::string &msg);
+
+/**
+ * Set this thread's log tag (e.g. "server3"); shown as a bracketed
+ * prefix on every line the thread logs. Empty clears the tag.
+ */
+void setLogTag(std::string tag);
+
+/** This thread's current log tag ("" when unset). */
+const std::string &logTag();
+
+/** RAII scope that sets a log tag and restores the previous one. */
+class LogTagScope
+{
+  public:
+    explicit LogTagScope(std::string tag) : prev_(logTag())
+    {
+        setLogTag(std::move(tag));
+    }
+    ~LogTagScope() { setLogTag(prev_); }
+    LogTagScope(const LogTagScope &) = delete;
+    LogTagScope &operator=(const LogTagScope &) = delete;
+
+  private:
+    std::string prev_;
+};
 
 /** True once panic() or fatal() has been invoked (used by tests). */
 bool errorReported();

@@ -1,0 +1,149 @@
+#include "stats/registry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/log.h"
+
+namespace hh::stats {
+
+void
+MetricRegistry::add(const std::string &name, Getter get, Resetter reset)
+{
+    if (name.empty())
+        hh::sim::panic("MetricRegistry: empty metric name");
+    if (!metrics_.emplace(name, Entry{std::move(get), std::move(reset)})
+             .second) {
+        hh::sim::panic("MetricRegistry: duplicate metric '", name, "'");
+    }
+}
+
+void
+MetricRegistry::registerGauge(const std::string &name, Getter get,
+                              Resetter reset)
+{
+    add(name, std::move(get), std::move(reset));
+}
+
+void
+MetricRegistry::registerCounter(const std::string &name, Counter &c)
+{
+    add(name,
+        [&c] { return static_cast<double>(c.value()); },
+        [&c] { c.reset(); });
+}
+
+void
+MetricRegistry::registerCounter(const std::string &name,
+                                const std::uint64_t &v)
+{
+    add(name, [&v] { return static_cast<double>(v); }, nullptr);
+}
+
+void
+MetricRegistry::registerAccumulator(const std::string &name,
+                                    Accumulator &a)
+{
+    add(name + ".count",
+        [&a] { return static_cast<double>(a.count()); },
+        [&a] { a.reset(); });
+    add(name + ".mean", [&a] { return a.mean(); }, nullptr);
+    add(name + ".min", [&a] { return a.min(); }, nullptr);
+    add(name + ".max", [&a] { return a.max(); }, nullptr);
+}
+
+void
+MetricRegistry::registerHistogram(const std::string &name, Histogram &h)
+{
+    add(name + ".count",
+        [&h] { return static_cast<double>(h.totalCount()); },
+        [&h] { h.reset(); });
+}
+
+void
+MetricRegistry::registerLatency(const std::string &name,
+                                LatencyRecorder &r)
+{
+    add(name + ".count",
+        [&r] { return static_cast<double>(r.count()); },
+        [&r] { r.reset(); });
+    add(name + ".mean", [&r] { return r.mean(); }, nullptr);
+}
+
+void
+MetricRegistry::registerUtilization(const std::string &name,
+                                    UtilizationTracker &u, NowFn now)
+{
+    add(name + ".util",
+        [&u, now] { return u.utilization(now()); }, nullptr);
+    add(name + ".cycles",
+        [&u, now] {
+            return static_cast<double>(u.busyCycles(now()));
+        },
+        nullptr);
+}
+
+std::vector<MetricRegistry::Sample>
+MetricRegistry::snapshot() const
+{
+    std::vector<Sample> out;
+    out.reserve(metrics_.size());
+    for (const auto &[name, e] : metrics_)
+        out.push_back(Sample{name, e.get()});
+    return out;
+}
+
+double
+MetricRegistry::value(const std::string &name) const
+{
+    const auto it = metrics_.find(name);
+    if (it == metrics_.end())
+        hh::sim::panic("MetricRegistry: unknown metric '", name, "'");
+    return it->second.get();
+}
+
+std::vector<std::string>
+MetricRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(metrics_.size());
+    for (const auto &[name, e] : metrics_)
+        out.push_back(name);
+    return out;
+}
+
+void
+MetricRegistry::reset()
+{
+    for (auto &[name, e] : metrics_) {
+        if (e.reset)
+            e.reset();
+    }
+}
+
+std::string
+MetricRegistry::json(const std::string &prefix) const
+{
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    char buf[64];
+    for (const auto &[name, e] : metrics_) {
+        if (!first)
+            os << ",";
+        first = false;
+        const double v = e.get();
+        // JSON has no inf/nan literals.
+        std::snprintf(buf, sizeof buf, "%.17g",
+                      std::isfinite(v) ? v : 0.0);
+        os << "\n  \"";
+        if (!prefix.empty())
+            os << prefix << '.';
+        os << name << "\": " << buf;
+    }
+    os << "\n}\n";
+    return os.str();
+}
+
+} // namespace hh::stats

@@ -1,0 +1,115 @@
+#include "stats/sampler.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "sim/log.h"
+
+namespace hh::stats {
+
+MetricSampler::MetricSampler(hh::sim::Simulator &sim,
+                             const MetricRegistry &reg,
+                             hh::sim::Cycles period)
+    : sim_(sim), reg_(reg), period_(period)
+{
+    if (period_ == 0)
+        hh::sim::panic("MetricSampler: period must be > 0");
+}
+
+void
+MetricSampler::sampleRow()
+{
+    SampleRow row;
+    row.t = sim_.now();
+    row.values.reserve(columns_.size());
+    for (const auto &s : reg_.snapshot())
+        row.values.push_back(s.value);
+    rows_.push_back(std::move(row));
+}
+
+void
+MetricSampler::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    columns_ = reg_.names();
+    sampleRow();
+    pending_ = sim_.schedule(period_, [this] { tick(); });
+}
+
+void
+MetricSampler::tick()
+{
+    pending_ = hh::sim::kInvalidEventId;
+    if (!running_)
+        return;
+    sampleRow();
+    pending_ = sim_.schedule(period_, [this] { tick(); });
+}
+
+void
+MetricSampler::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    if (pending_ != hh::sim::kInvalidEventId) {
+        sim_.cancel(pending_);
+        pending_ = hh::sim::kInvalidEventId;
+    }
+    sampleRow();
+}
+
+SampledSeries
+MetricSampler::takeSeries()
+{
+    SampledSeries s;
+    s.columns = std::move(columns_);
+    s.rows = std::move(rows_);
+    columns_.clear();
+    rows_.clear();
+    return s;
+}
+
+std::string
+metricsCsv(const std::vector<SampledSeries> &series)
+{
+    std::ostringstream os;
+    os << "server,t_ms";
+    if (!series.empty()) {
+        for (const auto &c : series.front().columns)
+            os << ',' << c;
+    }
+    os << '\n';
+    char buf[64];
+    for (const auto &s : series) {
+        for (const auto &row : s.rows) {
+            std::snprintf(buf, sizeof buf, "%.6f",
+                          hh::sim::cyclesToMs(row.t));
+            os << s.label << ',' << buf;
+            for (const double v : row.values) {
+                std::snprintf(buf, sizeof buf, "%.9g", v);
+                os << ',' << buf;
+            }
+            os << '\n';
+        }
+    }
+    return os.str();
+}
+
+bool
+writeMetricsCsv(const std::string &path,
+                const std::vector<SampledSeries> &series)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const std::string body = metricsCsv(series);
+    const bool ok =
+        std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace hh::stats

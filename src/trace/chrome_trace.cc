@@ -1,0 +1,133 @@
+#include "trace/chrome_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace hh::trace {
+
+namespace {
+
+/** Flat reference into one server's event list. */
+struct Ref
+{
+    hh::sim::Cycles ts;
+    unsigned pid;
+    std::size_t seq; //!< Index within the server's event order.
+    const Event *ev;
+};
+
+void
+appendEvent(std::ostringstream &os, unsigned pid, const Event &e,
+            bool &first)
+{
+    char buf[160];
+    const bool span = eventIsSpan(e.type);
+    const char *cause = eventCause(e.type);
+    if (!first)
+        os << ",\n";
+    first = false;
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\","
+                  "\"ts\":%.3f,",
+                  eventName(e.type), eventCategory(e.type),
+                  span ? "X" : "i", hh::sim::cyclesToUs(e.ts));
+    os << buf;
+    if (span) {
+        std::snprintf(buf, sizeof buf, "\"dur\":%.3f,",
+                      hh::sim::cyclesToUs(e.dur));
+        os << buf;
+    } else {
+        os << "\"s\":\"t\",";
+    }
+    std::snprintf(buf, sizeof buf,
+                  "\"pid\":%u,\"tid\":%u,\"args\":{\"id\":%llu", pid,
+                  e.track, static_cast<unsigned long long>(e.id));
+    os << buf;
+    if (cause)
+        os << ",\"cause\":\"" << cause << "\"";
+    os << "}}";
+}
+
+void
+appendMetadata(std::ostringstream &os, unsigned pid,
+               const std::string &name, std::uint32_t tid,
+               const char *kind, bool &first)
+{
+    if (!first)
+        os << ",\n";
+    first = false;
+    os << "{\"name\":\"" << kind << "\",\"ph\":\"M\",\"pid\":" << pid;
+    if (kind[0] == 't') // thread_name
+        os << ",\"tid\":" << tid;
+    os << ",\"args\":{\"name\":\"" << name << "\"}}";
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<ServerTrace> &traces)
+{
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    bool first = true;
+
+    // Process/thread naming metadata, in (pid, tid) order.
+    for (const auto &t : traces) {
+        appendMetadata(os, t.pid, "server" + std::to_string(t.pid), 0,
+                       "process_name", first);
+        std::set<std::uint32_t> tracks;
+        for (const auto &e : t.events)
+            tracks.insert(e.track);
+        for (const std::uint32_t track : tracks) {
+            const std::string name =
+                track >= kRequestTrackBase
+                    ? "vm" +
+                          std::to_string(track - kRequestTrackBase) +
+                          " requests"
+                    : "core " + std::to_string(track);
+            appendMetadata(os, t.pid, name, track, "thread_name",
+                           first);
+        }
+    }
+
+    // Canonical event order: timestamp, then server, then each
+    // server's deterministic recording order.
+    std::vector<Ref> refs;
+    for (const auto &t : traces) {
+        refs.reserve(refs.size() + t.events.size());
+        for (std::size_t i = 0; i < t.events.size(); ++i)
+            refs.push_back(
+                Ref{t.events[i].ts, t.pid, i, &t.events[i]});
+    }
+    std::sort(refs.begin(), refs.end(),
+              [](const Ref &a, const Ref &b) {
+                  if (a.ts != b.ts)
+                      return a.ts < b.ts;
+                  if (a.pid != b.pid)
+                      return a.pid < b.pid;
+                  return a.seq < b.seq;
+              });
+    for (const Ref &r : refs)
+        appendEvent(os, r.pid, *r.ev, first);
+
+    os << "\n]}\n";
+    return os.str();
+}
+
+bool
+writeChromeTrace(const std::string &path,
+                 const std::vector<ServerTrace> &traces)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const std::string body = chromeTraceJson(traces);
+    const bool ok =
+        std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace hh::trace

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Chrome trace_event JSON exporter.
+ *
+ * Renders tracer events in the Trace Event Format understood by
+ * chrome://tracing and Perfetto (JSON object form with a
+ * "traceEvents" array). Each simulated server becomes a process
+ * (pid); cores and per-VM request lanes become threads (tid) named
+ * via metadata events.
+ *
+ * The output is canonical: events are ordered by (timestamp, pid,
+ * original order), so two runs of the same experiment produce
+ * byte-identical files regardless of thread-pool worker count — the
+ * property the determinism tests assert.
+ */
+
+#ifndef HH_TRACE_CHROME_TRACE_H
+#define HH_TRACE_CHROME_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace hh::trace {
+
+/** One server's worth of events, tagged with its Chrome pid. */
+struct ServerTrace
+{
+    unsigned pid = 0;
+    std::vector<Event> events;
+    std::uint64_t dropped = 0; //!< Ring-buffer overwrites.
+};
+
+/**
+ * Render traces as a Chrome trace_event JSON document.
+ */
+std::string chromeTraceJson(const std::vector<ServerTrace> &traces);
+
+/** Write chromeTraceJson() to @p path; false on I/O failure. */
+bool writeChromeTrace(const std::string &path,
+                      const std::vector<ServerTrace> &traces);
+
+} // namespace hh::trace
+
+#endif // HH_TRACE_CHROME_TRACE_H

@@ -1,0 +1,154 @@
+#include "trace/trace.h"
+
+#include "sim/log.h"
+
+namespace hh::trace {
+
+const char *
+eventName(EventType t)
+{
+    switch (t) {
+      case EventType::RequestSpan:       return "request";
+      case EventType::QueueWait:         return "queue_wait";
+      case EventType::CtxSwitchStall:    return "ctx_switch";
+      case EventType::ExecSegment:       return "exec";
+      case EventType::IoBlocked:         return "io_blocked";
+      case EventType::RqEnqueue:         return "rq_enqueue";
+      case EventType::Dispatch:          return "qm_dispatch";
+      case EventType::LendTransition:    return "lend_transition";
+      case EventType::ReclaimTransition: return "reclaim_transition";
+      case EventType::HarvestFlush:      return "harvest_flush";
+      case EventType::HarvestSlice:      return "harvest_slice";
+      case EventType::Lend:              return "lend";
+      case EventType::Reclaim:           return "reclaim";
+      case EventType::Preempt:           return "preempt";
+      case EventType::Restore:           return "restore";
+      case EventType::LendCancelled:     return "lend_cancelled";
+    }
+    return "?";
+}
+
+const char *
+eventCategory(EventType t)
+{
+    switch (t) {
+      case EventType::RequestSpan:
+      case EventType::QueueWait:
+      case EventType::CtxSwitchStall:
+      case EventType::ExecSegment:
+      case EventType::IoBlocked:
+      case EventType::RqEnqueue:
+      case EventType::Dispatch:
+        return "request";
+      default:
+        return "transition";
+    }
+}
+
+const char *
+eventCause(EventType t)
+{
+    switch (t) {
+      case EventType::CtxSwitchStall: return "ctx_switch";
+      case EventType::HarvestFlush:   return "harvest_flush";
+      case EventType::QueueWait:      return "queueing";
+      case EventType::IoBlocked:      return "backend_io";
+      default:                        return nullptr;
+    }
+}
+
+bool
+eventIsSpan(EventType t)
+{
+    switch (t) {
+      case EventType::RequestSpan:
+      case EventType::QueueWait:
+      case EventType::CtxSwitchStall:
+      case EventType::ExecSegment:
+      case EventType::IoBlocked:
+      case EventType::LendTransition:
+      case EventType::ReclaimTransition:
+      case EventType::HarvestFlush:
+      case EventType::HarvestSlice:
+        return true;
+      default:
+        return false;
+    }
+}
+
+Tracer::Tracer(std::size_t capacity)
+{
+    if (capacity == 0)
+        hh::sim::panic("Tracer: capacity must be > 0");
+    ring_.resize(capacity);
+}
+
+void
+Tracer::record(EventType type, hh::sim::Cycles ts, hh::sim::Cycles dur,
+               std::uint32_t track, std::uint64_t id)
+{
+    if (!enabled_)
+        return;
+    if (size_ == ring_.size())
+        ++dropped_; // overwriting the oldest event
+    else
+        ++size_;
+    ring_[head_] = Event{ts, dur, id, track, type};
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+}
+
+void
+Tracer::openSpan(std::uint64_t key)
+{
+    if (!enabled_)
+        return;
+    ++open_[key];
+}
+
+void
+Tracer::closeSpan(std::uint64_t key)
+{
+    if (!enabled_)
+        return;
+    const auto it = open_.find(key);
+    if (it == open_.end() || it->second == 0) {
+        ++unbalanced_;
+        return;
+    }
+    if (--it->second == 0)
+        open_.erase(it);
+}
+
+std::size_t
+Tracer::openSpans() const
+{
+    std::size_t n = 0;
+    for (const auto &[key, count] : open_)
+        n += count;
+    return n;
+}
+
+std::vector<Event>
+Tracer::events() const
+{
+    std::vector<Event> out;
+    out.reserve(size_);
+    // Oldest event sits at head_ once the ring has wrapped.
+    const std::size_t start =
+        size_ == ring_.size() ? head_ : head_ - size_;
+    for (std::size_t i = 0; i < size_; ++i)
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+}
+
+void
+Tracer::clear()
+{
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+    open_.clear();
+    unbalanced_ = 0;
+}
+
+} // namespace hh::trace

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Ring-buffered per-request span tracing and core/VM transition
+ * timelines (PR 2 observability layer).
+ *
+ * The tracer records fixed-size POD events: request-lifecycle spans
+ * (arrival -> RQ enqueue -> QM dispatch -> core execute ->
+ * completion, with cause tags for context-switch and harvest-flush
+ * stalls) on per-VM tracks, and the core transition timeline (every
+ * lend, reclaim, flush, restore) on per-core tracks. Events are
+ * exported as Chrome trace_event JSON (chrome_trace.h) so they open
+ * directly in chrome://tracing or Perfetto.
+ *
+ * Cost model: when tracing is disabled the tracer is simply not
+ * constructed — hot paths pay one branch on a cached pointer. When
+ * enabled, recording is a bounds check plus a 32-byte store into a
+ * preallocated ring; the ring overwrites its oldest events rather
+ * than growing, so memory stays bounded on any run length.
+ *
+ * Span accounting (openSpan/closeSpan) exists to make lifecycle bugs
+ * observable: an orphaned request or a double-completed core
+ * transition (the PR-1 lend/reclaim race) shows up as a nonzero
+ * openSpans()/unbalancedCloses() at end of simulation instead of a
+ * silent hang.
+ */
+
+#ifndef HH_TRACE_TRACE_H
+#define HH_TRACE_TRACE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hh::trace {
+
+/** What one trace event describes. */
+enum class EventType : std::uint8_t
+{
+    // Request lifecycle (track = kRequestTrackBase + vm).
+    RequestSpan,    //!< X: arrival -> completion.
+    QueueWait,      //!< X: ready -> dispatch (queueing delay).
+    CtxSwitchStall, //!< X: context save/restore on dispatch.
+    ExecSegment,    //!< X: one segment executing on a core.
+    IoBlocked,      //!< X: blocked on a synchronous backend RPC.
+    RqEnqueue,      //!< i: request entered the hardware RQ.
+    Dispatch,       //!< i: QM handed the request to a core.
+
+    // Core/VM transition timeline (track = core id).
+    LendTransition,    //!< X: Primary -> Harvest reassignment.
+    ReclaimTransition, //!< X: Harvest -> Primary reassignment.
+    HarvestFlush,      //!< X: cache flush portion of a transition.
+    HarvestSlice,      //!< X: a Harvest vCPU slice executing.
+    Lend,              //!< i: lend decision.
+    Reclaim,           //!< i: reclaim interrupt.
+    Preempt,           //!< i: harvest slice preempted.
+    Restore,           //!< i: core handed back to its Primary VM.
+    LendCancelled,     //!< i: in-flight lend cancelled by a reclaim.
+};
+
+/** One ring-buffer record (POD; 32 bytes). */
+struct Event
+{
+    hh::sim::Cycles ts = 0;  //!< Start time (cycles).
+    hh::sim::Cycles dur = 0; //!< Duration; 0 for instant events.
+    std::uint64_t id = 0;    //!< Request / slice / core id.
+    std::uint32_t track = 0; //!< Chrome tid: core id or VM track.
+    EventType type = EventType::RequestSpan;
+};
+
+/** Request tracks start here; track = base + vm id. */
+inline constexpr std::uint32_t kRequestTrackBase = 1000;
+
+/** Human-readable event name for exporters. */
+const char *eventName(EventType t);
+
+/** Chrome trace category ("request" or "transition"). */
+const char *eventCategory(EventType t);
+
+/** Stall-cause tag, or nullptr when the event carries none. */
+const char *eventCause(EventType t);
+
+/** True for duration ("X") events, false for instants ("i"). */
+bool eventIsSpan(EventType t);
+
+/**
+ * The per-server tracer.
+ */
+class Tracer
+{
+  public:
+    static constexpr std::size_t kDefaultCapacity = 1u << 17;
+
+    /** @param capacity Ring capacity in events (> 0). */
+    explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+    /**
+     * Runtime toggle. Callers are expected to cache the enabled
+     * state (or the Tracer pointer itself) and branch on it so the
+     * disabled path costs one predictable branch.
+     */
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool on) { enabled_ = on; }
+
+    /** Record one event (dropped silently while disabled). */
+    void record(EventType type, hh::sim::Cycles ts, hh::sim::Cycles dur,
+                std::uint32_t track, std::uint64_t id);
+
+    /** Record an instant event. */
+    void
+    instant(EventType type, hh::sim::Cycles ts, std::uint32_t track,
+            std::uint64_t id)
+    {
+        record(type, ts, 0, track, id);
+    }
+
+    /** @name Span lifecycle accounting @{ */
+
+    /** Note a logical span opening under @p key. */
+    void openSpan(std::uint64_t key);
+
+    /**
+     * Note a span closing. A close without a matching open counts as
+     * unbalanced (a double-completion bug) instead of underflowing.
+     */
+    void closeSpan(std::uint64_t key);
+
+    /** Spans opened but never closed (0 at a clean end-of-sim). */
+    std::size_t openSpans() const;
+
+    /** Closes that had no matching open (0 when lifecycles are sane). */
+    std::uint64_t unbalancedCloses() const { return unbalanced_; }
+    /** @} */
+
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return ring_.size(); }
+
+    /** Events overwritten by ring wraparound. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Buffered events, oldest first. */
+    std::vector<Event> events() const;
+
+    /** Drop all buffered events and span accounting. */
+    void clear();
+
+  private:
+    bool enabled_ = true;
+    std::vector<Event> ring_;
+    std::size_t head_ = 0; //!< Next write slot.
+    std::size_t size_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::unordered_map<std::uint64_t, std::uint32_t> open_;
+    std::uint64_t unbalanced_ = 0;
+};
+
+} // namespace hh::trace
+
+#endif // HH_TRACE_TRACE_H

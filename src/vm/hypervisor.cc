@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "stats/registry.h"
+
 namespace hh::vm {
 
 using hh::sim::Cycles;
@@ -34,6 +36,7 @@ Hypervisor::reassignCost(ReassignImpl impl) const
 Cycles
 Hypervisor::wbinvdCost()
 {
+    wbinvds_.inc();
     const auto span =
         static_cast<double>(costs_.wbinvdMax - costs_.wbinvdMin);
     return costs_.wbinvdMin +
@@ -46,6 +49,8 @@ Hypervisor::acquireReassignLock(Cycles now, Cycles hold)
 {
     const Cycles start = std::max(now, lock_free_at_);
     lock_free_at_ = start + hold;
+    lock_acquisitions_.inc();
+    lock_wait_cycles_.inc(start - now);
     return start - now;
 }
 
@@ -56,6 +61,17 @@ Hypervisor::pollDelay()
     // half the interval, exponentially distributed for variability.
     return static_cast<Cycles>(rng_.exponential(
         static_cast<double>(costs_.pollInterval) / 2.0));
+}
+
+void
+Hypervisor::registerMetrics(hh::stats::MetricRegistry &reg,
+                            const std::string &prefix)
+{
+    reg.registerCounter(prefix + ".wbinvd", wbinvds_);
+    reg.registerCounter(prefix + ".lock.acquisitions",
+                        lock_acquisitions_);
+    reg.registerCounter(prefix + ".lock.wait_cycles",
+                        lock_wait_cycles_);
 }
 
 } // namespace hh::vm

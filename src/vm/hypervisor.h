@@ -18,8 +18,15 @@
 #ifndef HH_VM_HYPERVISOR_H
 #define HH_VM_HYPERVISOR_H
 
+#include <string>
+
 #include "sim/rng.h"
 #include "sim/time.h"
+#include "stats/counter.h"
+
+namespace hh::stats {
+class MetricRegistry;
+}
 
 namespace hh::vm {
 
@@ -106,10 +113,35 @@ class Hypervisor
 
     const SoftwareCosts &costs() const { return costs_; }
 
+    /** @name Statistics @{ */
+    /** wbinvd full flushes charged. */
+    std::uint64_t wbinvdCount() const { return wbinvds_.value(); }
+    /** Reassignment-lock acquisitions. */
+    std::uint64_t lockAcquisitions() const
+    {
+        return lock_acquisitions_.value();
+    }
+    /** Total cycles spent waiting on the reassignment lock. */
+    std::uint64_t lockWaitCycles() const
+    {
+        return lock_wait_cycles_.value();
+    }
+
+    /**
+     * Register "<prefix>.wbinvd", "<prefix>.lock.acquisitions" and
+     * "<prefix>.lock.wait_cycles".
+     */
+    void registerMetrics(hh::stats::MetricRegistry &reg,
+                         const std::string &prefix);
+    /** @} */
+
   private:
     SoftwareCosts costs_;
     hh::sim::Rng rng_;
     hh::sim::Cycles lock_free_at_ = 0;
+    hh::stats::Counter wbinvds_{"hv.wbinvd"};
+    hh::stats::Counter lock_acquisitions_{"hv.lock.acquisitions"};
+    hh::stats::Counter lock_wait_cycles_{"hv.lock.wait_cycles"};
 };
 
 } // namespace hh::vm

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "cluster/experiment.h"
 #include "sim/log.h"
 
@@ -35,6 +37,51 @@ TEST(Log, MessageConcatenation)
         EXPECT_NE(std::string(e.what()).find("a=1 b=2.5 c=str"),
                   std::string::npos);
     }
+}
+
+TEST(Log, TagDefaultsToEmpty)
+{
+    EXPECT_EQ(hh::sim::logTag(), "");
+}
+
+TEST(Log, SetAndClearTag)
+{
+    hh::sim::setLogTag("server3");
+    EXPECT_EQ(hh::sim::logTag(), "server3");
+    hh::sim::setLogTag("");
+    EXPECT_EQ(hh::sim::logTag(), "");
+}
+
+TEST(Log, TagScopeRestoresPreviousTag)
+{
+    hh::sim::setLogTag("outer");
+    {
+        const hh::sim::LogTagScope scope("inner");
+        EXPECT_EQ(hh::sim::logTag(), "inner");
+        {
+            const hh::sim::LogTagScope nested("nested");
+            EXPECT_EQ(hh::sim::logTag(), "nested");
+        }
+        EXPECT_EQ(hh::sim::logTag(), "inner");
+    }
+    EXPECT_EQ(hh::sim::logTag(), "outer");
+    hh::sim::setLogTag("");
+}
+
+TEST(Log, TagIsPerThread)
+{
+    hh::sim::setLogTag("main-thread");
+    std::string seen = "unset";
+    std::thread worker([&seen] { seen = hh::sim::logTag(); });
+    worker.join();
+    EXPECT_EQ(seen, "") << "worker must not inherit the main tag";
+    hh::sim::setLogTag("");
+}
+
+TEST(Log, TaggedWarningDoesNotThrow)
+{
+    const hh::sim::LogTagScope scope("tagtest");
+    hh::sim::warn("tagged warning, value ", 3);
 }
 
 TEST(ServerShapes, SmallServerRuns)

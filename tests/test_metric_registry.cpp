@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the hierarchical metric registry and the periodic
+ * EventQueue-driven sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "stats/counter.h"
+#include "stats/percentile.h"
+#include "stats/registry.h"
+#include "stats/sampler.h"
+#include "stats/utilization.h"
+
+using namespace hh::stats;
+
+TEST(MetricRegistry, GaugeSnapshotAndValue)
+{
+    MetricRegistry reg;
+    double v = 1.5;
+    reg.registerGauge("a.b", [&v] { return v; });
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_TRUE(reg.contains("a.b"));
+    EXPECT_DOUBLE_EQ(reg.value("a.b"), 1.5);
+    v = 2.5;
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].name, "a.b");
+    EXPECT_DOUBLE_EQ(snap[0].value, 2.5);
+}
+
+TEST(MetricRegistry, NamesAreSortedLexicographically)
+{
+    MetricRegistry reg;
+    reg.registerGauge("z", [] { return 0.0; });
+    reg.registerGauge("a", [] { return 0.0; });
+    reg.registerGauge("m.n", [] { return 0.0; });
+    const auto names = reg.names();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "a");
+    EXPECT_EQ(names[1], "m.n");
+    EXPECT_EQ(names[2], "z");
+}
+
+TEST(MetricRegistry, DuplicateRegistrationPanics)
+{
+    MetricRegistry reg;
+    reg.registerGauge("dup", [] { return 0.0; });
+    EXPECT_THROW(reg.registerGauge("dup", [] { return 1.0; }),
+                 std::logic_error);
+}
+
+TEST(MetricRegistry, EmptyNamePanics)
+{
+    MetricRegistry reg;
+    EXPECT_THROW(reg.registerGauge("", [] { return 0.0; }),
+                 std::logic_error);
+}
+
+TEST(MetricRegistry, UnknownValuePanics)
+{
+    const MetricRegistry reg;
+    EXPECT_THROW(reg.value("nope"), std::logic_error);
+}
+
+TEST(MetricRegistry, CounterObjectAndRawCounter)
+{
+    MetricRegistry reg;
+    Counter c{"c"};
+    std::uint64_t raw = 7;
+    reg.registerCounter("obj", c);
+    reg.registerCounter("raw", raw);
+    c.inc(3);
+    EXPECT_DOUBLE_EQ(reg.value("obj"), 3.0);
+    EXPECT_DOUBLE_EQ(reg.value("raw"), 7.0);
+    raw = 9;
+    EXPECT_DOUBLE_EQ(reg.value("raw"), 9.0);
+}
+
+TEST(MetricRegistry, CompositeObjectsExpandToScalars)
+{
+    MetricRegistry reg;
+    Accumulator acc;
+    acc.add(1.0);
+    acc.add(3.0);
+    reg.registerAccumulator("acc", acc);
+    EXPECT_DOUBLE_EQ(reg.value("acc.count"), 2.0);
+    EXPECT_DOUBLE_EQ(reg.value("acc.mean"), 2.0);
+    EXPECT_DOUBLE_EQ(reg.value("acc.min"), 1.0);
+    EXPECT_DOUBLE_EQ(reg.value("acc.max"), 3.0);
+
+    LatencyRecorder lat("lat");
+    lat.record(4.0);
+    reg.registerLatency("lat", lat);
+    EXPECT_DOUBLE_EQ(reg.value("lat.count"), 1.0);
+    EXPECT_DOUBLE_EQ(reg.value("lat.mean"), 4.0);
+}
+
+TEST(MetricRegistry, UtilizationGaugeAndCycles)
+{
+    MetricRegistry reg;
+    UtilizationTracker u;
+    hh::sim::Cycles now = 0;
+    reg.registerUtilization("core", u, [&now] { return now; });
+    u.setBusy(0, true);
+    now = 100;
+    u.setBusy(100, false);
+    now = 200;
+    EXPECT_DOUBLE_EQ(reg.value("core.util"), 0.5);
+    EXPECT_DOUBLE_EQ(reg.value("core.cycles"), 100.0);
+}
+
+TEST(MetricRegistry, ResetInvokesHooks)
+{
+    MetricRegistry reg;
+    double v = 5.0;
+    reg.registerGauge(
+        "g", [&v] { return v; }, [&v] { v = 0.0; });
+    reg.reset();
+    EXPECT_DOUBLE_EQ(reg.value("g"), 0.0);
+}
+
+TEST(MetricRegistry, JsonIsPrefixedAndSorted)
+{
+    MetricRegistry reg;
+    reg.registerGauge("b", [] { return 2.0; });
+    reg.registerGauge("a", [] { return 1.0; });
+    const std::string js = reg.json("server0");
+    EXPECT_EQ(js.front(), '{');
+    EXPECT_EQ(js.rfind("}\n"), js.size() - 2);
+    const auto a_pos = js.find("\"server0.a\"");
+    const auto b_pos = js.find("\"server0.b\"");
+    ASSERT_NE(a_pos, std::string::npos);
+    ASSERT_NE(b_pos, std::string::npos);
+    EXPECT_LT(a_pos, b_pos);
+}
+
+TEST(MetricSampler, SamplesAtFixedCadence)
+{
+    hh::sim::Simulator sim;
+    MetricRegistry reg;
+    reg.registerGauge("t", [&sim] { return double(sim.now()); });
+
+    MetricSampler sampler(sim, reg, 100);
+    sampler.start();
+    // Keep the queue busy well past several sampling periods.
+    sim.schedule(450, [] {});
+    sim.run(450);
+    sampler.stop();
+
+    const auto series = sampler.rows();
+    // Rows at 0 (start), 100, 200, 300, 400, 450 (stop).
+    ASSERT_EQ(series.size(), 6u);
+    EXPECT_EQ(series[0].t, 0u);
+    EXPECT_EQ(series[1].t, 100u);
+    EXPECT_EQ(series[4].t, 400u);
+    EXPECT_EQ(series[5].t, 450u);
+    ASSERT_EQ(series[2].values.size(), 1u);
+    EXPECT_DOUBLE_EQ(series[2].values[0], 200.0);
+}
+
+TEST(MetricSampler, StopCancelsPendingTick)
+{
+    hh::sim::Simulator sim;
+    MetricRegistry reg;
+    reg.registerGauge("x", [] { return 0.0; });
+    MetricSampler sampler(sim, reg, 50);
+    sampler.start();
+    sampler.stop();
+    // Without the cancel the self-rescheduling tick would keep the
+    // queue alive forever.
+    EXPECT_TRUE(sim.idle());
+    sampler.stop(); // Idempotent.
+}
+
+TEST(MetricSampler, CsvHasHeaderAndSharedColumns)
+{
+    hh::sim::Simulator sim;
+    MetricRegistry reg;
+    reg.registerGauge("m.one", [] { return 1.0; });
+    reg.registerGauge("m.two", [] { return 2.0; });
+    MetricSampler sampler(sim, reg, 100);
+    sampler.start();
+    sampler.stop();
+    auto series = sampler.takeSeries();
+    series.label = "server0";
+
+    const std::string csv = metricsCsv({series});
+    EXPECT_EQ(csv.rfind("server,t_ms,m.one,m.two\n", 0), 0u);
+    EXPECT_NE(csv.find("server0,"), std::string::npos);
+}

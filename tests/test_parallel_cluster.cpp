@@ -82,3 +82,51 @@ TEST(ParallelCluster, DefaultWorkerAutoSelectionRuns)
     const ClusterResults aut = runCluster(cfg, 2, 11, 0);
     EXPECT_EQ(aut.serialized(), seq.serialized());
 }
+
+TEST(ParallelCluster, ObservabilityStaysBitIdentical)
+{
+    // With tracing and metric sampling enabled, serialized() gains
+    // the registry section and the trace summary line; both — and
+    // the full Chrome JSON — must still be byte-identical at any
+    // worker count.
+    SystemConfig cfg = tinyConfig();
+    cfg.traceEnabled = true;
+    cfg.metricsEnabled = true;
+
+    const ClusterResults seq = runCluster(cfg, 4, 11, 1);
+    const std::string golden = seq.serialized();
+    const std::string golden_json = seq.traceJson();
+    EXPECT_NE(golden.find("server0."), std::string::npos)
+        << "registry section missing from serialization";
+    EXPECT_NE(golden.find("trace "), std::string::npos)
+        << "trace summary missing from serialization";
+    EXPECT_FALSE(golden_json.empty());
+
+    for (const unsigned workers : {4u, 8u}) {
+        const ClusterResults par = runCluster(cfg, 4, 11, workers);
+        EXPECT_EQ(par.serialized(), golden)
+            << workers << " workers diverged with tracing on";
+        EXPECT_EQ(par.traceJson(), golden_json)
+            << workers << " workers: trace JSON diverged";
+    }
+}
+
+TEST(ParallelCluster, ObservabilityDoesNotPerturbResults)
+{
+    // Tracing and sampling are read-only: the simulation fields of
+    // the serialization must be identical with and without them.
+    const ClusterResults plain = runCluster(tinyConfig(), 2, 11, 2);
+
+    SystemConfig cfg = tinyConfig();
+    cfg.traceEnabled = true;
+    cfg.metricsEnabled = true;
+    const ClusterResults traced = runCluster(cfg, 2, 11, 2);
+
+    const std::string a = plain.serialized();
+    const std::string b = traced.serialized();
+    // The traced serialization extends the plain one; the common
+    // prefix (all simulation results) must match exactly.
+    ASSERT_GE(b.size(), a.size());
+    EXPECT_EQ(b.substr(0, a.size()), a)
+        << "enabling observability changed simulation results";
+}

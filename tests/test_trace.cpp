@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for the ring-buffered tracer, its span-lifecycle accounting,
+ * the Chrome trace_event exporter, and the end-to-end server
+ * integration (every request span closed, every lend/reclaim
+ * transition balanced — including lends cancelled by a concurrent
+ * reclaim, the PR-1 race shape).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/experiment.h"
+#include "trace/chrome_trace.h"
+#include "trace/trace.h"
+
+using namespace hh::trace;
+
+TEST(Tracer, RecordsInOrder)
+{
+    Tracer tr(8);
+    tr.record(EventType::ExecSegment, 10, 5, 3, 42);
+    tr.instant(EventType::Lend, 20, 1, 7);
+    ASSERT_EQ(tr.size(), 2u);
+    const auto evs = tr.events();
+    EXPECT_EQ(evs[0].ts, 10u);
+    EXPECT_EQ(evs[0].dur, 5u);
+    EXPECT_EQ(evs[0].track, 3u);
+    EXPECT_EQ(evs[0].id, 42u);
+    EXPECT_EQ(evs[0].type, EventType::ExecSegment);
+    EXPECT_EQ(evs[1].ts, 20u);
+    EXPECT_EQ(evs[1].dur, 0u);
+}
+
+TEST(Tracer, RingWrapsAroundOverwritingOldest)
+{
+    Tracer tr(4);
+    for (std::uint64_t i = 0; i < 6; ++i)
+        tr.record(EventType::Dispatch, 100 + i, 0, 0, i);
+    EXPECT_EQ(tr.size(), 4u);
+    EXPECT_EQ(tr.capacity(), 4u);
+    EXPECT_EQ(tr.dropped(), 2u);
+    const auto evs = tr.events();
+    ASSERT_EQ(evs.size(), 4u);
+    // Oldest two (ids 0, 1) were overwritten; order is preserved.
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(evs[i].id, i + 2);
+        EXPECT_EQ(evs[i].ts, 102 + i);
+    }
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing)
+{
+    Tracer tr(4);
+    tr.setEnabled(false);
+    tr.record(EventType::Dispatch, 1, 0, 0, 1);
+    EXPECT_EQ(tr.size(), 0u);
+    EXPECT_EQ(tr.dropped(), 0u);
+}
+
+TEST(Tracer, SpanAccountingBalances)
+{
+    Tracer tr(4);
+    tr.openSpan(1);
+    tr.openSpan(2);
+    EXPECT_EQ(tr.openSpans(), 2u);
+    tr.closeSpan(1);
+    EXPECT_EQ(tr.openSpans(), 1u);
+    tr.closeSpan(2);
+    EXPECT_EQ(tr.openSpans(), 0u);
+    EXPECT_EQ(tr.unbalancedCloses(), 0u);
+}
+
+TEST(Tracer, UnmatchedCloseCountsAsUnbalanced)
+{
+    Tracer tr(4);
+    tr.closeSpan(99);
+    EXPECT_EQ(tr.openSpans(), 0u);
+    EXPECT_EQ(tr.unbalancedCloses(), 1u);
+}
+
+TEST(Tracer, ClearResetsEverything)
+{
+    Tracer tr(2);
+    tr.record(EventType::Dispatch, 1, 0, 0, 1);
+    tr.record(EventType::Dispatch, 2, 0, 0, 2);
+    tr.record(EventType::Dispatch, 3, 0, 0, 3);
+    tr.openSpan(1);
+    tr.clear();
+    EXPECT_EQ(tr.size(), 0u);
+    EXPECT_EQ(tr.dropped(), 0u);
+    EXPECT_EQ(tr.openSpans(), 0u);
+}
+
+namespace {
+
+/** Structural JSON sanity: balanced braces/brackets outside strings. */
+bool
+balancedJson(const std::string &s)
+{
+    int depth = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']') {
+            if (--depth < 0)
+                return false;
+        }
+    }
+    return depth == 0 && !in_string;
+}
+
+} // namespace
+
+TEST(ChromeTrace, SchemaHasMetadataSpansAndInstants)
+{
+    ServerTrace t;
+    t.pid = 0;
+    t.events.push_back(
+        Event{300, 150, 5, kRequestTrackBase + 2,
+              EventType::RequestSpan});
+    t.events.push_back(Event{450, 0, 3, 7, EventType::Lend});
+
+    const std::string js = chromeTraceJson({t});
+    EXPECT_TRUE(balancedJson(js));
+    EXPECT_NE(js.find("\"traceEvents\":["), std::string::npos);
+    // Process + thread naming metadata.
+    EXPECT_NE(js.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(js.find("\"name\":\"server0\""), std::string::npos);
+    EXPECT_NE(js.find("\"name\":\"vm2 requests\""),
+              std::string::npos);
+    EXPECT_NE(js.find("\"name\":\"core 7\""), std::string::npos);
+    // One complete span, one instant.
+    EXPECT_NE(js.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(js.find("\"dur\":"), std::string::npos);
+    EXPECT_NE(js.find("\"ph\":\"i\""), std::string::npos);
+    // Timestamps are microseconds (300 cycles @3GHz = 0.1 us).
+    EXPECT_NE(js.find("\"ts\":0.100"), std::string::npos);
+}
+
+TEST(ChromeTrace, EventsSortedByTimestampAcrossServers)
+{
+    ServerTrace a;
+    a.pid = 0;
+    a.events.push_back(Event{600, 0, 1, 0, EventType::Lend});
+    ServerTrace b;
+    b.pid = 1;
+    b.events.push_back(Event{300, 0, 2, 0, EventType::Reclaim});
+
+    const std::string js = chromeTraceJson({a, b});
+    const auto lend = js.find("\"name\":\"lend\"");
+    const auto reclaim = js.find("\"name\":\"reclaim\"");
+    ASSERT_NE(lend, std::string::npos);
+    ASSERT_NE(reclaim, std::string::npos);
+    EXPECT_LT(reclaim, lend) << "earlier event must come first";
+}
+
+namespace {
+
+hh::cluster::SystemConfig
+tracedConfig()
+{
+    using namespace hh::cluster;
+    SystemConfig cfg = makeSystem(SystemKind::HardHarvestBlock);
+    cfg.requestsPerVm = 40;
+    cfg.accessSampling = 32;
+    cfg.seed = 7;
+    cfg.traceEnabled = true;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ServerTracing, NoOrphanSpansEndToEnd)
+{
+    using namespace hh::cluster;
+    const auto res = runServer(tracedConfig(), "BFS", 7);
+
+    EXPECT_FALSE(res.traceEvents.empty());
+    EXPECT_EQ(res.traceOpenSpans, 0u)
+        << "orphaned request or transition spans";
+    EXPECT_EQ(res.traceUnbalanced, 0u) << "double-closed spans";
+
+    std::uint64_t requests = 0;
+    std::uint64_t lends = 0;
+    std::uint64_t reclaims = 0;
+    for (const auto &e : res.traceEvents) {
+        switch (e.type) {
+        case EventType::RequestSpan:
+            ++requests;
+            EXPECT_GE(e.track, kRequestTrackBase);
+            break;
+        case EventType::Lend:
+            ++lends;
+            EXPECT_LT(e.track, kRequestTrackBase);
+            break;
+        case EventType::Reclaim:
+            ++reclaims;
+            break;
+        default:
+            break;
+        }
+    }
+    // The harvest-on-block system lends and reclaims cores; every
+    // completed request has a span.
+    EXPECT_GT(requests, 0u);
+    EXPECT_GT(lends, 0u);
+    EXPECT_GT(reclaims, 0u);
+    EXPECT_EQ(res.coreLoans, lends);
+    EXPECT_EQ(res.coreReclaims, reclaims);
+}
+
+TEST(ServerTracing, LendCancellationKeepsAccountingBalanced)
+{
+    // The PR-1 race shape: a reclaim interrupt arrives while the
+    // lend transition is still paying its reassignment cost. The
+    // tracer must close the lend span via LendCancelled and still
+    // end the run with zero open spans.
+    using namespace hh::cluster;
+    SystemConfig cfg = tracedConfig();
+    cfg.hwSched = true;
+    cfg.partitioning = true;
+    cfg.loadScale = 2.0; // Bursty arrivals: reclaims hit in-flight lends.
+    const auto res = runServer(cfg, "PRank", 13);
+
+    EXPECT_EQ(res.traceOpenSpans, 0u);
+    EXPECT_EQ(res.traceUnbalanced, 0u);
+    std::uint64_t transitions = 0;
+    for (const auto &e : res.traceEvents) {
+        if (e.type == EventType::LendTransition ||
+            e.type == EventType::ReclaimTransition)
+            ++transitions;
+    }
+    EXPECT_GT(transitions, 0u);
+}
+
+TEST(ServerTracing, DisabledTracingProducesNoEvents)
+{
+    using namespace hh::cluster;
+    SystemConfig cfg = tracedConfig();
+    cfg.traceEnabled = false;
+    const auto res = runServer(cfg, "BFS", 7);
+    EXPECT_TRUE(res.traceEvents.empty());
+    EXPECT_EQ(res.traceDropped, 0u);
+}
+
+TEST(ServerTracing, TraceJsonIsStructurallyValid)
+{
+    using namespace hh::cluster;
+    SystemConfig cfg = tracedConfig();
+    cfg.metricsEnabled = true;
+    const ClusterResults res = runCluster(cfg, 2, 7, 1);
+    ASSERT_EQ(res.traces.size(), 2u);
+    const std::string js = res.traceJson();
+    EXPECT_TRUE(balancedJson(js));
+    EXPECT_NE(js.find("\"name\":\"server1\""), std::string::npos);
+    // Metrics were collected for both servers too.
+    ASSERT_EQ(res.serverMetrics.size(), 2u);
+    EXPECT_FALSE(res.serverMetrics[0].empty());
+    ASSERT_EQ(res.metricSeries.size(), 2u);
+    EXPECT_EQ(res.metricSeries[0].label, "server0");
+    EXPECT_FALSE(res.metricSeries[0].rows.empty());
+}
