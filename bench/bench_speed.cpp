@@ -13,10 +13,12 @@
  * HH_SERVERS says otherwise.
  *
  * Also measures the wall-clock overhead of the observability layer
- * (request-span tracing + metric sampling, both enabled) against the
- * tracing-off parallel run. Set HH_OVERHEAD_GATE=<percent> to make
- * the binary fail when the measured overhead exceeds the gate (used
- * by CI; off by default because single-core containers are noisy).
+ * (request-span tracing + metric sampling, both enabled) and of the
+ * invariant auditor (every cross-component check sweeping at the
+ * default period) against the everything-off parallel run. Set
+ * HH_OVERHEAD_GATE=<percent> to make the binary fail when either
+ * measured overhead exceeds the gate (used by CI; off by default
+ * because single-core containers are noisy).
  */
 
 #include <chrono>
@@ -118,6 +120,20 @@ main(int argc, char **argv)
     for (const auto &t : trc.traces)
         trace_events += t.events.size() + t.dropped;
 
+    // Auditor overhead: same run with every cross-component invariant
+    // sweeping at the default period. When disabled (par_sec above)
+    // no Auditor exists and the simulator's audit hook is null, so
+    // the baseline is the true zero-cost path.
+    std::printf("parallel cluster run, auditing on...\n");
+    SystemConfig audited = cfg;
+    audited.auditEnabled = true;
+    const auto t_aud = Clock::now();
+    const ClusterResults aud =
+        runCluster(audited, scale.servers, scale.seed, workers);
+    const double aud_sec = secondsSince(t_aud);
+    const double audit_overhead_pct =
+        par_sec > 0 ? 100.0 * (aud_sec / par_sec - 1.0) : 0.0;
+
     std::printf("event-queue mix (seed baseline vs slab)...\n");
     const std::uint64_t rounds = 4'000'000;
     const double legacy_ops =
@@ -138,6 +154,11 @@ main(int argc, char **argv)
                 "(%llu events)\n",
                 par_sec, trc_sec, trace_overhead_pct,
                 static_cast<unsigned long long>(trace_events));
+    std::printf("auditing: off %.2fs  on %.2fs  overhead %+.1f%%  "
+                "(%llu sweeps, %llu violations)\n",
+                par_sec, aud_sec, audit_overhead_pct,
+                static_cast<unsigned long long>(aud.auditsRun),
+                static_cast<unsigned long long>(aud.auditViolations));
 
     std::FILE *f = std::fopen(out_path.c_str(), "w");
     if (!f) {
@@ -178,6 +199,16 @@ main(int argc, char **argv)
                  trace_overhead_pct);
     std::fprintf(f, "    \"events\": %llu\n",
                  static_cast<unsigned long long>(trace_events));
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"auditing\": {\n");
+    std::fprintf(f, "    \"baseline_sec\": %.4f,\n", par_sec);
+    std::fprintf(f, "    \"audited_sec\": %.4f,\n", aud_sec);
+    std::fprintf(f, "    \"overhead_pct\": %.2f,\n",
+                 audit_overhead_pct);
+    std::fprintf(f, "    \"sweeps\": %llu,\n",
+                 static_cast<unsigned long long>(aud.auditsRun));
+    std::fprintf(f, "    \"violations\": %llu\n",
+                 static_cast<unsigned long long>(aud.auditViolations));
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -192,6 +223,21 @@ main(int argc, char **argv)
                          trace_overhead_pct, limit);
             return 1;
         }
+        if (limit > 0 && audit_overhead_pct > limit) {
+            std::fprintf(stderr,
+                         "auditing overhead %.1f%% exceeds gate "
+                         "%.1f%%\n",
+                         audit_overhead_pct, limit);
+            return 1;
+        }
+    }
+    if (aud.auditViolations != 0) {
+        std::fprintf(stderr,
+                     "audited bench run reported %llu invariant "
+                     "violations\n",
+                     static_cast<unsigned long long>(
+                         aud.auditViolations));
+        return 1;
     }
     return identical ? 0 : 1;
 }

@@ -24,7 +24,15 @@ dataEntryMask(const SetContext &ctx, WayMask among)
 unsigned
 CdpPolicy::victim(const SetContext &ctx, bool incoming_shared)
 {
-    const WayMask allowed = ctx.allowedMask;
+    // Strip out-of-range mask bits first (same degenerate-mask guard
+    // as HardHarvestPolicy::victim): phantom ways beyond the set's
+    // geometry would survive into `victims`, defeat the safety net,
+    // and panic in lruAmong() despite valid in-range allowed ways.
+    const WayMask in_range =
+        ctx.ways.size() >= 64
+            ? ~WayMask{0}
+            : static_cast<WayMask>((WayMask{1} << ctx.ways.size()) - 1);
+    const WayMask allowed = ctx.allowedMask & in_range;
     const WayMask non_harvest = allowed & ~ctx.harvestMask;
     const WayMask harvest = allowed & ctx.harvestMask;
 

@@ -24,7 +24,19 @@ privateEntryMask(const SetContext &ctx, WayMask among)
 unsigned
 HardHarvestPolicy::victim(const SetContext &ctx, bool incoming_shared)
 {
-    const WayMask allowed = ctx.allowedMask;
+    // Strip mask bits beyond the set's geometry first. A caller-side
+    // mask wider than the set (e.g. a HarvestMask programmed for a
+    // larger structure, or a candidate mask carried across a way
+    // rescale) would otherwise leave phantom ways in `victims`:
+    // lruAmong() ignores out-of-range bits, so a victims mask whose
+    // only bits are out of range defeats the class-5/safety-net
+    // fallbacks and turns into a spurious "empty allowed mask" panic
+    // even though in-range allowed ways exist.
+    const WayMask in_range =
+        ctx.ways.size() >= 64
+            ? ~WayMask{0}
+            : static_cast<WayMask>((WayMask{1} << ctx.ways.size()) - 1);
+    const WayMask allowed = ctx.allowedMask & in_range;
     const WayMask non_harvest = allowed & ~ctx.harvestMask;
     const WayMask harvest = allowed & ctx.harvestMask;
 

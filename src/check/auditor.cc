@@ -1,0 +1,49 @@
+#include "check/auditor.h"
+
+#include "sim/log.h"
+#include "stats/registry.h"
+
+namespace hh::check {
+
+void
+Auditor::addInvariant(std::string component, Check check)
+{
+    if (!check)
+        hh::sim::panic("Auditor::addInvariant: null check for ",
+                       component);
+    checks_.push_back({std::move(component), std::move(check)});
+}
+
+std::size_t
+Auditor::audit(hh::sim::Cycles now)
+{
+    ++audits_run_;
+    std::size_t found = 0;
+    for (const auto &entry : checks_) {
+        auto msg = entry.check();
+        if (!msg)
+            continue;
+        ++found;
+        ++violation_count_;
+        if (panic_on_violation_)
+            hh::sim::panic("invariant violation [", entry.component,
+                           "] at t=", now, ": ", *msg);
+        if (violations_.size() < kMaxStoredViolations) {
+            violations_.push_back(
+                Violation{entry.component, std::move(*msg), now});
+        }
+    }
+    return found;
+}
+
+void
+Auditor::registerMetrics(hh::stats::MetricRegistry &reg,
+                         const std::string &prefix)
+{
+    reg.registerCounter(prefix + ".audits", audits_run_);
+    reg.registerCounter(prefix + ".violations", violation_count_);
+    reg.registerGauge(prefix + ".invariants",
+                      [this] { return double(invariantCount()); });
+}
+
+} // namespace hh::check

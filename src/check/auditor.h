@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Simulator-wide invariant auditor.
+ *
+ * Components register named cross-component invariants (core
+ * ownership vs controller loan state, RQ chunk accounting, harvest
+ * way-mask partitioning, Request Context Memory leak-freedom,
+ * event-queue monotonicity, ...). The owner of the Simulator installs
+ * an audit hook that sweeps every registered check each N executed
+ * events; a check that returns a message becomes a recorded
+ * Violation stamped with the component name and the simulated time
+ * at which it was observed.
+ *
+ * Auditing follows the PR-2 observability gating pattern: when
+ * disabled the Auditor is never constructed and the simulator's hook
+ * pointer stays null, so production runs pay only an untaken branch
+ * per event. Violations are counted exactly but only the first
+ * kMaxStoredViolations reports are kept verbatim (a broken invariant
+ * usually fails every subsequent sweep; unbounded storage would turn
+ * one bug into an OOM).
+ */
+
+#ifndef HH_CHECK_AUDITOR_H
+#define HH_CHECK_AUDITOR_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hh::stats {
+class MetricRegistry;
+}
+
+namespace hh::check {
+
+/** One observed invariant violation. */
+struct Violation
+{
+    std::string component; //!< Registering component ("core", "rq", ...).
+    std::string message;   //!< Human-readable description.
+    hh::sim::Cycles time = 0; //!< Simulated time of the audit sweep.
+};
+
+/**
+ * Registry of invariants plus the record of their violations.
+ */
+class Auditor
+{
+  public:
+    /**
+     * One invariant check. Returns std::nullopt when the invariant
+     * holds, or a description of how it is broken. Checks must be
+     * read-only observers: they run between events and must not
+     * perturb simulation state (determinism depends on it).
+     */
+    using Check = std::function<std::optional<std::string>()>;
+
+    /** Verbatim reports kept; further violations are only counted. */
+    static constexpr std::size_t kMaxStoredViolations = 64;
+
+    /**
+     * Register an invariant.
+     *
+     * @param component Short component tag carried into Violation.
+     * @param check     The check; must outlive the auditor.
+     */
+    void addInvariant(std::string component, Check check);
+
+    /**
+     * Sweep every registered invariant.
+     *
+     * @param now Simulated time stamped into any violations.
+     * @return Number of violations observed in this sweep.
+     */
+    std::size_t audit(hh::sim::Cycles now);
+
+    /**
+     * Panic on the first violation instead of recording it. Off by
+     * default so fuzz drivers can collect every report; tests that
+     * want fail-fast behaviour turn it on.
+     */
+    void setPanicOnViolation(bool on) { panic_on_violation_ = on; }
+
+    /** Stored violation reports, oldest first (capped). */
+    const std::vector<Violation> &violations() const
+    {
+        return violations_;
+    }
+
+    /** Total violations observed (uncapped). */
+    std::uint64_t violationCount() const { return violation_count_; }
+
+    /** Number of audit sweeps performed. */
+    std::uint64_t auditsRun() const { return audits_run_; }
+
+    /** Number of registered invariants. */
+    std::size_t invariantCount() const { return checks_.size(); }
+
+    /**
+     * Register auditor counters ("<prefix>.audits",
+     * "<prefix>.violations", "<prefix>.invariants").
+     */
+    void registerMetrics(hh::stats::MetricRegistry &reg,
+                         const std::string &prefix);
+
+  private:
+    struct Entry
+    {
+        std::string component;
+        Check check;
+    };
+
+    std::vector<Entry> checks_;
+    std::vector<Violation> violations_;
+    std::uint64_t violation_count_ = 0;
+    std::uint64_t audits_run_ = 0;
+    bool panic_on_violation_ = false;
+};
+
+} // namespace hh::check
+
+#endif // HH_CHECK_AUDITOR_H

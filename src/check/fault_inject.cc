@@ -1,0 +1,94 @@
+#include "check/fault_inject.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+#include "stats/registry.h"
+
+namespace hh::check {
+
+FaultInjector::FaultInjector(hh::sim::Simulator &sim,
+                             std::uint64_t seed, const FaultConfig &cfg)
+    : sim_(sim), cfg_(cfg), rng_(seed, 0xFA17ULL)
+{
+    if (cfg_.meanPeriod == 0)
+        hh::sim::fatal("FaultInjector: meanPeriod must be > 0");
+}
+
+void
+FaultInjector::addAction(std::string name, Action fn)
+{
+    if (!fn)
+        hh::sim::panic("FaultInjector::addAction: null action ", name);
+    actions_.push_back({std::move(name), std::move(fn), 0});
+}
+
+void
+FaultInjector::start()
+{
+    if (actions_.empty() || pending_ != hh::sim::kInvalidEventId)
+        return;
+    const hh::sim::Cycles first =
+        std::max<hh::sim::Cycles>(1, cfg_.startAt);
+    scheduleNext(first);
+}
+
+void
+FaultInjector::stop()
+{
+    if (pending_ != hh::sim::kInvalidEventId) {
+        sim_.cancel(pending_);
+        pending_ = hh::sim::kInvalidEventId;
+    }
+}
+
+void
+FaultInjector::scheduleNext(hh::sim::Cycles delay)
+{
+    pending_ = sim_.schedule(delay, [this] {
+        pending_ = hh::sim::kInvalidEventId;
+        tick();
+    });
+}
+
+void
+FaultInjector::tick()
+{
+    ++ticks_;
+    for (unsigned i = 0;
+         i < cfg_.actionsPerTick && fired_ < cfg_.maxActions; ++i) {
+        Named &a = actions_[rng_.uniformInt(
+            static_cast<std::uint64_t>(actions_.size()))];
+        ++a.fired;
+        ++fired_;
+        a.fn(rng_);
+    }
+    if (fired_ >= cfg_.maxActions)
+        return;
+    const auto delay = static_cast<hh::sim::Cycles>(std::max(
+        1.0,
+        rng_.exponential(static_cast<double>(cfg_.meanPeriod))));
+    scheduleNext(delay);
+}
+
+std::uint64_t
+FaultInjector::actionCount(const std::string &name) const
+{
+    for (const auto &a : actions_) {
+        if (a.name == name)
+            return a.fired;
+    }
+    return 0;
+}
+
+void
+FaultInjector::registerMetrics(hh::stats::MetricRegistry &reg,
+                               const std::string &prefix)
+{
+    reg.registerCounter(prefix + ".ticks", ticks_);
+    reg.registerCounter(prefix + ".actions", fired_);
+    for (auto &a : actions_)
+        reg.registerCounter(prefix + ".action." + a.name, a.fired);
+}
+
+} // namespace hh::check

@@ -45,6 +45,20 @@ ClusterResults::serialized() const
         os << app << ' ' << tput << '\n';
     os << avgBusyCores << ' ' << utilization << ' ' << coreLoans
        << ' ' << coreReclaims << ' ' << primaryL2HitRate << '\n';
+    // Audit section: absent unless auditing ran, so default-config
+    // serializations are unchanged. Covers the sweep/violation/fault
+    // counts plus every (capped) report verbatim — the determinism
+    // tests thereby assert that fault injection itself is replayable.
+    // Emitted before the observability sections so that the prefix
+    // property "enabling tracing/metrics only appends" holds whether
+    // or not auditing is on (e.g. under an HH_AUDIT=1 test sweep).
+    if (auditsRun > 0) {
+        os << "audit " << auditsRun << ' ' << auditViolations << ' '
+           << faultsInjected << '\n';
+        for (const auto &[srv, v] : auditReports)
+            os << "violation server" << srv << " [" << v.component
+               << "] t=" << v.time << ' ' << v.message << '\n';
+    }
     // Registry-backed section: every metric of every server, in
     // registry (= lexicographic) order. Empty unless metrics were
     // enabled, so default-config serializations are unchanged.
@@ -121,6 +135,11 @@ runCluster(const SystemConfig &cfg, unsigned servers,
             run.metricSeries.label = "server" + std::to_string(s);
             agg.metricSeries.push_back(std::move(run.metricSeries));
         }
+        agg.auditsRun += run.auditsRun;
+        agg.auditViolations += run.auditViolations;
+        agg.faultsInjected += run.faultsInjected;
+        for (auto &v : run.auditReports)
+            agg.auditReports.emplace_back(s, std::move(v));
     }
     for (unsigned s = 0; s < servers; ++s) {
         agg.batchThroughput.emplace_back(batch[s].name,

@@ -46,6 +46,15 @@ struct ClusterResults
     std::vector<hh::stats::SampledSeries> metricSeries;
     /** @} */
 
+    /** @name Auditing (filled only when auditing was enabled) @{ */
+    std::uint64_t auditsRun = 0;       //!< Summed across servers.
+    std::uint64_t auditViolations = 0; //!< Summed (bug if != 0).
+    std::uint64_t faultsInjected = 0;  //!< Summed across servers.
+    /** Violation reports, tagged with the originating server index. */
+    std::vector<std::pair<unsigned, hh::check::Violation>>
+        auditReports;
+    /** @} */
+
     double avgP99Ms() const;
     double avgP50Ms() const;
 

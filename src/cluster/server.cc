@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <unordered_set>
 
 #include "sim/log.h"
 
@@ -63,6 +65,32 @@ ServerSim::ServerSim(const SystemConfig &cfg, const std::string &batchApp,
         tracer_ = std::make_unique<hh::trace::Tracer>(
             cfg_.traceCapacity);
     registerMetrics();
+
+    // Invariant auditing (config flag or HH_AUDIT=1). Mirrors the
+    // tracing gating: disabled means no Auditor exists and the
+    // simulator's audit hook stays null.
+    const char *audit_env = std::getenv("HH_AUDIT");
+    if (cfg_.auditEnabled ||
+        (audit_env && *audit_env && *audit_env != '0')) {
+        auditor_ = std::make_unique<hh::check::Auditor>();
+        auditor_->setPanicOnViolation(cfg_.auditPanic);
+        registerInvariants();
+        auditor_->registerMetrics(registry_, "audit");
+        sim_.setAuditHook(
+            [this](Cycles t) {
+                auditor_->audit(t);
+                if (cfg_.auditStopOnViolation &&
+                    auditor_->violationCount() > 0)
+                    sim_.requestStop();
+            },
+            std::max<std::uint64_t>(1, cfg_.auditPeriod));
+    }
+    if (cfg_.faults.enabled) {
+        injector_ = std::make_unique<hh::check::FaultInjector>(
+            sim_, seed_, cfg_.faults);
+        registerFaultActions();
+        injector_->registerMetrics(registry_, "faults");
+    }
 
     nic_->setHandler([this](const hh::net::Packet &p) { onPacket(p); });
     nic_->setLlcLookup([this](std::uint32_t vm)
@@ -179,6 +207,555 @@ ServerSim::registerMetrics()
         core->registerMetrics(
             registry_, "core" + std::to_string(core->id()), now);
     }
+}
+
+void
+ServerSim::registerInvariants()
+{
+    using hh::sim::detail::concat;
+    auto &aud = *auditor_;
+
+    // Core ownership and scheduling-phase consistency: every core is
+    // bound to exactly one QM (its VM's), the core's loan flag agrees
+    // with the controller's, and each phase implies a coherent
+    // (runningRequest, slice) pair.
+    aud.addInvariant("core", [this]() -> std::optional<std::string> {
+        using hh::sim::detail::concat;
+        for (unsigned c = 0; c < cores_.size(); ++c) {
+            const CoreCtx &ctx = core_ctx_[c];
+            const std::uint32_t bound = cores_[c]->boundVm();
+            unsigned owners = 0;
+            bool owner_is_vm = false;
+            bool qm_loan = false;
+            ctrl_->forEachQm([&](const hh::core::QueueManager &qm) {
+                if (!qm.isBound(c))
+                    return;
+                ++owners;
+                if (qm.vm() == bound) {
+                    owner_is_vm = true;
+                    qm_loan = qm.isOnLoan(c);
+                }
+            });
+            if (owners != 1 || !owner_is_vm)
+                return concat("core ", c, " bound by ", owners,
+                              " QM(s), expected exactly one (vm ",
+                              bound, ")");
+            if (ctx.onLoan != qm_loan)
+                return concat("core ", c, " onLoan=", ctx.onLoan,
+                              " disagrees with its QM's loan state ",
+                              qm_loan);
+            switch (ctx.phase) {
+            case Phase::Idle:
+            case Phase::Transition:
+                if (ctx.runningRequest != 0)
+                    return concat("core ", c, " is ",
+                                  ctx.phase == Phase::Idle
+                                      ? "Idle"
+                                      : "in Transition",
+                                  " but still claims request ",
+                                  ctx.runningRequest);
+                if (ctx.slice)
+                    return concat("core ", c,
+                                  " holds a harvest slice outside "
+                                  "RunHarvest");
+                break;
+            case Phase::RunPrimary: {
+                if (ctx.runningRequest == 0)
+                    return concat("core ", c,
+                                  " RunPrimary without a request");
+                if (ctx.slice)
+                    return concat("core ", c,
+                                  " RunPrimary with a harvest slice");
+                const auto it = requests_.find(ctx.runningRequest);
+                if (it == requests_.end())
+                    return concat("core ", c, " runs unknown request ",
+                                  ctx.runningRequest);
+                if (it->second.state !=
+                    hh::cpu::RequestState::Running)
+                    return concat("request ", ctx.runningRequest,
+                                  " on core ", c,
+                                  " is not in Running state");
+                const auto *qm = ctrl_->qmFor(it->second.vm);
+                if (!qm || qm->queue().runningEntries().count(
+                               ctx.runningRequest) == 0)
+                    return concat("request ", ctx.runningRequest,
+                                  " on core ", c,
+                                  " missing from its subqueue's "
+                                  "running set");
+                break;
+            }
+            case Phase::RunHarvest:
+                if (!ctx.slice)
+                    return concat("core ", c,
+                                  " RunHarvest without a slice");
+                if (ctx.runningRequest != 0)
+                    return concat("core ", c,
+                                  " RunHarvest while claiming "
+                                  "request ",
+                                  ctx.runningRequest);
+                break;
+            }
+        }
+        return std::nullopt;
+    });
+
+    // Request-state cross-check: every Running request executes on
+    // exactly one core (the PR-1 race orphaned requests here), and
+    // every payload a subqueue holds maps back to a live request in
+    // the matching state.
+    aud.addInvariant("request", [this]() -> std::optional<std::string> {
+        using hh::sim::detail::concat;
+        std::unordered_map<std::uint64_t, unsigned> claims;
+        for (const CoreCtx &ctx : core_ctx_) {
+            if (ctx.phase == Phase::RunPrimary &&
+                ctx.runningRequest != 0)
+                ++claims[ctx.runningRequest];
+        }
+        for (const auto &[id, req] : requests_) {
+            const auto it = claims.find(id);
+            const unsigned n = it == claims.end() ? 0 : it->second;
+            switch (req.state) {
+            case hh::cpu::RequestState::Running:
+                if (n != 1)
+                    return concat("request ", id, " (vm ", req.vm,
+                                  ") is Running on ", n,
+                                  " cores (orphaned or duplicated)");
+                break;
+            case hh::cpu::RequestState::Queued:
+            case hh::cpu::RequestState::Blocked:
+                if (n != 0)
+                    return concat("request ", id, " (vm ", req.vm,
+                                  ") claimed by a core while ",
+                                  req.state ==
+                                          hh::cpu::RequestState::Queued
+                                      ? "Queued"
+                                      : "Blocked");
+                break;
+            case hh::cpu::RequestState::Done:
+                return concat("request ", id,
+                              " lingers in Done state");
+            }
+        }
+        std::optional<std::string> err;
+        ctrl_->forEachQm([&](const hh::core::QueueManager &qm) {
+            if (err)
+                return;
+            const auto &q = qm.queue();
+            const auto check = [&](std::uint64_t id,
+                                   hh::cpu::RequestState want,
+                                   const char *where) {
+                const auto it = requests_.find(id);
+                if (it == requests_.end())
+                    err = concat("vm ", qm.vm(), " ", where,
+                                 " holds unknown request ", id);
+                else if (it->second.vm != qm.vm())
+                    err = concat("request ", id, " of vm ",
+                                 it->second.vm, " found in vm ",
+                                 qm.vm(), "'s subqueue");
+                else if (it->second.state != want)
+                    err = concat("request ", id, " in ", where,
+                                 " of vm ", qm.vm(),
+                                 " has inconsistent state");
+            };
+            for (const auto id : q.readyEntries())
+                check(id, hh::cpu::RequestState::Queued, "ready");
+            for (const auto id : q.overflowEntries())
+                check(id, hh::cpu::RequestState::Queued, "overflow");
+            for (const auto id : q.runningEntries())
+                check(id, hh::cpu::RequestState::Running, "running");
+            for (const auto id : q.blockedEntries())
+                check(id, hh::cpu::RequestState::Blocked, "blocked");
+        });
+        return err;
+    });
+
+    // RQ chunk accounting: every allocated chunk is mapped by exactly
+    // one subqueue and vice versa; no payload sits in two containers
+    // of a subqueue; the overflow queue only backs a full subqueue
+    // (the FIFO guarantee behind SubQueue::enqueue's contract).
+    aud.addInvariant("rq", [this]() -> std::optional<std::string> {
+        using hh::sim::detail::concat;
+        const auto &rq = ctrl_->rq();
+        std::vector<unsigned> owners(rq.numChunks(), 0);
+        std::size_t mapped = 0;
+        std::optional<std::string> err;
+        ctrl_->forEachQm([&](const hh::core::QueueManager &qm) {
+            if (err)
+                return;
+            const auto &q = qm.queue();
+            for (const unsigned chunk : q.rqMap()) {
+                if (chunk >= rq.numChunks()) {
+                    err = concat("vm ", qm.vm(),
+                                 " maps nonexistent chunk ", chunk);
+                    return;
+                }
+                if (++owners[chunk] > 1) {
+                    err = concat("chunk ", chunk,
+                                 " mapped by more than one subqueue");
+                    return;
+                }
+                if (!rq.isAllocated(chunk)) {
+                    err = concat("chunk ", chunk, " mapped by vm ",
+                                 qm.vm(), " but marked free");
+                    return;
+                }
+                ++mapped;
+            }
+            std::unordered_set<std::uint64_t> seen;
+            const auto dup = [&](std::uint64_t id) {
+                return !seen.insert(id).second;
+            };
+            for (const auto id : q.readyEntries())
+                if (dup(id)) {
+                    err = concat("request ", id,
+                                 " present twice in vm ", qm.vm(),
+                                 "'s subqueue");
+                    return;
+                }
+            for (const auto id : q.runningEntries())
+                if (dup(id)) {
+                    err = concat("request ", id,
+                                 " in two containers of vm ",
+                                 qm.vm(), "'s subqueue");
+                    return;
+                }
+            for (const auto id : q.blockedEntries())
+                if (dup(id)) {
+                    err = concat("request ", id,
+                                 " in two containers of vm ",
+                                 qm.vm(), "'s subqueue");
+                    return;
+                }
+            for (const auto id : q.overflowEntries())
+                if (dup(id)) {
+                    err = concat("request ", id,
+                                 " both in hardware and overflow of "
+                                 "vm ",
+                                 qm.vm());
+                    return;
+                }
+            if (!q.overflowEntries().empty() &&
+                q.occupancy() < q.capacity()) {
+                err = concat("vm ", qm.vm(),
+                             " has overflow entries while hardware "
+                             "slots are free");
+                return;
+            }
+        });
+        if (err)
+            return err;
+        if (mapped != rq.allocatedChunks() ||
+            mapped + rq.freeChunks() != rq.numChunks())
+            return concat("chunk accounting broken: ", mapped,
+                          " mapped, ", rq.allocatedChunks(),
+                          " allocated, ", rq.freeChunks(),
+                          " free of ", rq.numChunks());
+        return std::nullopt;
+    });
+
+    // Cache way partitioning: per structure, the harvest region is a
+    // subset of the way set, and under partitioning both the harvest
+    // and non-harvest regions are non-empty (they must cover the
+    // allowed mask between them).
+    aud.addInvariant("cache", [this]() -> std::optional<std::string> {
+        using hh::sim::detail::concat;
+        for (unsigned c = 0; c < cores_.size(); ++c) {
+            auto &h = cores_[c]->hierarchy();
+            hh::cache::SetAssocArray *arrs[] = {
+                &h.l1d(), &h.l1i(), &h.l2(), &h.l1tlb(), &h.l2tlb()};
+            const char *names[] = {"l1d", "l1i", "l2", "l1tlb",
+                                   "l2tlb"};
+            for (unsigned i = 0; i < 5; ++i) {
+                const auto hw = arrs[i]->harvestWays();
+                const auto all = arrs[i]->allWays();
+                if (hw & ~all)
+                    return concat("core ", c, " ", names[i],
+                                  " harvest region escapes the way "
+                                  "set");
+                // Single-way structures (extreme waysFraction) are
+                // legitimately left unpartitioned.
+                const bool partitionable = (all & (all - 1)) != 0;
+                if (cfg_.partitioning && partitionable && hw == 0)
+                    return concat("core ", c, " ", names[i],
+                                  " has an empty harvest region");
+                if (cfg_.partitioning && partitionable &&
+                    (all & ~hw) == 0)
+                    return concat("core ", c, " ", names[i],
+                                  " harvest region covers every way");
+            }
+        }
+        return std::nullopt;
+    });
+
+    // Per-VM HarvestMask registers: masks fit their structures and
+    // actually partition when partitioning is on.
+    aud.addInvariant("qm", [this]() -> std::optional<std::string> {
+        using hh::sim::detail::concat;
+        std::optional<std::string> err;
+        ctrl_->forEachQm([&](const hh::core::QueueManager &qm) {
+            if (err)
+                return;
+            const auto &m = qm.harvestMask();
+            for (unsigned s = 0; s < hh::core::kNumMaskedStructs;
+                 ++s) {
+                const auto ms =
+                    static_cast<hh::core::MaskedStruct>(s);
+                const auto mask = m.mask(ms);
+                const auto full = static_cast<hh::cache::WayMask>(
+                    (1u << m.wayCount(ms)) - 1);
+                if (mask & ~full) {
+                    err = concat("vm ", qm.vm(),
+                                 " harvest mask wider than "
+                                 "structure ",
+                                 s);
+                    return;
+                }
+                if (cfg_.partitioning &&
+                    (mask == 0 || mask == full)) {
+                    err = concat("vm ", qm.vm(),
+                                 " harvest mask for structure ", s,
+                                 " does not partition");
+                    return;
+                }
+            }
+        });
+        return err;
+    });
+
+    // Harvesting bookkeeping: pending reclaims equal the cores in a
+    // reclaim transition, anchors balance, and reclaims never exceed
+    // loans.
+    aud.addInvariant("hv", [this]() -> std::optional<std::string> {
+        using hh::sim::detail::concat;
+        for (const auto &v : vms_) {
+            if (!v.desc.isPrimary())
+                continue;
+            unsigned restoring = 0;
+            for (const unsigned c : v.desc.cores) {
+                if (core_ctx_[c].phase == Phase::Transition &&
+                    !core_ctx_[c].onLoan)
+                    ++restoring;
+            }
+            if (pending_reclaims_[v.desc.id] != restoring)
+                return concat("vm ", v.desc.id, " counts ",
+                              pending_reclaims_[v.desc.id],
+                              " pending reclaims but ", restoring,
+                              " cores are in a reclaim transition");
+        }
+        if (reclaims_.value() > loans_.value())
+            return concat("more reclaims (", reclaims_.value(),
+                          ") than loans (", loans_.value(), ")");
+        std::size_t anchored = 0;
+        for (const CoreCtx &ctx : core_ctx_)
+            anchored += ctx.anchoredBlocked;
+        if (anchored != anchor_.size())
+            return concat("anchor accounting broken: ",
+                          anchor_.size(), " anchors vs ", anchored,
+                          " anchored-blocked marks");
+        for (const auto &[id, core] : anchor_) {
+            const auto it = requests_.find(id);
+            if (it == requests_.end())
+                return concat("anchored request ", id,
+                              " does not exist");
+            if (it->second.state != hh::cpu::RequestState::Blocked &&
+                it->second.state != hh::cpu::RequestState::Queued)
+                return concat("anchored request ", id,
+                              " neither blocked nor awaiting "
+                              "redispatch");
+        }
+        return std::nullopt;
+    });
+
+    // Request Context Memory is leak-free: with hardware context
+    // switching, exactly the anchored (preempted-while-blocked)
+    // requests have a saved context.
+    aud.addInvariant("ctxmem", [this]() -> std::optional<std::string> {
+        using hh::sim::detail::concat;
+        if (!cfg_.hwCtxtSwitch)
+            return std::nullopt;
+        if (ctxmem_->occupancy() != anchor_.size())
+            return concat("context memory holds ",
+                          ctxmem_->occupancy(), " contexts but ",
+                          anchor_.size(), " requests are anchored");
+        for (const auto &[id, core] : anchor_) {
+            if (!ctxmem_->contains(id))
+                return concat("anchored request ", id,
+                              " has no saved context");
+        }
+        if (done_ && ctxmem_->occupancy() != 0)
+            return concat("run complete with ", ctxmem_->occupancy(),
+                          " leaked context slots");
+        return std::nullopt;
+    });
+
+    // Event-queue sanity: timestamps never went backwards.
+    aud.addInvariant("sim", [this]() -> std::optional<std::string> {
+        using hh::sim::detail::concat;
+        if (sim_.monotonicViolations() != 0)
+            return concat(sim_.monotonicViolations(),
+                          " event pops went backwards in time");
+        return std::nullopt;
+    });
+
+    // End-state: once every request completed, nothing may linger in
+    // the request map, the anchors, or any subqueue.
+    aud.addInvariant("final", [this]() -> std::optional<std::string> {
+        using hh::sim::detail::concat;
+        if (!done_)
+            return std::nullopt;
+        if (!requests_.empty())
+            return concat(requests_.size(),
+                          " requests alive after completion");
+        if (!anchor_.empty())
+            return concat(anchor_.size(),
+                          " anchors alive after completion");
+        std::optional<std::string> err;
+        ctrl_->forEachQm([&](const hh::core::QueueManager &qm) {
+            if (err)
+                return;
+            if (qm.queue().occupancy() != 0 ||
+                qm.queue().overflowSize() != 0)
+                err = concat("vm ", qm.vm(),
+                             " subqueue not empty after completion");
+        });
+        return err;
+    });
+}
+
+void
+ServerSim::registerFaultActions()
+{
+    auto &inj = *injector_;
+
+    // Lend storm: lend most idle Primary cores at once, deliberately
+    // bypassing the emergency-buffer and anchored-request guards the
+    // normal path honours (they are performance heuristics, not
+    // correctness requirements).
+    inj.addAction("lend_storm", [this](hh::sim::Rng &rng) {
+        if (done_ || !cfg_.harvesting)
+            return;
+        for (const auto &v : vms_) {
+            if (!v.desc.isPrimary())
+                continue;
+            for (const unsigned c : v.desc.cores) {
+                const CoreCtx &ctx = core_ctx_[c];
+                if (ctx.phase == Phase::Idle && !ctx.onLoan &&
+                    rng.bernoulli(0.75))
+                    lendCore(c);
+            }
+        }
+    });
+
+    // Reclaim storm: interrupt-reclaim a random subset of loaned
+    // cores, whatever they are doing.
+    inj.addAction("reclaim_storm", [this](hh::sim::Rng &rng) {
+        if (done_ || !cfg_.harvesting)
+            return;
+        for (const auto &v : vms_) {
+            if (!v.desc.isPrimary())
+                continue;
+            for (const unsigned c : v.desc.cores) {
+                if (core_ctx_[c].onLoan && rng.bernoulli(0.5))
+                    reclaimCore(c, v.desc.id);
+            }
+        }
+    });
+
+    // Reclaim-during-flush: reclaim exactly the cores still paying
+    // their lend-transition costs — the window of the seed's
+    // lend/reclaim race.
+    inj.addAction("reclaim_during_flush", [this](hh::sim::Rng &) {
+        if (done_ || !cfg_.harvesting)
+            return;
+        for (const auto &v : vms_) {
+            if (!v.desc.isPrimary())
+                continue;
+            for (const unsigned c : v.desc.cores) {
+                const CoreCtx &ctx = core_ctx_[c];
+                if (ctx.onLoan && ctx.phase == Phase::Transition)
+                    reclaimCore(c, v.desc.id);
+            }
+        }
+    });
+
+    // Bursty arrivals: pull a few future arrivals forward through
+    // the normal NIC path. Shares the per-VM arrival budget, so the
+    // total request count is unchanged.
+    inj.addAction("burst", [this](hh::sim::Rng &rng) {
+        if (done_)
+            return;
+        const std::uint64_t extra = 1 + rng.uniformInt(4);
+        for (std::uint64_t i = 0; i < extra; ++i) {
+            std::vector<std::uint32_t> cands;
+            for (const auto &v : vms_) {
+                if (v.desc.isPrimary() && v.arrivalsRemaining > 0)
+                    cands.push_back(v.desc.id);
+            }
+            if (cands.empty())
+                return;
+            onArrival(cands[rng.uniformInt(cands.size())]);
+        }
+    });
+
+    // Chunk-exhaustion pressure: register/remove ghost VMs so the
+    // controller keeps rebalancing RQ chunks under load, forcing
+    // subqueue tails to spill to overflow and drain back.
+    inj.addAction("chunk_pressure", [this](hh::sim::Rng &rng) {
+        if (done_)
+            return;
+        const bool remove = !ghost_vms_.empty() &&
+                            (rng.bernoulli(0.5) ||
+                             ctrl_->numVms() >=
+                                 ctrl_->config().maxQms);
+        if (remove) {
+            const std::uint32_t id = ghost_vms_.back();
+            ghost_vms_.pop_back();
+            ctrl_->removeVm(id);
+            return;
+        }
+        if (ctrl_->numVms() >= ctrl_->config().maxQms)
+            return;
+        const std::uint32_t id = 1000 + next_ghost_++;
+        auto &qm = ctrl_->registerVm(
+            id, true,
+            1 + static_cast<unsigned>(rng.uniformInt(6)));
+        qm.harvestMask().setFraction(cfg_.harvestWayFraction);
+        ghost_vms_.push_back(id);
+    });
+
+    // Delayed completion: stretch one in-flight Primary segment by
+    // rescheduling its completion event further out.
+    inj.addAction("delayed_completion", [this](hh::sim::Rng &rng) {
+        if (done_)
+            return;
+        std::vector<unsigned> cands;
+        for (unsigned c = 0; c < core_ctx_.size(); ++c) {
+            const CoreCtx &ctx = core_ctx_[c];
+            if (ctx.phase == Phase::RunPrimary &&
+                ctx.runningRequest != 0 &&
+                ctx.pendingEvent != hh::sim::kInvalidEventId)
+                cands.push_back(c);
+        }
+        if (cands.empty())
+            return;
+        const unsigned core = cands[rng.uniformInt(cands.size())];
+        CoreCtx &ctx = core_ctx_[core];
+        if (!sim_.cancel(ctx.pendingEvent))
+            return;
+        const std::uint64_t reqId = ctx.runningRequest;
+        const Cycles remaining = ctx.segmentEnd > sim_.now()
+                                     ? ctx.segmentEnd - sim_.now()
+                                     : 0;
+        const auto delay =
+            remaining +
+            1 +
+            static_cast<Cycles>(rng.exponential(
+                static_cast<double>(hh::sim::usToCycles(10))));
+        ctx.segmentEnd = sim_.now() + delay;
+        ctx.pendingEvent = sim_.schedule(delay, [this, core, reqId] {
+            onSegmentDone(core, reqId);
+        });
+    });
 }
 
 void
@@ -367,6 +944,8 @@ ServerSim::startRequestOnCore(unsigned core, std::uint64_t reqId,
         if (core_ctx_[a->second].anchoredBlocked > 0)
             --core_ctx_[a->second].anchoredBlocked;
         anchor_.erase(a);
+        if (cfg_.hwCtxtSwitch)
+            ctxmem_->release(reqId);
     }
 
     const Cycles ctx_cost = ctxSwitchCost(core);
@@ -437,6 +1016,7 @@ ServerSim::executeSegment(unsigned core, std::uint64_t reqId)
     if (tracer_)
         tracer_->record(hh::trace::EventType::ExecSegment, sim_.now(),
                         dur, requestTrack(req.vm), reqId);
+    core_ctx_[core].segmentEnd = sim_.now() + dur;
     core_ctx_[core].pendingEvent = sim_.schedule(
         dur, [this, core, reqId] { onSegmentDone(core, reqId); });
 }
@@ -460,6 +1040,8 @@ ServerSim::onSegmentDone(unsigned core, std::uint64_t reqId)
         ctrl_->markBlocked(req.vm, reqId);
         anchor_[reqId] = core;
         ++ctx.anchoredBlocked;
+        if (cfg_.hwCtxtSwitch)
+            ctxmem_->store(reqId);
 
         const Cycles io_total =
             fabric_.roundTrip(256) + seg.ioTime;
@@ -653,6 +1235,31 @@ ServerSim::lendCore(unsigned core)
                             sim_.now() + (cost - flush_cost),
                             flush_cost, core, core);
         tracer_->openSpan(lendKey(core));
+    }
+
+    if (cfg_.faults.resurrectLendRace) {
+        // Deliberately resurrected seed bug (auditor regression
+        // harness): the completion is NOT tracked in pendingEvent, so
+        // a reclaim arriving mid-transition cannot cancel it and the
+        // onLoan guard alone decides whether it fires. After
+        // lend -> reclaim-in-transition -> lend, two completions are
+        // in flight, both see onLoan=true, and two concurrent slice
+        // chains run on one core; the rogue chain later clobbers the
+        // core while it runs a Primary request, orphaning it.
+        sim_.schedule(cost, [this, core] {
+            CoreCtx &c = core_ctx_[core];
+            if (!c.onLoan)
+                return;
+            if (tracer_)
+                tracer_->closeSpan(lendKey(core));
+            c.phase = Phase::Idle;
+            if (cfg_.harvestVmIdle) {
+                c.idleSince = sim_.now();
+                return;
+            }
+            beginHarvestWork(core);
+        });
+        return;
     }
 
     // Track the completion so a reclaim arriving mid-transition
@@ -1005,6 +1612,9 @@ ServerSim::noteDoneMaybeFinish()
         // the event queue non-empty all the way to the horizon.
         if (sampler_)
             sampler_->stop();
+        // Likewise the injector's self-rescheduling perturbation tick.
+        if (injector_)
+            injector_->stop();
     }
 }
 
@@ -1030,17 +1640,31 @@ ServerSim::run()
                       [this] { agentTick(); });
     }
     scheduleFirstArrivals();
+    if (injector_)
+        injector_->start();
 
     // Hard horizon guards against pathological configurations.
     const Cycles horizon = hh::sim::secToCycles(600.0);
     sim_.run(horizon);
+    // A final sweep so end-state invariants ("final", leak checks)
+    // run even when the last event lands between audit periods.
+    if (auditor_)
+        auditor_->audit(sim_.now());
     if (!done_) {
-        hh::sim::warn("ServerSim: horizon reached before all "
-                      "requests completed");
+        if (auditor_ && auditor_->violationCount() > 0 &&
+            cfg_.auditStopOnViolation) {
+            hh::sim::warn("ServerSim: run aborted by the invariant "
+                          "auditor at t=", sim_.now(), " cycles");
+        } else {
+            hh::sim::warn("ServerSim: horizon reached before all "
+                          "requests completed");
+        }
         end_time_ = sim_.now();
     }
     if (sampler_)
         sampler_->stop();
+    if (injector_)
+        injector_->stop();
 
     ServerResults res;
     const Cycles end = end_time_ ? end_time_ : sim_.now();
@@ -1107,6 +1731,19 @@ ServerSim::run()
         if (sampler_)
             res.metricSeries = sampler_->takeSeries();
     }
+    if (auditor_) {
+        res.auditsRun = auditor_->auditsRun();
+        res.auditViolations = auditor_->violationCount();
+        res.auditReports = auditor_->violations();
+        for (std::size_t i = 0;
+             i < res.auditReports.size() && i < 5; ++i) {
+            const auto &v = res.auditReports[i];
+            hh::sim::warn("invariant violation [", v.component,
+                          "] at t=", v.time, ": ", v.message);
+        }
+    }
+    if (injector_)
+        res.faultsInjected = injector_->actionsFired();
     return res;
 }
 

@@ -22,6 +22,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/auditor.h"
+#include "check/fault_inject.h"
 #include "cluster/system_config.h"
 #include "core/context_memory.h"
 #include "core/controller.h"
@@ -86,6 +88,14 @@ struct ServerResults
     hh::stats::SampledSeries metricSeries;
     /** @} */
 
+    /** @name Auditing (filled only when auditing is enabled) @{ */
+    std::uint64_t auditsRun = 0;        //!< Invariant sweeps performed.
+    std::uint64_t auditViolations = 0;  //!< Total violations (bug if !=0).
+    std::uint64_t faultsInjected = 0;   //!< Fault actions fired.
+    /** First violation reports (capped by the auditor). */
+    std::vector<hh::check::Violation> auditReports;
+    /** @} */
+
     /** Average P99 across services (ms). */
     double avgP99Ms() const;
     /** Average median across services (ms). */
@@ -124,6 +134,12 @@ class ServerSim
     /** The tracer, or nullptr when tracing is disabled. */
     hh::trace::Tracer *tracer() { return tracer_.get(); }
 
+    /** The auditor, or nullptr when auditing is disabled. */
+    hh::check::Auditor *auditor() { return auditor_.get(); }
+
+    /** The fault injector, or nullptr when injection is disabled. */
+    hh::check::FaultInjector *faultInjector() { return injector_.get(); }
+
     const SystemConfig &config() const { return cfg_; }
 
   private:
@@ -153,6 +169,8 @@ class ServerSim
         hh::sim::Cycles sliceStart = 0;
         hh::sim::Cycles sliceDuration = 0;
         hh::sim::EventId pendingEvent = hh::sim::kInvalidEventId;
+        /** When the in-flight segment completes (fault injection). */
+        hh::sim::Cycles segmentEnd = 0;
         hh::sim::Cycles idleSince = 0;
         unsigned anchoredBlocked = 0; //!< Blocked requests anchored.
         bool onLoan = false;          //!< Lent to the Harvest VM.
@@ -181,6 +199,10 @@ class ServerSim
     void scheduleFirstArrivals();
     /** Register every component's stats into registry_. */
     void registerMetrics();
+    /** Register the cross-component invariants into auditor_. */
+    void registerInvariants();
+    /** Register the perturbation actions into injector_. */
+    void registerFaultActions();
     /** @} */
 
     /** @name Tracing helpers @{ */
@@ -278,6 +300,10 @@ class ServerSim
     /** Last reclaim time per VM (software lending backoff). */
     std::vector<hh::sim::Cycles> last_reclaim_at_;
 
+    /** Ghost VMs registered by the chunk-pressure fault action. */
+    std::vector<std::uint32_t> ghost_vms_;
+    std::uint32_t next_ghost_ = 0;
+
     /** EWMA of blocked-on-I/O durations per VM (adaptive ext.). */
     std::vector<double> ewma_block_cycles_;
 
@@ -291,6 +317,13 @@ class ServerSim
     std::unique_ptr<hh::stats::MetricSampler> sampler_;
     /** Null unless cfg_.traceEnabled: hot paths branch on this. */
     std::unique_ptr<hh::trace::Tracer> tracer_;
+    /** @} */
+
+    /** @name Auditing / fault injection @{ */
+    /** Null unless cfg_.auditEnabled (or HH_AUDIT=1). */
+    std::unique_ptr<hh::check::Auditor> auditor_;
+    /** Null unless cfg_.faults.enabled. */
+    std::unique_ptr<hh::check::FaultInjector> injector_;
     /** @} */
 };
 

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "cache/config.h"
+#include "check/fault_inject.h"
 #include "vm/hypervisor.h"
 #include "workload/loadgen.h"
 
@@ -103,6 +104,29 @@ struct SystemConfig
     bool metricsEnabled = false;
     /** Sampling cadence in cycles (1 ms at 3 GHz by default). */
     hh::sim::Cycles metricsPeriod = hh::sim::msToCycles(1.0);
+    /** @} */
+
+    /** @name Invariant auditing / fault injection (PR 3) @{ */
+    /**
+     * Cross-component invariant auditing. Off by default: no Auditor
+     * is constructed and the simulator's audit hook stays null, so
+     * hot paths pay only an untaken branch per executed event. The
+     * HH_AUDIT=1 environment variable force-enables it for any run.
+     */
+    bool auditEnabled = false;
+    /** Executed events between audit sweeps. */
+    std::uint64_t auditPeriod = 4096;
+    /** Panic on the first violation instead of recording it. */
+    bool auditPanic = false;
+    /**
+     * Abort the run (Simulator::requestStop) once a sweep reports a
+     * violation: the fuzz driver then returns with the reports at
+     * the offending sim-time instead of simulating a corrupted
+     * server to the 600 s horizon.
+     */
+    bool auditStopOnViolation = false;
+    /** Deterministic fault injection (fuzz tests only). */
+    hh::check::FaultConfig faults;
     /** @} */
 
     /** @name Workload scale @{ */

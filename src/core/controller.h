@@ -81,12 +81,30 @@ class HardHarvestController
     {
         return static_cast<unsigned>(qms_.size());
     }
+
+    /**
+     * Visit every registered QM in registration order (invariant
+     * auditing / tests). @p fn receives a const QueueManager &.
+     */
+    template <typename Fn>
+    void forEachQm(Fn &&fn) const
+    {
+        for (const auto &slot : qms_)
+            fn(static_cast<const QueueManager &>(*slot.qm));
+    }
     /** @} */
 
     /** @name Request path (§4.1.3) @{ */
 
     /**
      * Enqueue a ready request for @p vm.
+     *
+     * The request is always accepted (SubQueue::enqueue contract):
+     * `false` means deferred to the in-memory overflow subqueue, not
+     * rejected, and the entry drains back into hardware on its own.
+     * Callers must not retry on `false` — that would duplicate the
+     * request.
+     *
      * @return true if it landed in the hardware subqueue, false if
      *         it spilled to the in-memory overflow subqueue.
      */

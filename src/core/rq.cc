@@ -51,10 +51,21 @@ RequestQueue::storageBits() const
     return static_cast<std::uint64_t>(totalEntries()) * 66;
 }
 
+std::atomic<std::uint64_t> SubQueue::teardown_leaks_{0};
+
 SubQueue::SubQueue(RequestQueue &rq) : rq_(rq) {}
 
 SubQueue::~SubQueue()
 {
+    const std::size_t leaked = ready_.size() + running_.size() +
+                               blocked_.size() + overflow_.size();
+    if (leaked > 0) {
+        teardown_leaks_.fetch_add(leaked, std::memory_order_relaxed);
+        hh::sim::warn("SubQueue destroyed with ", leaked,
+                      " live request(s): ", ready_.size(), " ready, ",
+                      running_.size(), " running, ", blocked_.size(),
+                      " blocked, ", overflow_.size(), " overflow");
+    }
     for (unsigned c : rq_map_)
         rq_.freeChunk(c);
 }

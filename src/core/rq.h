@@ -18,6 +18,7 @@
 #ifndef HH_CORE_RQ_H
 #define HH_CORE_RQ_H
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -68,6 +69,16 @@ class RequestQueue
     {
         return static_cast<unsigned>(free_.size());
     }
+    /** Chunks currently handed out (== numChunks() - freeChunks()). */
+    unsigned allocatedChunks() const
+    {
+        return chunks_ - freeChunks();
+    }
+    /** Allocation state of one chunk (invariant auditing). */
+    bool isAllocated(unsigned chunk) const
+    {
+        return chunk < chunks_ && allocated_[chunk];
+    }
     unsigned totalEntries() const { return chunks_ * entries_per_chunk_; }
 
     /** Storage of the RQ array in bits (66 bits per entry, §6.8). */
@@ -95,6 +106,14 @@ class SubQueue
     /** @param rq The physical array chunks are drawn from. */
     explicit SubQueue(RequestQueue &rq);
 
+    /**
+     * Frees the chunks. A subqueue destroyed while it still holds
+     * request payloads (ready/running/blocked/overflow) is a request
+     * leak: each payload is warned about once per destruction and
+     * added to the process-wide teardownPayloadLeaks() counter so
+     * the leak is visible instead of silently vanishing with the
+     * queue.
+     */
     ~SubQueue();
 
     SubQueue(const SubQueue &) = delete;
@@ -128,7 +147,17 @@ class SubQueue
      * Enqueue a ready request (§4.1.3). Goes to the overflow
      * subqueue when the hardware subqueue is full.
      *
-     * @return true if it landed in hardware, false if it overflowed.
+     * Contract: the request is ALWAYS accepted. A `false` return
+     * means *deferred to the in-memory overflow subqueue*, not
+     * rejected — the payload re-enters the hardware ready FIFO
+     * automatically (drainOverflow) as capacity frees up, preserving
+     * arrival order. Callers must therefore never retry a `false`
+     * enqueue: doing so would duplicate the request. The return
+     * value exists purely so callers can account for the extra
+     * overflow-path latency.
+     *
+     * @return true if it landed in hardware, false if it was
+     *         deferred to the overflow subqueue.
      */
     bool enqueue(std::uint64_t payload);
 
@@ -167,6 +196,43 @@ class SubQueue
     /** Current RQ-Map: physical chunk ids in logical order. */
     const std::vector<unsigned> &rqMap() const { return rq_map_; }
 
+    /** @name Introspection (invariant auditor / tests) @{ */
+    /** Ready FIFO contents, oldest first (hardware only). */
+    const std::deque<std::uint64_t> &readyEntries() const
+    {
+        return ready_;
+    }
+    /** Requests currently marked running. */
+    const std::unordered_set<std::uint64_t> &runningEntries() const
+    {
+        return running_;
+    }
+    /** Requests currently marked blocked. */
+    const std::unordered_set<std::uint64_t> &blockedEntries() const
+    {
+        return blocked_;
+    }
+    /** In-memory overflow subqueue contents, oldest first. */
+    const std::deque<std::uint64_t> &overflowEntries() const
+    {
+        return overflow_;
+    }
+
+    /**
+     * Payloads discarded by ~SubQueue across every instance since
+     * process start (or the last reset). Atomic because parallel
+     * cluster runs tear servers down on pool threads.
+     */
+    static std::uint64_t teardownPayloadLeaks()
+    {
+        return teardown_leaks_.load(std::memory_order_relaxed);
+    }
+    static void resetTeardownPayloadLeaks()
+    {
+        teardown_leaks_.store(0, std::memory_order_relaxed);
+    }
+    /** @} */
+
     /** RQ-Map storage in bits (32 x (5 id + 1 valid), §6.8). */
     static constexpr std::uint64_t kRqMapBits = 32 * 6;
 
@@ -197,6 +263,8 @@ class SubQueue
     hh::stats::Counter enqueues_{"rq.enqueues"};
     hh::stats::Counter dequeues_{"rq.dequeues"};
     hh::stats::Counter overflows_{"rq.overflows"};
+
+    static std::atomic<std::uint64_t> teardown_leaks_;
 };
 
 } // namespace hh::core

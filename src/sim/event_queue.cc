@@ -120,6 +120,9 @@ EventQueue::pop(Cycles &when)
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
     when = top.when;
+    if (when < last_popped_)
+        ++monotonic_violations_;
+    last_popped_ = when;
     Callback cb = std::move(slab_[top.slot].cb);
     freeSlot(top.slot);
     --live_;

@@ -92,6 +92,14 @@ class EventQueue
     /** Slab records allocated (high-water mark of concurrent
      *  events, live or reusable). */
     std::size_t slabSlots() const { return slab_.size(); }
+    /** Pops whose timestamp went backwards relative to the previous
+     *  pop. Always 0 for a correct queue; the invariant auditor
+     *  asserts it (a regression in the heap/compaction logic would
+     *  silently reorder the simulation otherwise). */
+    std::uint64_t monotonicViolations() const
+    {
+        return monotonic_violations_;
+    }
     /** @} */
 
   private:
@@ -145,6 +153,8 @@ class EventQueue
     std::size_t live_ = 0;
     /** Cancelled entries still sitting in heap_. */
     mutable std::size_t dead_ = 0;
+    Cycles last_popped_ = 0;
+    std::uint64_t monotonic_violations_ = 0;
 };
 
 } // namespace hh::sim

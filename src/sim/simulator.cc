@@ -29,10 +29,12 @@ std::uint64_t
 Simulator::run(Cycles horizon)
 {
     std::uint64_t n = 0;
-    while (!queue_.empty() && queue_.nextTime() <= horizon) {
+    while (!stop_requested_ && !queue_.empty() &&
+           queue_.nextTime() <= horizon) {
         step();
         ++n;
     }
+    stop_requested_ = false;
     return n;
 }
 
@@ -46,6 +48,10 @@ Simulator::step()
     now_ = when;
     ++executed_;
     cb();
+    if (audit_every_ && ++since_audit_ >= audit_every_) {
+        since_audit_ = 0;
+        audit_hook_(now_);
+    }
     return true;
 }
 

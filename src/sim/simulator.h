@@ -13,6 +13,7 @@
 #define HH_SIM_SIMULATOR_H
 
 #include <cstdint>
+#include <functional>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -67,10 +68,46 @@ class Simulator
     /** Total events executed since construction. */
     std::uint64_t executedEvents() const { return executed_; }
 
+    /**
+     * Install a hook invoked after every @p everyEvents executed
+     * events (invariant auditing). Follows the tracing gating
+     * pattern: when no hook is installed the per-event cost is a
+     * single untaken branch. Pass a null hook or 0 to uninstall.
+     *
+     * The hook runs between events (never inside a callback), so it
+     * may inspect any component state but must not mutate it.
+     */
+    void setAuditHook(std::function<void(Cycles)> hook,
+                      std::uint64_t everyEvents)
+    {
+        audit_hook_ = std::move(hook);
+        audit_every_ = audit_hook_ ? everyEvents : 0;
+        since_audit_ = 0;
+    }
+
+    /** Pops that went backwards in time (bug if != 0). */
+    std::uint64_t monotonicViolations() const
+    {
+        return queue_.monotonicViolations();
+    }
+
+    /**
+     * Make run() return before executing another event (e.g. the
+     * audit hook aborting on an invariant violation). Cleared when
+     * run() returns, so a later run() proceeds normally.
+     */
+    void requestStop() { stop_requested_ = true; }
+    bool stopRequested() const { return stop_requested_; }
+
   private:
     EventQueue queue_;
     Cycles now_ = 0;
     std::uint64_t executed_ = 0;
+    /** Null unless auditing: step() branches on audit_every_. */
+    std::function<void(Cycles)> audit_hook_;
+    std::uint64_t audit_every_ = 0;
+    std::uint64_t since_audit_ = 0;
+    bool stop_requested_ = false;
 };
 
 } // namespace hh::sim

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "cache/repl_cdp.h"
 #include "cache/repl_hardharvest.h"
 #include "cache/repl_lru.h"
 #include "cache/repl_rrip.h"
@@ -364,3 +365,90 @@ TEST_P(SharedRetention, HardHarvestBeatsLruOnSharedReuse)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SharedRetention,
                          ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// ----------------------------------- degenerate / out-of-range masks
+
+namespace {
+
+/** One degenerate-mask scenario for the victim() table test. */
+struct MaskCase
+{
+    const char *name;
+    WayMask allowed;   //!< May include bits beyond the 4-way set.
+    WayMask candidate; //!< May be disjoint from allowed.
+    bool incomingShared;
+};
+
+/**
+ * Scenarios that historically defeated the class-5 / safety-net
+ * fallbacks: phantom mask bits beyond the set's geometry survived
+ * into the victims mask, lruAmong() ignored them, and victim()
+ * panicked with "empty allowed mask" despite valid in-range ways.
+ */
+const MaskCase kMaskCases[] = {
+    // Out-of-range allowed bits alongside valid ones.
+    {"allowed_with_phantom_bits", 0b1111 | (WayMask{0xF0} << 4),
+     0b1111, true},
+    // Candidates entirely out of range (and allowed covering them):
+    // class 5 would otherwise select a phantom-only victims mask and
+    // panic; the safety net must fall back to in-range allowed LRU.
+    {"candidates_all_phantom", 0b1111 | (WayMask{0xF} << 8),
+     WayMask{0xF} << 8, true},
+    // Candidates disjoint from allowed (degenerate candidate mask).
+    {"candidates_outside_allowed", 0b0011, 0b1100, false},
+    // Partial overlap: only the overlap may be evicted from.
+    {"partial_overlap", 0b0111, 0b1110 | (WayMask{1} << 9), true},
+    // Harvest region itself carries phantom bits.
+    {"harvest_mask_phantom", 0b1111 | (WayMask{1} << 17), 0b1111,
+     false},
+};
+
+} // namespace
+
+class DegenerateMasks : public ::testing::TestWithParam<MaskCase>
+{};
+
+TEST_P(DegenerateMasks, HardHarvestVictimStaysInRange)
+{
+    const MaskCase &c = GetParam();
+    SetFixture f;
+    f.fillAll(true); // all-shared: forces class 5 / safety net
+    f.ctx.allowedMask = c.allowed;
+    f.ctx.candidateMask = c.candidate;
+    if (std::string(c.name) == "harvest_mask_phantom")
+        f.ctx.harvestMask = 0b0011 | (WayMask{1} << 17);
+    HardHarvestPolicy p;
+    const unsigned v = p.victim(f.ctx, c.incomingShared);
+    EXPECT_LT(v, f.ways.size()) << c.name;
+    // The pick also respects the in-range part of allowed.
+    EXPECT_TRUE((c.allowed >> v) & 1) << c.name;
+}
+
+TEST_P(DegenerateMasks, CdpVictimStaysInRange)
+{
+    const MaskCase &c = GetParam();
+    SetFixture f;
+    f.fillAll(true);
+    f.ctx.allowedMask = c.allowed;
+    f.ctx.candidateMask = c.candidate;
+    CdpPolicy p;
+    const unsigned v = p.victim(f.ctx, c.incomingShared);
+    EXPECT_LT(v, f.ways.size()) << c.name;
+    EXPECT_TRUE((c.allowed >> v) & 1) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table, DegenerateMasks,
+                         ::testing::ValuesIn(kMaskCases));
+
+// All-private candidates with a phantom-only first region must fall
+// through the class ladder without picking a phantom way.
+TEST(DegenerateMasks, PrivateEntriesWithPhantomRegion)
+{
+    SetFixture f;
+    f.fillAll(false); // all-private
+    f.ctx.allowedMask = 0b1111 | (WayMask{0x3} << 6);
+    f.ctx.candidateMask = WayMask{0x3} << 6; // candidates all phantom
+    HardHarvestPolicy p;
+    const unsigned v = p.victim(f.ctx, false);
+    EXPECT_LT(v, f.ways.size());
+}

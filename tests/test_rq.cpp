@@ -231,3 +231,133 @@ TEST(SubQueue, RqMapStorageMatchesPaper)
     EXPECT_EQ(SubQueue::kRqMapBits, 192u);
     EXPECT_EQ(SubQueue::kRqMapBits / 8, 24u);
 }
+
+// ------------------------------------------------- enqueue contract
+
+// SubQueue::enqueue never rejects: a `false` return means the payload
+// was deferred to the in-memory overflow subqueue and will drain back
+// into hardware on its own. A caller that misreads `false` as
+// "rejected, retry later" would duplicate the request — this pins the
+// exactly-once semantics down.
+TEST(SubQueue, OverflowedEnqueueIsDeferredExactlyOnce)
+{
+    RequestQueue rq(2, 2);
+    SubQueue q(rq);
+    grow(q, rq, 1); // capacity 2
+
+    EXPECT_TRUE(q.enqueue(1));
+    EXPECT_TRUE(q.enqueue(2));
+    // Third enqueue: deferred, not rejected.
+    EXPECT_FALSE(q.enqueue(3));
+    EXPECT_EQ(q.occupancy(), 2u);
+    EXPECT_EQ(q.overflowSize(), 1u);
+    // Every payload is accounted for exactly once.
+    EXPECT_EQ(q.occupancy() + q.overflowSize(), 3u);
+
+    // Drain: completing the running request frees a slot and pulls
+    // payload 3 back into hardware in FIFO order, exactly once.
+    auto got = q.dequeue();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 1u);
+    q.complete(1);
+    EXPECT_EQ(q.overflowSize(), 0u);
+    EXPECT_EQ(q.occupancy(), 2u);
+    got = q.dequeue();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 2u);
+    q.complete(2);
+    got = q.dequeue();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 3u);
+    q.complete(3);
+    // Nothing left anywhere: payload 3 entered hardware exactly once.
+    EXPECT_FALSE(q.dequeue().has_value());
+    EXPECT_EQ(q.occupancy(), 0u);
+    EXPECT_EQ(q.overflowSize(), 0u);
+    EXPECT_EQ(q.enqueues().value(), 3u);
+    EXPECT_EQ(q.overflows().value(), 1u);
+}
+
+// FIFO fairness across the overflow boundary: once anything has
+// overflowed, later arrivals queue behind it even if hardware slots
+// free up in between.
+TEST(SubQueue, ArrivalsQueueBehindOverflow)
+{
+    RequestQueue rq(2, 2);
+    SubQueue q(rq);
+    grow(q, rq, 1); // capacity 2
+
+    EXPECT_TRUE(q.enqueue(1));
+    EXPECT_TRUE(q.enqueue(2));
+    EXPECT_FALSE(q.enqueue(3)); // overflow
+    EXPECT_FALSE(q.enqueue(4)); // must queue behind 3
+    auto got = q.dequeue();
+    ASSERT_TRUE(got.has_value());
+    q.complete(*got); // frees one slot: 3 drains, 4 stays behind
+    EXPECT_EQ(q.overflowSize(), 1u);
+    got = q.dequeue();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 2u);
+    q.complete(2); // frees another slot: now 4 drains
+    EXPECT_EQ(q.overflowSize(), 0u);
+    got = q.dequeue();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 3u);
+    got = q.dequeue();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 4u);
+}
+
+// ---------------------------------------------- teardown leak audit
+
+// A subqueue destroyed while it still holds request payloads is a
+// request leak; the destructor must surface it (warn + counter)
+// instead of silently freeing the chunks.
+TEST(SubQueue, DestructorCountsLeakedPayloads)
+{
+    SubQueue::resetTeardownPayloadLeaks();
+    RequestQueue rq(2, 4);
+    {
+        SubQueue q(rq);
+        grow(q, rq, 1);
+        q.enqueue(1);
+        q.enqueue(2);
+        q.enqueue(3);
+        auto got = q.dequeue();
+        ASSERT_TRUE(got.has_value());
+        q.markBlocked(*got);
+        // Destroyed holding 2 ready + 1 blocked payloads.
+    }
+    EXPECT_EQ(SubQueue::teardownPayloadLeaks(), 3u);
+    SubQueue::resetTeardownPayloadLeaks();
+    EXPECT_EQ(SubQueue::teardownPayloadLeaks(), 0u);
+}
+
+TEST(SubQueue, CleanDestructionLeaksNothing)
+{
+    SubQueue::resetTeardownPayloadLeaks();
+    RequestQueue rq(2, 4);
+    {
+        SubQueue q(rq);
+        grow(q, rq, 1);
+        q.enqueue(7);
+        auto got = q.dequeue();
+        ASSERT_TRUE(got.has_value());
+        q.complete(*got);
+    }
+    EXPECT_EQ(SubQueue::teardownPayloadLeaks(), 0u);
+}
+
+TEST(SubQueue, DestructorCountsOverflowLeaks)
+{
+    SubQueue::resetTeardownPayloadLeaks();
+    RequestQueue rq(2, 1);
+    {
+        SubQueue q(rq);
+        grow(q, rq, 1); // capacity 1
+        q.enqueue(1);
+        q.enqueue(2); // overflows
+    }
+    EXPECT_EQ(SubQueue::teardownPayloadLeaks(), 2u);
+    SubQueue::resetTeardownPayloadLeaks();
+}
