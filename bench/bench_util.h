@@ -13,15 +13,19 @@
 #ifndef HH_BENCH_UTIL_H
 #define HH_BENCH_UTIL_H
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "cluster/checkpoint.h"
 #include "cluster/experiment.h"
 #include "cluster/parallel.h"
 #include "cluster/system_config.h"
 #include "sim/log.h"
+#include "sim/time.h"
 #include "stats/sampler.h"
 #include "trace/chrome_trace.h"
 
@@ -38,13 +42,39 @@ envUnsigned(const char *name, unsigned def)
     return parsed > 0 ? static_cast<unsigned>(parsed) : def;
 }
 
-/** Scale knobs shared by all benches. */
+/** Read an environment variable as double with a default. */
+inline double
+envDouble(const char *name, double def)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return def;
+    const double parsed = std::strtod(v, nullptr);
+    return parsed > 0 ? parsed : def;
+}
+
+/**
+ * Scale knobs shared by all benches. The environment always wins;
+ * the constructor arguments only shift the defaults for benches that
+ * want a different baseline (e.g. bench_speed runs all 8 servers), so
+ * no binary parses HH_* on its own.
+ */
 struct BenchScale
 {
-    unsigned requests = envUnsigned("HH_REQUESTS", 400);
-    unsigned servers = envUnsigned("HH_SERVERS", 2);
-    unsigned sampling = envUnsigned("HH_SAMPLING", 8);
-    std::uint64_t seed = envUnsigned("HH_SEED", 1);
+    unsigned requests;
+    unsigned servers;
+    unsigned sampling;
+    std::uint64_t seed;
+
+    explicit BenchScale(unsigned def_servers = 2,
+                        unsigned def_requests = 400,
+                        unsigned def_sampling = 8)
+        : requests(envUnsigned("HH_REQUESTS", def_requests)),
+          servers(envUnsigned("HH_SERVERS", def_servers)),
+          sampling(envUnsigned("HH_SAMPLING", def_sampling)),
+          seed(envUnsigned("HH_SEED", 1))
+    {
+    }
 };
 
 /** Apply the scale knobs to a system configuration. */
@@ -64,17 +94,31 @@ applyScale(hh::cluster::SystemConfig &cfg, const BenchScale &s)
  *                        (loadable in chrome://tracing or Perfetto).
  *   --metrics <out.csv>  Enable periodic metric sampling and write
  *                        the time series as CSV.
+ *   --checkpoint-every <ms>
+ *                        Periodically checkpoint cluster runs every
+ *                        <ms> simulated milliseconds (see
+ *                        docs/SNAPSHOT.md); a killed run resumes from
+ *                        the last checkpoint on the next invocation.
+ *   --checkpoint-file <path>
+ *                        Where the checkpoint lives (default
+ *                        checkpoint.hhcp).
  */
 struct ObsOptions
 {
     std::string tracePath;
     std::string metricsPath;
+    double checkpointEveryMs = 0;
+    std::string checkpointPath = "checkpoint.hhcp";
 
     bool traceEnabled() const { return !tracePath.empty(); }
     bool metricsEnabled() const { return !metricsPath.empty(); }
+    bool checkpointEnabled() const { return checkpointEveryMs > 0; }
 };
 
-/** Parse --trace/--metrics; fatal on unknown arguments. */
+/**
+ * Parse --trace/--metrics/--checkpoint-every/--checkpoint-file;
+ * fatal on unknown arguments.
+ */
 inline ObsOptions
 parseObsArgs(int argc, char **argv)
 {
@@ -85,12 +129,63 @@ parseObsArgs(int argc, char **argv)
             o.tracePath = argv[++i];
         } else if (a == "--metrics" && i + 1 < argc) {
             o.metricsPath = argv[++i];
+        } else if (a == "--checkpoint-every" && i + 1 < argc) {
+            o.checkpointEveryMs = std::strtod(argv[++i], nullptr);
+        } else if (a == "--checkpoint-file" && i + 1 < argc) {
+            o.checkpointPath = argv[++i];
         } else {
             hh::sim::fatal("usage: ", argv[0],
-                           " [--trace out.json] [--metrics out.csv]");
+                           " [--trace out.json] [--metrics out.csv]"
+                           " [--checkpoint-every ms]"
+                           " [--checkpoint-file path]");
         }
     }
     return o;
+}
+
+/**
+ * Cluster run honoring the checkpoint options: with
+ * --checkpoint-every, resume from an existing checkpoint file if one
+ * matches this run's configuration, otherwise run from t=0 while
+ * checkpointing periodically. Results are byte-identical to a plain
+ * runCluster either way (the snapshot determinism contract).
+ */
+inline hh::cluster::ClusterResults
+runClusterResumable(const hh::cluster::SystemConfig &cfg,
+                    unsigned servers, std::uint64_t seed,
+                    unsigned workers, const ObsOptions &o)
+{
+    if (!o.checkpointEnabled())
+        return hh::cluster::runCluster(cfg, servers, seed, workers);
+    // A missing checkpoint file is the normal first run, not an
+    // error; only an existing-but-unusable file deserves a warning.
+    bool exists = false;
+    if (std::FILE *probe = std::fopen(o.checkpointPath.c_str(), "rb")) {
+        std::fclose(probe);
+        exists = true;
+    }
+    if (exists) {
+        std::string err;
+        if (auto resumed = hh::cluster::resumeCluster(
+                o.checkpointPath, cfg, workers, &err)) {
+            std::printf("resumed from %s\n", o.checkpointPath.c_str());
+            return *std::move(resumed);
+        }
+        hh::sim::warn("cannot resume ", o.checkpointPath, ": ", err,
+                      "; running from t=0");
+    }
+    const auto every =
+        hh::sim::msToCycles(std::max(o.checkpointEveryMs, 0.001));
+    hh::cluster::CheckpointedRun run =
+        hh::cluster::runClusterCheckpointed(cfg, servers, seed,
+                                            workers, every,
+                                            o.checkpointPath);
+    std::printf("checkpointed %u times to %s\n",
+                run.checkpointsWritten, o.checkpointPath.c_str());
+    if (run.preViolationDumped)
+        std::printf("pre-violation state dumped to %s\n",
+                    run.preViolationPath.c_str());
+    return std::move(run.results);
 }
 
 /** Turn on the corresponding SystemConfig observability knobs. */

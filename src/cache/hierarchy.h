@@ -117,6 +117,9 @@ class CoreHierarchy
     /** Rebind the L3 partition (on a VM switch). */
     void setL3(SetAssocArray *l3) { l3_ = l3; }
 
+    /** Currently bound L3 partition (snapshot rebinding, tests). */
+    SetAssocArray *l3Partition() const { return l3_; }
+
     /** Flush and invalidate everything (wbinvd-style). */
     void flushAll();
 
@@ -151,6 +154,28 @@ class CoreHierarchy
                          const std::string &prefix);
 
     const HierarchyConfig &config() const { return cfg_; }
+
+    /**
+     * Save/restore every private structure plus the harvest-mode,
+     * flush-bound and compulsory-miss state. The L3 binding (a raw
+     * pointer into the owning server) is *not* serialized — the owner
+     * rebinds it via setL3() after restoring, mirroring how it
+     * re-binds on VM switches.
+     */
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(*l1d_);
+        ar.io(*l1i_);
+        ar.io(*l2_);
+        ar.io(*l1tlb_);
+        ar.io(*l2tlb_);
+        ar.io(harvest_mode_);
+        ar.io(harvest_visible_at_);
+        ar.io(seen_lines_);
+        ar.io(seen_pages_);
+        ar.io(accesses_);
+    }
 
   private:
     /** Fill mask for a private structure given the current mode. */

@@ -17,6 +17,7 @@
 #include <span>
 
 #include "cache/config.h"
+#include "snapshot/archive.h"
 
 namespace hh::cache {
 
@@ -31,6 +32,22 @@ struct WayState
     bool instr = false;         //!< Instruction-side entry (CDP).
     std::uint64_t lastUse = 0;  //!< LRU timestamp (array access tick).
     std::uint8_t rrpv = 3;      //!< RRIP re-reference prediction value.
+
+    /**
+     * Full per-way state; all replacement metadata the online
+     * policies (LRU/RRIP/CDP/HardHarvest) consult lives here, so
+     * serializing the way array checkpoints the policy state too.
+     */
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(valid);
+        ar.io(tag);
+        ar.io(shared);
+        ar.io(instr);
+        ar.io(lastUse);
+        ar.io(rrpv);
+    }
 };
 
 /**

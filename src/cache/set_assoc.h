@@ -121,6 +121,24 @@ class SetAssocArray
     /** Mask covering all ways of this array. */
     WayMask allWays() const { return all_ways_; }
 
+    /**
+     * Save/restore contents and statistics. The restoring side must
+     * have constructed the array with the same geometry and policy
+     * kind; the online policies are stateless beyond the per-way
+     * metadata (Belady is offline-only and not checkpointable).
+     */
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(ways_);
+        ar.io(harvest_mask_);
+        ar.io(candidate_count_);
+        ar.io(tick_);
+        ar.io(hits_);
+        ar.io(misses_);
+        ar.io(evictions_);
+    }
+
   private:
     std::uint32_t setIndex(Addr key) const;
     WayState *findTag(std::uint32_t set, Addr key);

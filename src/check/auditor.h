@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "snapshot/archive.h"
 
 namespace hh::stats {
 class MetricRegistry;
@@ -43,6 +44,14 @@ struct Violation
     std::string component; //!< Registering component ("core", "rq", ...).
     std::string message;   //!< Human-readable description.
     hh::sim::Cycles time = 0; //!< Simulated time of the audit sweep.
+
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(component);
+        ar.io(message);
+        ar.io(time);
+    }
 };
 
 /**
@@ -106,6 +115,18 @@ class Auditor
      */
     void registerMetrics(hh::stats::MetricRegistry &reg,
                          const std::string &prefix);
+
+    /**
+     * Save/restore the violation record. Invariant checks and the
+     * panic flag are re-registered by the owner at construction.
+     */
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(violations_);
+        ar.io(violation_count_);
+        ar.io(audits_run_);
+    }
 
   private:
     struct Entry

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "sim/log.h"
+#include "snapshot/archive.h"
+#include "snapshot/tag.h"
 #include "stats/registry.h"
 
 namespace hh::check {
@@ -45,10 +47,12 @@ FaultInjector::stop()
 void
 FaultInjector::scheduleNext(hh::sim::Cycles delay)
 {
-    pending_ = sim_.schedule(delay, [this] {
-        pending_ = hh::sim::kInvalidEventId;
-        tick();
-    });
+    pending_ = sim_.schedule(delay,
+                             hh::snap::tag(hh::snap::SnapTag::kFaultTick),
+                             [this] {
+                                 pending_ = hh::sim::kInvalidEventId;
+                                 tick();
+                             });
 }
 
 void
@@ -79,6 +83,25 @@ FaultInjector::actionCount(const std::string &name) const
             return a.fired;
     }
     return 0;
+}
+
+void
+FaultInjector::serialize(hh::snap::Archive &ar)
+{
+    ar.io(rng_);
+    ar.io(fired_);
+    ar.io(ticks_);
+    ar.io(pending_);
+    std::uint64_t n = actions_.size();
+    ar.io(n);
+    if (ar.loading() && n != actions_.size()) {
+        ar.fail("checkpoint fault-injector action list has " +
+                std::to_string(n) + " entries, this run registered " +
+                std::to_string(actions_.size()));
+        return;
+    }
+    for (auto &a : actions_)
+        ar.io(a.fired);
 }
 
 void

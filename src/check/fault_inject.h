@@ -117,6 +117,28 @@ class FaultInjector
     void registerMetrics(hh::stats::MetricRegistry &reg,
                          const std::string &prefix);
 
+    /**
+     * Re-arm hook for snapshot restore: the callback a pending
+     * kFaultTick event invokes.
+     */
+    hh::sim::Simulator::Callback
+    rearmTick()
+    {
+        return [this] {
+            pending_ = hh::sim::kInvalidEventId;
+            tick();
+        };
+    }
+
+    /**
+     * Save/restore the schedule state: Rng stream position, tick and
+     * fired counters (total plus per action, in registration order —
+     * the restoring owner must have registered the same action list)
+     * and the pending-event id. Do not call start() after loading;
+     * the tick chain is restored through the event queue.
+     */
+    void serialize(hh::snap::Archive &ar);
+
   private:
     void tick();
     void scheduleNext(hh::sim::Cycles delay);

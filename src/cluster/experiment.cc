@@ -1,7 +1,9 @@
 #include "cluster/experiment.h"
 
 #include <sstream>
+#include <utility>
 
+#include "cluster/checkpoint.h"
 #include "cluster/parallel.h"
 #include "sim/log.h"
 #include "workload/batch.h"
@@ -117,7 +119,14 @@ runCluster(const SystemConfig &cfg, unsigned servers,
                                  seed + static_cast<std::uint64_t>(s));
             },
             workers);
+    return aggregateClusterResults(cfg, servers, std::move(runs));
+}
 
+ClusterResults
+aggregateClusterResults(const SystemConfig &cfg, unsigned servers,
+                        std::vector<ServerResults> runs)
+{
+    const auto batch = hh::workload::batchApplications();
     ClusterResults agg;
     for (unsigned s = 0; s < servers; ++s) {
         ServerResults &run = runs[s];

@@ -10,6 +10,8 @@
 namespace hh::cluster {
 
 using hh::sim::Cycles;
+using hh::snap::SnapTag;
+using hh::snap::tag;
 
 namespace {
 
@@ -752,9 +754,9 @@ ServerSim::registerFaultActions()
             static_cast<Cycles>(rng.exponential(
                 static_cast<double>(hh::sim::usToCycles(10))));
         ctx.segmentEnd = sim_.now() + delay;
-        ctx.pendingEvent = sim_.schedule(delay, [this, core, reqId] {
-            onSegmentDone(core, reqId);
-        });
+        ctx.pendingEvent = sim_.schedule(
+            delay, tag(SnapTag::kSegmentDone, core, reqId),
+            [this, core, reqId] { onSegmentDone(core, reqId); });
     });
 }
 
@@ -767,6 +769,7 @@ ServerSim::scheduleFirstArrivals()
         const std::uint32_t vm = v.desc.id;
         const Cycles t = v.loadgen->next();
         sim_.scheduleAt(std::max(t, sim_.now()),
+                        tag(SnapTag::kArrival, vm),
                         [this, vm] { onArrival(vm); });
     }
 }
@@ -800,7 +803,8 @@ ServerSim::onArrival(std::uint32_t vm)
     if (v.arrivalsRemaining > 0) {
         const Cycles t =
             std::max(v.loadgen->next(), sim_.now() + 1);
-        sim_.scheduleAt(t, [this, vm] { onArrival(vm); });
+        sim_.scheduleAt(t, tag(SnapTag::kArrival, vm),
+                        [this, vm] { onArrival(vm); });
     }
 }
 
@@ -977,9 +981,9 @@ ServerSim::startRequestOnCore(unsigned core, std::uint64_t reqId,
     cores_[core]->setState(sim_.now(), hh::cpu::CoreState::RunningPrimary);
     cores_[core]->setCurrentRequest(reqId);
 
-    sim_.schedule(overhead + ctx_cost, [this, core, reqId] {
-        executeSegment(core, reqId);
-    });
+    sim_.schedule(overhead + ctx_cost,
+                  tag(SnapTag::kExecSegment, core, reqId),
+                  [this, core, reqId] { executeSegment(core, reqId); });
 }
 
 hh::sim::Cycles
@@ -1018,7 +1022,8 @@ ServerSim::executeSegment(unsigned core, std::uint64_t reqId)
                         dur, requestTrack(req.vm), reqId);
     core_ctx_[core].segmentEnd = sim_.now() + dur;
     core_ctx_[core].pendingEvent = sim_.schedule(
-        dur, [this, core, reqId] { onSegmentDone(core, reqId); });
+        dur, tag(SnapTag::kSegmentDone, core, reqId),
+        [this, core, reqId] { onSegmentDone(core, reqId); });
 }
 
 void
@@ -1054,13 +1059,10 @@ ServerSim::onSegmentDone(unsigned core, std::uint64_t reqId)
             0.2 * static_cast<double>(io_total) +
             0.8 * ewma_block_cycles_[req.vm];
         const std::uint32_t vm = req.vm;
-        sim_.schedule(io_total, [this, vm, reqId] {
-            hh::net::Packet pkt;
-            pkt.kind = hh::net::PacketKind::IoResponse;
-            pkt.dstVm = vm;
-            pkt.requestId = reqId;
-            nic_->receive(pkt);
-        });
+        sim_.schedule(io_total, tag(SnapTag::kIoResponse, vm, reqId),
+                      [this, vm, reqId] {
+                          deliverIoResponse(vm, reqId);
+                      });
 
         ctx.phase = Phase::Idle;
         ctx.runningRequest = 0;
@@ -1246,19 +1248,8 @@ ServerSim::lendCore(unsigned core)
         // in flight, both see onLoan=true, and two concurrent slice
         // chains run on one core; the rogue chain later clobbers the
         // core while it runs a Primary request, orphaning it.
-        sim_.schedule(cost, [this, core] {
-            CoreCtx &c = core_ctx_[core];
-            if (!c.onLoan)
-                return;
-            if (tracer_)
-                tracer_->closeSpan(lendKey(core));
-            c.phase = Phase::Idle;
-            if (cfg_.harvestVmIdle) {
-                c.idleSince = sim_.now();
-                return;
-            }
-            beginHarvestWork(core);
-        });
+        sim_.schedule(cost, tag(SnapTag::kLendDoneRace, core),
+                      [this, core] { onLendDoneRace(core); });
         return;
     }
 
@@ -1269,22 +1260,54 @@ ServerSim::lendCore(unsigned core)
     // spawning two concurrent slice chains on one core — the second
     // chain's slice-done events escape cancellation and later clobber
     // the core while it runs a Primary request, orphaning it.
-    ctx.pendingEvent = sim_.schedule(cost, [this, core] {
-        CoreCtx &c = core_ctx_[core];
-        c.pendingEvent = hh::sim::kInvalidEventId;
-        if (!c.onLoan)
-            return; // reclaimed while transitioning
-        if (tracer_)
-            tracer_->closeSpan(lendKey(core));
-        c.phase = Phase::Idle;
-        if (cfg_.harvestVmIdle) {
-            // Fig 4 study: the Harvest VM has no work; the core sits
-            // lent but idle until reclaimed.
-            c.idleSince = sim_.now();
-            return;
-        }
-        beginHarvestWork(core);
-    });
+    ctx.pendingEvent =
+        sim_.schedule(cost, tag(SnapTag::kLendDone, core),
+                      [this, core] { onLendDone(core); });
+}
+
+void
+ServerSim::onLendDone(unsigned core)
+{
+    CoreCtx &c = core_ctx_[core];
+    c.pendingEvent = hh::sim::kInvalidEventId;
+    if (!c.onLoan)
+        return; // reclaimed while transitioning
+    if (tracer_)
+        tracer_->closeSpan(lendKey(core));
+    c.phase = Phase::Idle;
+    if (cfg_.harvestVmIdle) {
+        // Fig 4 study: the Harvest VM has no work; the core sits
+        // lent but idle until reclaimed.
+        c.idleSince = sim_.now();
+        return;
+    }
+    beginHarvestWork(core);
+}
+
+void
+ServerSim::onLendDoneRace(unsigned core)
+{
+    CoreCtx &c = core_ctx_[core];
+    if (!c.onLoan)
+        return;
+    if (tracer_)
+        tracer_->closeSpan(lendKey(core));
+    c.phase = Phase::Idle;
+    if (cfg_.harvestVmIdle) {
+        c.idleSince = sim_.now();
+        return;
+    }
+    beginHarvestWork(core);
+}
+
+void
+ServerSim::deliverIoResponse(std::uint32_t vm, std::uint64_t reqId)
+{
+    hh::net::Packet pkt;
+    pkt.kind = hh::net::PacketKind::IoResponse;
+    pkt.dstVm = vm;
+    pkt.requestId = reqId;
+    nic_->receive(pkt);
 }
 
 void
@@ -1339,7 +1362,8 @@ ServerSim::startHarvestSlice(unsigned core)
     cores_[core]->setState(sim_.now(),
                            hh::cpu::CoreState::RunningHarvest);
     ctx.pendingEvent = sim_.schedule(
-        ctx.sliceDuration, [this, core] { onHarvestSliceDone(core); });
+        ctx.sliceDuration, tag(SnapTag::kHarvestSliceDone, core),
+        [this, core] { onHarvestSliceDone(core); });
 }
 
 hh::sim::Cycles
@@ -1490,25 +1514,35 @@ ServerSim::reclaimCore(unsigned core, std::uint32_t vm)
     if (tracer_)
         tracer_->record(hh::trace::EventType::ReclaimTransition,
                         sim_.now(), total, core, core);
-    sim_.schedule(total, [this, core, vm, reassign_cost, flush_cost] {
-        CoreCtx &c = core_ctx_[core];
-        if (pending_reclaims_[vm] > 0)
-            --pending_reclaims_[vm];
-        if (tracer_) {
-            tracer_->closeSpan(reclaimKey(core));
-            tracer_->instant(hh::trace::EventType::Restore, sim_.now(),
-                             core, core);
-        }
-        c.phase = Phase::Idle;
-        c.idleSince = sim_.now();
-        const auto id = ctrl_->dequeue(vm);
-        if (id) {
-            startRequestOnCore(core, *id, 0, reassign_cost,
-                               flush_cost);
-        } else {
-            onCoreIdle(core);
-        }
-    });
+    sim_.schedule(total,
+                  tag(SnapTag::kReclaimDone, core, vm, reassign_cost,
+                      flush_cost),
+                  [this, core, vm, reassign_cost, flush_cost] {
+                      onReclaimDone(core, vm, reassign_cost,
+                                    flush_cost);
+                  });
+}
+
+void
+ServerSim::onReclaimDone(unsigned core, std::uint32_t vm,
+                         Cycles reassignCost, Cycles flushCost)
+{
+    CoreCtx &c = core_ctx_[core];
+    if (pending_reclaims_[vm] > 0)
+        --pending_reclaims_[vm];
+    if (tracer_) {
+        tracer_->closeSpan(reclaimKey(core));
+        tracer_->instant(hh::trace::EventType::Restore, sim_.now(),
+                         core, core);
+    }
+    c.phase = Phase::Idle;
+    c.idleSince = sim_.now();
+    const auto id = ctrl_->dequeue(vm);
+    if (id) {
+        startRequestOnCore(core, *id, 0, reassignCost, flushCost);
+    } else {
+        onCoreIdle(core);
+    }
 }
 
 void
@@ -1586,7 +1620,7 @@ ServerSim::agentTick()
             lendCore(candidates[i]);
     }
     sim_.schedule(sw_policy_.config().agentPeriod,
-                  [this] { agentTick(); });
+                  tag(SnapTag::kAgentTick), [this] { agentTick(); });
 }
 
 bool
@@ -1621,6 +1655,14 @@ ServerSim::noteDoneMaybeFinish()
 ServerResults
 ServerSim::run()
 {
+    startRun();
+    advanceRun(horizon());
+    return finishRun();
+}
+
+void
+ServerSim::startRun()
+{
     if (cfg_.metricsEnabled) {
         sampler_ = std::make_unique<hh::stats::MetricSampler>(
             sim_, registry_, cfg_.metricsPeriod);
@@ -1629,23 +1671,31 @@ ServerSim::run()
 
     // Harvest VM's own cores start working immediately.
     for (unsigned c : vms_[harvest_vm_].desc.cores)
-        sim_.schedule(0, [this, c] { onCoreIdle(c); });
+        sim_.schedule(0, tag(SnapTag::kCoreIdle, c),
+                      [this, c] { onCoreIdle(c); });
 
-    if (!cfg_.hwSched && cfg_.harvesting && !cfg_.harvestVmIdle) {
+    // The Fig 4 idle-harvest study still lends cores via the agent,
+    // so only the hardware scheduler skips the software tick.
+    if (!cfg_.hwSched && cfg_.harvesting) {
         sim_.schedule(sw_policy_.config().agentPeriod,
-                      [this] { agentTick(); });
-    } else if (!cfg_.hwSched && cfg_.harvesting && cfg_.harvestVmIdle) {
-        // Fig 4 study still lends cores via the agent.
-        sim_.schedule(sw_policy_.config().agentPeriod,
+                      tag(SnapTag::kAgentTick),
                       [this] { agentTick(); });
     }
     scheduleFirstArrivals();
     if (injector_)
         injector_->start();
+}
 
-    // Hard horizon guards against pathological configurations.
-    const Cycles horizon = hh::sim::secToCycles(600.0);
-    sim_.run(horizon);
+void
+ServerSim::advanceRun(hh::sim::Cycles until)
+{
+    // The hard horizon guards against pathological configurations.
+    sim_.run(std::min(until, horizon()));
+}
+
+ServerResults
+ServerSim::finishRun()
+{
     // A final sweep so end-state invariants ("final", leak checks)
     // run even when the last event lands between audit periods.
     if (auditor_)
@@ -1745,6 +1795,191 @@ ServerSim::run()
     if (injector_)
         res.faultsInjected = injector_->actionsFired();
     return res;
+}
+
+hh::sim::Simulator::Callback
+ServerSim::rearmEvent(const SnapTag &t)
+{
+    switch (t.kind) {
+    case SnapTag::kArrival: {
+        const auto vm = static_cast<std::uint32_t>(t.a);
+        return [this, vm] { onArrival(vm); };
+    }
+    case SnapTag::kExecSegment: {
+        const auto core = static_cast<unsigned>(t.a);
+        const std::uint64_t reqId = t.b;
+        return [this, core, reqId] { executeSegment(core, reqId); };
+    }
+    case SnapTag::kSegmentDone: {
+        const auto core = static_cast<unsigned>(t.a);
+        const std::uint64_t reqId = t.b;
+        return [this, core, reqId] { onSegmentDone(core, reqId); };
+    }
+    case SnapTag::kIoResponse: {
+        const auto vm = static_cast<std::uint32_t>(t.a);
+        const std::uint64_t reqId = t.b;
+        return [this, vm, reqId] { deliverIoResponse(vm, reqId); };
+    }
+    case SnapTag::kLendDone: {
+        const auto core = static_cast<unsigned>(t.a);
+        return [this, core] { onLendDone(core); };
+    }
+    case SnapTag::kLendDoneRace: {
+        const auto core = static_cast<unsigned>(t.a);
+        return [this, core] { onLendDoneRace(core); };
+    }
+    case SnapTag::kHarvestSliceDone: {
+        const auto core = static_cast<unsigned>(t.a);
+        return [this, core] { onHarvestSliceDone(core); };
+    }
+    case SnapTag::kReclaimDone: {
+        const auto core = static_cast<unsigned>(t.a);
+        const auto vm = static_cast<std::uint32_t>(t.b);
+        const Cycles reassign = t.c;
+        const Cycles flush = t.d;
+        return [this, core, vm, reassign, flush] {
+            onReclaimDone(core, vm, reassign, flush);
+        };
+    }
+    case SnapTag::kAgentTick:
+        return [this] { agentTick(); };
+    case SnapTag::kCoreIdle: {
+        const auto core = static_cast<unsigned>(t.a);
+        return [this, core] { onCoreIdle(core); };
+    }
+    case SnapTag::kNicDeliver:
+        return nic_->rearmDelivery(
+            hh::net::Packet::fromDeliveryTag(t));
+    case SnapTag::kSamplerTick:
+        return sampler_ ? sampler_->rearmTick()
+                        : hh::sim::Simulator::Callback{};
+    case SnapTag::kFaultTick:
+        return injector_ ? injector_->rearmTick()
+                         : hh::sim::Simulator::Callback{};
+    default:
+        // Empty: the event queue turns this into a hard error naming
+        // the tag, which is how unknown kinds surface.
+        return {};
+    }
+}
+
+void
+ServerSim::serializeState(hh::snap::Archive &ar)
+{
+    // The sampler is created lazily in startRun(); a freshly
+    // constructed ServerSim being restored must have it before the
+    // event queue re-arms a pending kSamplerTick. No start() — the
+    // pending tick is restored with the queue, the collected rows in
+    // section 0x14 below.
+    if (ar.loading() && cfg_.metricsEnabled && !sampler_) {
+        sampler_ = std::make_unique<hh::stats::MetricSampler>(
+            sim_, registry_, cfg_.metricsPeriod);
+    }
+
+    ar.section(0x10, "simulator");
+    sim_.serialize(ar,
+                   [this](const SnapTag &t) { return rearmEvent(t); });
+    if (!ar.ok())
+        return;
+
+    ar.section(0x11, "components");
+    ar.io(rng_);
+    ar.io(dram_);
+    ar.io(*nic_);
+    ctrl_->serialize(ar);
+    ar.io(*ctxmem_);
+    ar.io(*hyp_);
+    ar.io(sw_policy_);
+    if (!ar.ok())
+        return;
+
+    ar.section(0x12, "vms");
+    for (auto &v : vms_) {
+        ar.io(*v.l3);
+        if (v.desc.isPrimary()) {
+            ar.io(*v.service);
+            ar.io(*v.loadgen);
+        }
+        ar.io(v.arrivalsRemaining);
+        ar.io(v.completed);
+        ar.io(v.warmupSkip);
+        ar.io(v.latencies);
+        ar.io(v.breakdownSum);
+        ar.io(v.breakdownCount);
+    }
+    ar.io(*batch_);
+    ar.io(harvest_queue_);
+    ar.io(next_slice_id_);
+    ar.io(batch_tasks_done_);
+    if (!ar.ok())
+        return;
+
+    ar.section(0x13, "cores");
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        ar.io(*cores_[c]);
+        // The hierarchy's L3 binding is a raw pointer into vms_;
+        // persist *which* partition it pointed at (the harvest VM's
+        // during lent execution, the bound VM's otherwise) and rebind
+        // on load, mirroring configureCoreForHarvest/Primary.
+        bool harvest_l3 = false;
+        if (ar.saving())
+            harvest_l3 = cores_[c]->hierarchy().l3Partition() ==
+                         vms_[harvest_vm_].l3.get();
+        ar.io(harvest_l3);
+        if (ar.loading()) {
+            cores_[c]->hierarchy().setL3(
+                harvest_l3
+                    ? vms_[harvest_vm_].l3.get()
+                    : vms_[cores_[c]->boundVm()].l3.get());
+        }
+    }
+    ar.io(core_ctx_);
+    ar.io(requests_);
+    ar.io(next_request_id_);
+    ar.io(anchor_);
+    ar.io(pending_reclaims_);
+    ar.io(last_reclaim_at_);
+    ar.io(ghost_vms_);
+    ar.io(next_ghost_);
+    ar.io(ewma_block_cycles_);
+    ar.io(loans_);
+    ar.io(reclaims_);
+    ar.io(done_);
+    ar.io(end_time_);
+    if (!ar.ok())
+        return;
+
+    // Observability presence depends on env toggles (HH_TRACE,
+    // HH_METRICS, HH_AUDIT) that are not part of the SystemConfig
+    // fingerprint, so the mismatch check lives here.
+    ar.section(0x14, "observability");
+    bool have_tracer = tracer_ != nullptr;
+    bool have_sampler = sampler_ != nullptr;
+    bool have_auditor = auditor_ != nullptr;
+    bool have_injector = injector_ != nullptr;
+    ar.io(have_tracer);
+    ar.io(have_sampler);
+    ar.io(have_auditor);
+    ar.io(have_injector);
+    if (ar.loading() &&
+        (have_tracer != (tracer_ != nullptr) ||
+         have_sampler != (sampler_ != nullptr) ||
+         have_auditor != (auditor_ != nullptr) ||
+         have_injector != (injector_ != nullptr))) {
+        ar.fail("checkpoint observability set (tracer/sampler/"
+                "auditor/injector) does not match this run; restore "
+                "with the same HH_TRACE/HH_METRICS/HH_AUDIT and fault "
+                "settings the saving run used");
+        return;
+    }
+    if (tracer_)
+        ar.io(*tracer_);
+    if (sampler_)
+        ar.io(*sampler_);
+    if (auditor_)
+        ar.io(*auditor_);
+    if (injector_)
+        injector_->serialize(ar);
 }
 
 } // namespace hh::cluster

@@ -34,6 +34,8 @@
 #include "net/nic.h"
 #include "noc/mesh.h"
 #include "sim/simulator.h"
+#include "snapshot/archive.h"
+#include "snapshot/tag.h"
 #include "stats/percentile.h"
 #include "stats/registry.h"
 #include "stats/sampler.h"
@@ -125,6 +127,49 @@ class ServerSim
     /** Run the simulation to completion and collect results. */
     ServerResults run();
 
+    /** @name Checkpointable run phases @{ */
+
+    /**
+     * Seed the initial events (arrivals, harvest cores, agent ticks,
+     * sampler, injector). run() == startRun() + advanceRun(horizon())
+     * + finishRun(); the split exists so callers can checkpoint
+     * between bounded advances. Call exactly once per simulation —
+     * and never after loadState(), which restores a started run.
+     */
+    void startRun();
+
+    /**
+     * Execute events up to min(@p until, horizon()). The clock ends
+     * on the last executed event, not @p until, so resumed runs
+     * replay identically regardless of where the epochs fell.
+     */
+    void advanceRun(hh::sim::Cycles until);
+
+    /** Final audit sweep, teardown and result aggregation. */
+    ServerResults finishRun();
+
+    /** True once every request completed (end_time_ is valid). */
+    bool finished() const { return done_; }
+
+    /** Current simulated time (checkpoint manifests). */
+    hh::sim::Cycles now() const { return sim_.now(); }
+
+    /** Hard horizon guarding pathological configurations. */
+    static hh::sim::Cycles horizon()
+    {
+        return hh::sim::secToCycles(600.0);
+    }
+
+    /**
+     * Save the complete simulator state to @p ar / restore it from
+     * @p ar (the archive's mode decides). Restoring requires a
+     * ServerSim freshly constructed with the same SystemConfig,
+     * batch application and seed; the caller checks ar.ok() after.
+     */
+    void saveState(hh::snap::Archive &ar) { serializeState(ar); }
+    void loadState(hh::snap::Archive &ar) { serializeState(ar); }
+    /** @} */
+
     /** The embedded HardHarvest controller (tests). */
     hh::core::HardHarvestController &controller() { return *ctrl_; }
 
@@ -158,6 +203,14 @@ class ServerSim
         std::uint64_t id = 0;
         hh::sim::Cycles remainingCompute = 0;
         std::uint32_t remainingAccesses = 0;
+
+        void
+        serialize(hh::snap::Archive &ar)
+        {
+            ar.io(id);
+            ar.io(remainingCompute);
+            ar.io(remainingAccesses);
+        }
     };
 
     /** Runtime scheduling state of one core. */
@@ -174,6 +227,24 @@ class ServerSim
         hh::sim::Cycles idleSince = 0;
         unsigned anchoredBlocked = 0; //!< Blocked requests anchored.
         bool onLoan = false;          //!< Lent to the Harvest VM.
+
+        /** pendingEvent is restored verbatim: the structural event-
+         *  queue snapshot keeps stored EventIds valid across a
+         *  save/load cycle. */
+        void
+        serialize(hh::snap::Archive &ar)
+        {
+            ar.io(phase);
+            ar.io(runningRequest);
+            ar.io(slice);
+            ar.io(sliceStart);
+            ar.io(sliceDuration);
+            ar.io(pendingEvent);
+            ar.io(segmentEnd);
+            ar.io(idleSince);
+            ar.io(anchoredBlocked);
+            ar.io(onLoan);
+        }
     };
 
     /** Runtime state of one VM. */
@@ -242,12 +313,30 @@ class ServerSim
     /** May blocked-anchored cores of @p vm be harvested right now? */
     bool blockHarvestAllowed(std::uint32_t vm) const;
     void lendCore(unsigned core);
+    /** Lend-transition costs paid; take up harvest work (tracked). */
+    void onLendDone(unsigned core);
+    /** Untracked variant used by the resurrected PR-1 race. */
+    void onLendDoneRace(unsigned core);
     void beginHarvestWork(unsigned core);
     void startHarvestSlice(unsigned core);
     void onHarvestSliceDone(unsigned core);
     void reclaimCore(unsigned core, std::uint32_t vm);
+    /** Reclaim-transition costs paid; hand the core back. */
+    void onReclaimDone(unsigned core, std::uint32_t vm,
+                       hh::sim::Cycles reassignCost,
+                       hh::sim::Cycles flushCost);
     void preemptHarvestSlice(unsigned core);
     void agentTick();
+    /** @} */
+
+    /** @name Snapshot plumbing @{ */
+    /** Deliver a backend I/O response through the NIC. */
+    void deliverIoResponse(std::uint32_t vm, std::uint64_t reqId);
+    /** Rebuild the callback of a restored event from its tag. */
+    hh::sim::Simulator::Callback
+    rearmEvent(const hh::snap::SnapTag &t);
+    /** Bidirectional body behind saveState()/loadState(). */
+    void serializeState(hh::snap::Archive &ar);
     /** @} */
 
     /** @name Helpers @{ */

@@ -18,6 +18,7 @@
 
 #include "noc/mesh.h"
 #include "sim/time.h"
+#include "snapshot/archive.h"
 
 namespace hh::core {
 
@@ -54,6 +55,15 @@ class RequestContextMemory
 
     std::size_t occupancy() const { return stored_.size(); }
     std::size_t peakOccupancy() const { return peak_; }
+
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        std::uint64_t peak = peak_;
+        ar.io(stored_);
+        ar.io(peak);
+        peak_ = static_cast<std::size_t>(peak);
+    }
 
   private:
     hh::sim::Cycles transferCost(unsigned core) const;

@@ -208,6 +208,76 @@ HardHarvestController::notifyLatency() const
 }
 
 void
+HardHarvestController::serialize(hh::snap::Archive &ar)
+{
+    ar.section(0x51, "controller");
+    ar.io(next_qm_id_);
+    std::uint32_t n = static_cast<std::uint32_t>(qms_.size());
+    ar.io(n);
+    if (ar.loading() && n > cfg_.maxQms) {
+        ar.fail("checkpoint names more QMs than this controller "
+                "supports");
+        return;
+    }
+
+    struct Ident
+    {
+        std::uint32_t id = 0;
+        std::uint32_t vm = 0;
+        bool primary = false;
+        unsigned weight = 0;
+    };
+    std::vector<Ident> idents(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (ar.saving()) {
+            idents[i] = {qms_[i].qm->id(), qms_[i].qm->vm(),
+                         qms_[i].qm->isPrimary(), qms_[i].weight};
+        }
+        ar.io(idents[i].id);
+        ar.io(idents[i].vm);
+        ar.io(idents[i].primary);
+        ar.io(idents[i].weight);
+    }
+    if (!ar.ok())
+        return;
+
+    if (ar.loading()) {
+        // Reconcile the live QM list with the saved identity slots.
+        // Matching slots keep their QueueManager object (metric
+        // registrations point into it); mismatched or extra slots are
+        // torn down and rebuilt. All teardown happens BEFORE the RQ
+        // state is restored: destructors return chunks to the pool,
+        // and the restored allocation state then overwrites the pool
+        // wholesale.
+        if (qms_.size() > n)
+            qms_.resize(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const Ident &w = idents[i];
+            const bool match = i < qms_.size() &&
+                               qms_[i].qm->id() == w.id &&
+                               qms_[i].qm->vm() == w.vm &&
+                               qms_[i].qm->isPrimary() == w.primary;
+            if (match) {
+                qms_[i].weight = w.weight;
+                continue;
+            }
+            Slot slot;
+            slot.qm = std::make_unique<QueueManager>(w.id, w.vm,
+                                                     w.primary, rq_);
+            slot.weight = w.weight;
+            if (i < qms_.size())
+                qms_[i] = std::move(slot);
+            else
+                qms_.push_back(std::move(slot));
+        }
+    }
+
+    ar.io(rq_);
+    for (std::uint32_t i = 0; i < n && ar.ok(); ++i)
+        qms_[i].qm->serialize(ar);
+}
+
+void
 HardHarvestController::registerMetrics(hh::stats::MetricRegistry &reg,
                                        const std::string &prefix)
 {

@@ -147,6 +147,16 @@ class HardHarvestController
     void registerMetrics(hh::stats::MetricRegistry &reg,
                          const std::string &prefix);
 
+    /**
+     * Save/restore the full controller: RQ allocation state, QM
+     * identity slots (id / vm / primary / weight, in registration
+     * order, including ghost-VM managers) and every QM's internals.
+     * On load any existing QMs are torn down first and the saved set
+     * is rebuilt verbatim, bypassing rebalanceChunks — the restored
+     * RQ-Maps already name their chunks.
+     */
+    void serialize(hh::snap::Archive &ar);
+
   private:
     /**
      * Re-proportion RQ chunks to subqueues according to VM weights:

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "cache/config.h"
+#include "snapshot/archive.h"
 
 namespace hh::core {
 
@@ -73,6 +74,9 @@ class HarvestMask
 
     /** Register size (§6.8). */
     static constexpr std::uint64_t storageBytes() { return 5; }
+
+    /** Save/restore (way counts are construction-time constants). */
+    void serialize(hh::snap::Archive &ar) { ar.io(masks_); }
 
   private:
     StructureWays ways_;

@@ -76,6 +76,21 @@ class QueueManager
     void registerMetrics(hh::stats::MetricRegistry &reg,
                          const std::string &prefix);
 
+    /**
+     * Save/restore subqueue, registers, mask, bindings and loans.
+     * Identity fields (id/vm/primary) are construction parameters
+     * restored by the controller's QM-list rebuild.
+     */
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(queue_);
+        ar.io(vm_state_);
+        ar.io(mask_);
+        ar.io(cores_);
+        ar.io(on_loan_);
+    }
+
   private:
     unsigned id_;
     std::uint32_t vm_;

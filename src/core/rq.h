@@ -26,6 +26,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "snapshot/archive.h"
 #include "stats/counter.h"
 
 namespace hh::stats {
@@ -83,6 +84,18 @@ class RequestQueue
 
     /** Storage of the RQ array in bits (66 bits per entry, §6.8). */
     std::uint64_t storageBits() const;
+
+    /**
+     * Save/restore the allocation state. The free list is
+     * order-significant (allocChunk pops the back), so it is
+     * serialized verbatim rather than recomputed.
+     */
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(free_);
+        ar.io(allocated_);
+    }
 
   private:
     unsigned chunks_;
@@ -249,6 +262,25 @@ class SubQueue
     void registerMetrics(hh::stats::MetricRegistry &reg,
                          const std::string &prefix);
     /** @} */
+
+    /**
+     * Save/restore the RQ-Map and all request bookkeeping. Chunk
+     * allocation in the physical array is restored separately by the
+     * controller (the chunks named in rq_map_ must already be marked
+     * allocated there).
+     */
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(rq_map_);
+        ar.io(ready_);
+        ar.io(running_);
+        ar.io(blocked_);
+        ar.io(overflow_);
+        ar.io(enqueues_);
+        ar.io(dequeues_);
+        ar.io(overflows_);
+    }
 
   private:
     /** Move overflowed requests into freed hardware slots. */

@@ -16,6 +16,8 @@
 #include <array>
 #include <cstdint>
 
+#include "snapshot/archive.h"
+
 namespace hh::core {
 
 /**
@@ -64,6 +66,8 @@ class VmStateRegisterSet
     {
         return kNumRegs * 8;
     }
+
+    void serialize(hh::snap::Archive &ar) { ar.io(regs_); }
 
   private:
     std::array<std::uint64_t, kNumRegs> regs_{};

@@ -18,6 +18,7 @@
 
 #include "cache/hierarchy.h"
 #include "sim/time.h"
+#include "snapshot/archive.h"
 #include "stats/registry.h"
 #include "stats/utilization.h"
 
@@ -82,6 +83,22 @@ class Core
     void registerMetrics(hh::stats::MetricRegistry &reg,
                          const std::string &prefix,
                          hh::stats::MetricRegistry::NowFn now);
+
+    /**
+     * Save/restore activity state, binding, current request, the
+     * busy-time integral and the whole private hierarchy. The L3
+     * pointer inside the hierarchy is re-bound by the server (loan
+     * state decides which VM's partition the core sees).
+     */
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(state_);
+        ar.io(bound_vm_);
+        ar.io(current_request_);
+        ar.io(busy_);
+        ar.io(*hier_);
+    }
 
   private:
     unsigned id_;

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "sim/time.h"
+#include "snapshot/archive.h"
 #include "workload/service.h"
 
 namespace hh::cpu {
@@ -32,6 +33,16 @@ struct LatencyBreakdown
     hh::sim::Cycles flush = 0;      //!< Cache/TLB flush waits.
     hh::sim::Cycles execution = 0;  //!< Compute + memory stalls.
     hh::sim::Cycles io = 0;         //!< Blocked on backends.
+
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(queueing);
+        ar.io(reassign);
+        ar.io(flush);
+        ar.io(execution);
+        ar.io(io);
+    }
 };
 
 /**
@@ -65,6 +76,21 @@ struct Request
     latency() const
     {
         return completion - arrival;
+    }
+
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(id);
+        ar.io(vm);
+        ar.io(serviceIndex);
+        ar.io(state);
+        ar.io(plan);
+        ar.io(nextSegment);
+        ar.io(arrival);
+        ar.io(readySince);
+        ar.io(completion);
+        ar.io(breakdown);
     }
 };
 

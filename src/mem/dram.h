@@ -24,6 +24,7 @@
 
 #include "cache/config.h"
 #include "sim/time.h"
+#include "snapshot/archive.h"
 
 namespace hh::stats {
 class MetricRegistry;
@@ -89,12 +90,28 @@ class Dram
 
     const DramConfig &config() const { return cfg_; }
 
+    /** Save/restore the utilization ring and statistics. */
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(ring_);
+        ar.io(accesses_);
+        ar.io(total_queue_delay_);
+    }
+
   private:
     /** Ring slot holding busy cycles for one utilization window. */
     struct Window
     {
         std::uint64_t id = ~std::uint64_t{0};
         std::uint64_t busy = 0;
+
+        void
+        serialize(hh::snap::Archive &ar)
+        {
+            ar.io(id);
+            ar.io(busy);
+        }
     };
 
     static constexpr std::size_t kRing = 64;

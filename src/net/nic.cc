@@ -42,7 +42,8 @@ Nic::receive(Packet pkt)
     depositPayload(pkt);
     if (!handler_)
         hh::sim::panic("Nic: no handler registered");
-    sim_.schedule(processing_, [this, pkt] { handler_(pkt); });
+    sim_.schedule(processing_, pkt.deliveryTag(),
+                  [this, pkt] { handler_(pkt); });
 }
 
 void

@@ -63,6 +63,26 @@ class Nic
     void registerMetrics(hh::stats::MetricRegistry &reg,
                          const std::string &prefix);
 
+    /**
+     * Re-arm hook: the delivery callback of a restored kNicDeliver
+     * event. The DDIO deposit already happened before the snapshot
+     * (receive() performs it synchronously), so only the deferred
+     * handler invocation is rebuilt.
+     */
+    hh::sim::Simulator::Callback
+    rearmDelivery(const Packet &pkt)
+    {
+        return [this, pkt] { handler_(pkt); };
+    }
+
+    /** Save/restore the NIC counters. */
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(packets_);
+        ar.io(lines_deposited_);
+    }
+
   private:
     void depositPayload(const Packet &pkt);
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "sim/time.h"
+#include "snapshot/tag.h"
 
 namespace hh::net {
 
@@ -34,6 +35,28 @@ struct Packet
     std::uint64_t requestId = 0;    //!< Request (or blocked-request) id.
     std::uint32_t payloadBytes = 512; //!< Message payload size.
     hh::sim::Cycles arrival = 0;    //!< Wire arrival time at the NIC.
+
+    /** Snap-tag for an in-flight NIC delivery of this packet. */
+    hh::snap::SnapTag
+    deliveryTag() const
+    {
+        return hh::snap::tag(hh::snap::SnapTag::kNicDeliver,
+                             static_cast<std::uint64_t>(kind), dstVm,
+                             requestId, payloadBytes, arrival);
+    }
+
+    /** Rebuild the packet a kNicDeliver tag describes. */
+    static Packet
+    fromDeliveryTag(const hh::snap::SnapTag &t)
+    {
+        Packet pkt;
+        pkt.kind = static_cast<PacketKind>(t.a);
+        pkt.dstVm = static_cast<std::uint32_t>(t.b);
+        pkt.requestId = t.c;
+        pkt.payloadBytes = static_cast<std::uint32_t>(t.d);
+        pkt.arrival = t.e;
+        return pkt;
+    }
 };
 
 } // namespace hh::net

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.h"
+#include "snapshot/archive.h"
 
 namespace hh::sim {
 
@@ -36,6 +37,7 @@ EventQueue::freeSlot(std::uint32_t slot)
 {
     Record &rec = slab_[slot];
     rec.cb.reset();
+    rec.tag = hh::snap::SnapTag{};
     ++rec.gen;
     free_slots_.push_back(slot);
 }
@@ -50,6 +52,129 @@ EventQueue::schedule(Cycles when, Callback cb)
     std::push_heap(heap_.begin(), heap_.end(), Later{});
     ++live_;
     return makeId(rec.gen, slot);
+}
+
+EventId
+EventQueue::schedule(Cycles when, const hh::snap::SnapTag &tag,
+                     Callback cb)
+{
+    const EventId id = schedule(when, std::move(cb));
+    slab_[static_cast<std::uint32_t>((id & 0xffffffffu) - 1)].tag =
+        tag;
+    return id;
+}
+
+void
+EventQueue::serialize(hh::snap::Archive &ar, const RearmFn &rearm)
+{
+    ar.section(0x45565451u, "event_queue"); // 'EVTQ'
+    if (ar.saving()) {
+        // Live entries in deterministic (seq) order; dead heap
+        // entries are dropped, which a resumed run cannot observe.
+        std::vector<Entry> live;
+        live.reserve(live_);
+        for (const Entry &e : heap_) {
+            if (!dead(e))
+                live.push_back(e);
+        }
+        std::sort(live.begin(), live.end(),
+                  [](const Entry &a, const Entry &b) {
+                      return a.seq < b.seq;
+                  });
+        std::uint64_t n = live.size();
+        ar.io(n);
+        for (Entry &e : live) {
+            Record &rec = slab_[e.slot];
+            if (rec.tag.kind == hh::snap::SnapTag::kNone) {
+                panic("EventQueue snapshot: live event at t=",
+                      e.when, " (slot ", e.slot,
+                      ") was scheduled without a snap tag");
+            }
+            ar.io(e.when);
+            ar.io(e.seq);
+            ar.io(e.slot);
+            ar.io(e.gen);
+            ar.io(rec.tag);
+        }
+        // Slot generations (all slots, so stale EventIds stay
+        // invalid after restore) and the free-slot order (so slot
+        // allocation resumes identically).
+        std::uint64_t slots = slab_.size();
+        ar.io(slots);
+        for (Record &rec : slab_)
+            ar.io(rec.gen);
+        ar.io(free_slots_);
+        ar.io(next_seq_);
+        ar.io(last_popped_);
+        ar.io(monotonic_violations_);
+        return;
+    }
+
+    std::uint64_t n = 0;
+    ar.io(n);
+    struct Saved
+    {
+        Entry entry;
+        hh::snap::SnapTag tag;
+    };
+    std::vector<Saved> saved;
+    saved.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n && ar.ok(); ++i) {
+        Saved s{};
+        ar.io(s.entry.when);
+        ar.io(s.entry.seq);
+        ar.io(s.entry.slot);
+        ar.io(s.entry.gen);
+        ar.io(s.tag);
+        saved.push_back(s);
+    }
+    std::uint64_t slots = 0;
+    ar.io(slots);
+    if (ar.loading() && slots > (1u << 28)) {
+        ar.fail("event queue snapshot: implausible slab size");
+        return;
+    }
+    std::vector<std::uint32_t> gens(
+        static_cast<std::size_t>(slots));
+    for (auto &g : gens)
+        ar.io(g);
+    std::vector<std::uint32_t> free_slots;
+    ar.io(free_slots);
+    std::uint64_t next_seq = 0;
+    Cycles last_popped = 0;
+    std::uint64_t monotonic = 0;
+    ar.io(next_seq);
+    ar.io(last_popped);
+    ar.io(monotonic);
+    if (!ar.ok())
+        return;
+
+    heap_.clear();
+    slab_.clear();
+    slab_.resize(gens.size());
+    for (std::size_t i = 0; i < gens.size(); ++i)
+        slab_[i].gen = gens[i];
+    for (const Saved &s : saved) {
+        if (s.entry.slot >= slab_.size()) {
+            ar.fail("event queue snapshot: slot out of range");
+            return;
+        }
+        Record &rec = slab_[s.entry.slot];
+        rec.tag = s.tag;
+        rec.cb = rearm(s.tag);
+        if (!rec.cb) {
+            panic("EventQueue restore: re-arm hook returned no "
+                  "callback for tag kind ", s.tag.kind);
+        }
+        heap_.push_back(s.entry);
+    }
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+    free_slots_ = std::move(free_slots);
+    next_seq_ = next_seq;
+    live_ = heap_.size();
+    dead_ = 0;
+    last_popped_ = last_popped;
+    monotonic_violations_ = monotonic;
 }
 
 bool

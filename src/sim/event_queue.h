@@ -21,10 +21,16 @@
 #define HH_SIM_EVENT_QUEUE_H
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sim/inline_function.h"
 #include "sim/time.h"
+#include "snapshot/tag.h"
+
+namespace hh::snap {
+class Archive;
+} // namespace hh::snap
 
 namespace hh::sim {
 
@@ -59,6 +65,18 @@ class EventQueue
      * @return An id that can be passed to cancel().
      */
     EventId schedule(Cycles when, Callback cb);
+
+    /**
+     * Schedule a callback carrying a snapshot tag.
+     *
+     * The tag is the serializable identity of the closure: a
+     * checkpoint stores it instead of the callback, and the owning
+     * component's re-arm hook rebuilds an equivalent closure from it
+     * on restore. Events scheduled without a tag cannot be
+     * checkpointed — serialize() panics if one is live.
+     */
+    EventId schedule(Cycles when, const hh::snap::SnapTag &tag,
+                     Callback cb);
 
     /**
      * Cancel a previously scheduled event.
@@ -102,11 +120,31 @@ class EventQueue
     }
     /** @} */
 
+    /** Maps a stored snap-tag back to an equivalent callback. */
+    using RearmFn =
+        std::function<Callback(const hh::snap::SnapTag &)>;
+
+    /**
+     * Save or restore the queue through @p ar.
+     *
+     * The structural encoding preserves slot numbers, generations,
+     * sequence numbers and the free-slot order, so `EventId`s held by
+     * components (e.g. a core's pending completion) remain valid
+     * verbatim across a restore. Saving panics on a live untagged
+     * event; loading invokes @p rearm once per live event to rebuild
+     * its callback into the original slot. Dead (cancelled) heap
+     * entries are dropped at save, which is observationally
+     * equivalent to compaction having run.
+     */
+    void serialize(hh::snap::Archive &ar, const RearmFn &rearm);
+
   private:
     /** One reusable event record. */
     struct Record
     {
         Callback cb;
+        /** Serializable identity of cb; kNone for untagged events. */
+        hh::snap::SnapTag tag;
         /** Bumped on cancel/pop; mismatching heap entries are dead. */
         std::uint32_t gen = 1;
     };

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/log.h"
+#include "snapshot/archive.h"
 
 namespace hh::sim {
 
@@ -130,6 +131,15 @@ double
 Rng::lognormal(double mu, double sigma)
 {
     return std::exp(normal(mu, sigma));
+}
+
+void
+Rng::serialize(hh::snap::Archive &ar)
+{
+    for (auto &s : s_)
+        ar.io(s);
+    ar.io(has_cached_normal_);
+    ar.io(cached_normal_);
 }
 
 ZipfSampler::ZipfSampler(std::size_t n, double theta)

@@ -15,6 +15,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace hh::snap {
+class Archive;
+} // namespace hh::snap
+
 namespace hh::sim {
 
 /**
@@ -76,6 +80,14 @@ class Rng
      * underlying normal distribution.
      */
     double lognormal(double mu, double sigma);
+
+    /**
+     * Save or restore the full generator state (xoshiro words plus
+     * the cached Box-Muller normal), making a restored stream
+     * position-exact: the next draw after restore equals the next
+     * draw the saved generator would have produced.
+     */
+    void serialize(hh::snap::Archive &ar);
 
   private:
     std::uint64_t s_[4];

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include "sim/log.h"
+#include "snapshot/archive.h"
 
 namespace hh::sim {
 
@@ -11,12 +12,39 @@ Simulator::schedule(Cycles delay, Callback cb)
 }
 
 EventId
+Simulator::schedule(Cycles delay, const hh::snap::SnapTag &tag,
+                    Callback cb)
+{
+    return queue_.schedule(now_ + delay, tag, std::move(cb));
+}
+
+EventId
 Simulator::scheduleAt(Cycles when, Callback cb)
 {
     if (when < now_)
         panic("Simulator::scheduleAt into the past (when=", when,
               " now=", now_, ")");
     return queue_.schedule(when, std::move(cb));
+}
+
+EventId
+Simulator::scheduleAt(Cycles when, const hh::snap::SnapTag &tag,
+                      Callback cb)
+{
+    if (when < now_)
+        panic("Simulator::scheduleAt into the past (when=", when,
+              " now=", now_, ")");
+    return queue_.schedule(when, tag, std::move(cb));
+}
+
+void
+Simulator::serialize(hh::snap::Archive &ar,
+                     const EventQueue::RearmFn &rearm)
+{
+    ar.io(now_);
+    ar.io(executed_);
+    ar.io(since_audit_);
+    queue_.serialize(ar, rearm);
 }
 
 bool

@@ -38,8 +38,16 @@ class Simulator
      */
     EventId schedule(Cycles delay, Callback cb);
 
+    /** Schedule a tagged (checkpointable) callback; see EventQueue. */
+    EventId schedule(Cycles delay, const hh::snap::SnapTag &tag,
+                     Callback cb);
+
     /** Schedule a callback at an absolute time (>= now()). */
     EventId scheduleAt(Cycles when, Callback cb);
+
+    /** Tagged (checkpointable) absolute-time variant. */
+    EventId scheduleAt(Cycles when, const hh::snap::SnapTag &tag,
+                       Callback cb);
 
     /** Cancel a pending event; returns false if it already ran. */
     bool cancel(EventId id);
@@ -98,6 +106,15 @@ class Simulator
      */
     void requestStop() { stop_requested_ = true; }
     bool stopRequested() const { return stop_requested_; }
+
+    /**
+     * Save or restore the clock, event counters and the queue. The
+     * audit hook is *not* serialized — the owner re-installs it
+     * before restoring (setAuditHook resets the audit phase, so it
+     * must run first; serialize then overwrites `since_audit_`).
+     */
+    void serialize(hh::snap::Archive &ar,
+                   const EventQueue::RearmFn &rearm);
 
   private:
     EventQueue queue_;

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <string>
 
+#include "snapshot/archive.h"
+
 namespace hh::stats {
 
 /**
@@ -29,6 +31,9 @@ class Counter
     void reset() { value_ = 0; }
 
     const std::string &name() const { return name_; }
+
+    /** Save/restore the count (the name is construction-time). */
+    void serialize(hh::snap::Archive &ar) { ar.io(value_); }
 
   private:
     std::string name_;
@@ -76,6 +81,16 @@ class Accumulator
         n_ = 0;
         sum_ = sum_sq_ = 0;
         min_ = max_ = 0;
+    }
+
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(n_);
+        ar.io(sum_);
+        ar.io(sum_sq_);
+        ar.io(min_);
+        ar.io(max_);
     }
 
   private:

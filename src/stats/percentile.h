@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "snapshot/archive.h"
+
 namespace hh::stats {
 
 /**
@@ -56,6 +58,14 @@ class LatencyRecorder
 
     /** Read-only access to the raw samples (tests, CDF dumps). */
     const std::vector<double> &samples() const { return samples_; }
+
+    /** Save/restore the sample buffer verbatim (incl. sort state). */
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(samples_);
+        ar.io(sorted_);
+    }
 
   private:
     /** Sort the sample buffer if new samples arrived since last sort. */

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "sim/log.h"
+#include "snapshot/tag.h"
 
 namespace hh::stats {
 
@@ -35,7 +36,9 @@ MetricSampler::start()
     running_ = true;
     columns_ = reg_.names();
     sampleRow();
-    pending_ = sim_.schedule(period_, [this] { tick(); });
+    pending_ = sim_.schedule(period_,
+                             hh::snap::tag(hh::snap::SnapTag::kSamplerTick),
+                             [this] { tick(); });
 }
 
 void
@@ -45,7 +48,9 @@ MetricSampler::tick()
     if (!running_)
         return;
     sampleRow();
-    pending_ = sim_.schedule(period_, [this] { tick(); });
+    pending_ = sim_.schedule(period_,
+                             hh::snap::tag(hh::snap::SnapTag::kSamplerTick),
+                             [this] { tick(); });
 }
 
 void

@@ -18,6 +18,7 @@
 
 #include "sim/simulator.h"
 #include "sim/time.h"
+#include "snapshot/archive.h"
 #include "stats/registry.h"
 
 namespace hh::stats {
@@ -27,6 +28,13 @@ struct SampleRow
 {
     hh::sim::Cycles t = 0;
     std::vector<double> values;
+
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(t);
+        ar.io(values);
+    }
 };
 
 /**
@@ -72,6 +80,31 @@ class MetricSampler
 
     /** Move the collected series out (label filled by the caller). */
     SampledSeries takeSeries();
+
+    /**
+     * Re-arm hook: the callback of a restored kSamplerTick event.
+     * Called by the owner's event re-arm dispatcher only.
+     */
+    hh::sim::Simulator::Callback
+    rearmTick()
+    {
+        return [this] { tick(); };
+    }
+
+    /**
+     * Save/restore the collected rows and the running/pending state.
+     * The restoring owner must construct the sampler (same registry,
+     * same period) *without* calling start(); the pending tick event
+     * itself is restored by the event queue via rearmTick().
+     */
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(running_);
+        ar.io(pending_);
+        ar.io(columns_);
+        ar.io(rows_);
+    }
 
   private:
     void sampleRow();

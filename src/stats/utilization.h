@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "snapshot/archive.h"
 
 namespace hh::stats {
 
@@ -42,6 +43,15 @@ class UtilizationTracker
 
     /** Discard history and restart the measurement at @p now. */
     void reset(hh::sim::Cycles now);
+
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(start_);
+        ar.io(accumulated_);
+        ar.io(last_change_);
+        ar.io(busy_);
+    }
 
   private:
     hh::sim::Cycles start_ = 0;

@@ -27,11 +27,13 @@
 #ifndef HH_TRACE_TRACE_H
 #define HH_TRACE_TRACE_H
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "sim/time.h"
+#include "snapshot/archive.h"
 
 namespace hh::trace {
 
@@ -67,6 +69,16 @@ struct Event
     std::uint64_t id = 0;    //!< Request / slice / core id.
     std::uint32_t track = 0; //!< Chrome tid: core id or VM track.
     EventType type = EventType::RequestSpan;
+
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(ts);
+        ar.io(dur);
+        ar.io(id);
+        ar.io(track);
+        ar.io(type);
+    }
 };
 
 /** Request tracks start here; track = base + vm id. */
@@ -144,6 +156,32 @@ class Tracer
 
     /** Drop all buffered events and span accounting. */
     void clear();
+
+    /**
+     * Save/restore the buffered events plus span accounting. The
+     * ring is saved in logical (oldest-first) order and restored
+     * normalized to slots 0..n-1; the physical write position is not
+     * preserved, but the logical event sequence — which is all any
+     * exporter observes — is byte-identical before and after.
+     */
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(enabled_);
+        std::vector<Event> evs;
+        if (ar.saving())
+            evs = events();
+        ar.io(evs);
+        if (ar.loading()) {
+            const std::size_t cap = ring_.size();
+            size_ = std::min(evs.size(), cap);
+            std::copy(evs.begin(), evs.begin() + size_, ring_.begin());
+            head_ = cap ? size_ % cap : 0;
+        }
+        ar.io(dropped_);
+        ar.io(open_);
+        ar.io(unbalanced_);
+    }
 
   private:
     bool enabled_ = true;

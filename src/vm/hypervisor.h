@@ -22,6 +22,7 @@
 
 #include "sim/rng.h"
 #include "sim/time.h"
+#include "snapshot/archive.h"
 #include "stats/counter.h"
 
 namespace hh::stats {
@@ -134,6 +135,16 @@ class Hypervisor
     void registerMetrics(hh::stats::MetricRegistry &reg,
                          const std::string &prefix);
     /** @} */
+
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(rng_);
+        ar.io(lock_free_at_);
+        ar.io(wbinvds_);
+        ar.io(lock_acquisitions_);
+        ar.io(lock_wait_cycles_);
+    }
 
   private:
     SoftwareCosts costs_;

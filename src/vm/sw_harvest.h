@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "snapshot/archive.h"
 
 namespace hh::vm {
 
@@ -82,6 +83,8 @@ class SmartHarvestPolicy
     double predictedBusy(std::uint32_t vm) const;
 
     const SwHarvestConfig &config() const { return cfg_; }
+
+    void serialize(hh::snap::Archive &ar) { ar.io(ewma_); }
 
   private:
     SwHarvestConfig cfg_;

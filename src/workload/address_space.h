@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cache/config.h"
+#include "snapshot/archive.h"
 
 namespace hh::workload {
 
@@ -56,6 +57,9 @@ class AddressSpace
 
     /** Total private pages ever allocated (tests, footprint stats). */
     std::uint64_t privatePagesAllocated() const { return next_private_; }
+
+    /** Only the private-page watermark is runtime state. */
+    void serialize(hh::snap::Archive &ar) { ar.io(next_private_); }
 
   private:
     hh::cache::Addr base() const;

@@ -23,6 +23,7 @@
 #include "cache/hierarchy.h"
 #include "sim/rng.h"
 #include "sim/time.h"
+#include "snapshot/archive.h"
 #include "workload/address_space.h"
 
 namespace hh::workload {
@@ -82,6 +83,14 @@ class BatchWorkload
     hh::cache::MemAccess nextAccess();
 
     const BatchSpec &spec() const { return spec_; }
+
+    /** Stream position + page watermark; Zipf CDFs are constants. */
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(rng_);
+        ar.io(space_);
+    }
 
   private:
     BatchSpec spec_;

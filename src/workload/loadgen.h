@@ -18,6 +18,7 @@
 
 #include "sim/rng.h"
 #include "sim/time.h"
+#include "snapshot/archive.h"
 
 namespace hh::workload {
 
@@ -60,6 +61,20 @@ class LoadGenerator
     double currentMultiplier() const { return in_burst_ ? burst_.multiplier : 1.0; }
 
     double baseRps() const { return base_rps_; }
+
+    /**
+     * Save/restore the open-loop state: stream position, internal
+     * clock and burst on/off process. A restored generator produces
+     * exactly the arrival sequence the saved one would have.
+     */
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(rng_);
+        ar.io(clock_sec_);
+        ar.io(in_burst_);
+        ar.io(burst_edge_sec_);
+    }
 
   private:
     /** Advance the burst on/off process past time @p t. */

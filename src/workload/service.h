@@ -21,6 +21,7 @@
 #include "cache/hierarchy.h"
 #include "sim/rng.h"
 #include "sim/time.h"
+#include "snapshot/archive.h"
 #include "workload/address_space.h"
 
 namespace hh::workload {
@@ -77,6 +78,15 @@ struct Segment
     std::uint32_t accesses = 0;       //!< Memory accesses to replay.
     bool endsInIo = false;            //!< Blocks on I/O afterwards.
     hh::sim::Cycles ioTime = 0;       //!< Backend time (excl. fabric).
+
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(compute);
+        ar.io(accesses);
+        ar.io(endsInIo);
+        ar.io(ioTime);
+    }
 };
 
 /**
@@ -86,6 +96,13 @@ struct InvocationPlan
 {
     std::vector<Segment> segments;
     std::vector<hh::cache::Addr> privatePages;
+
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(segments);
+        ar.io(privatePages);
+    }
 };
 
 /**
@@ -115,6 +132,18 @@ class ServiceWorkload
 
     const ServiceSpec &spec() const { return spec_; }
     AddressSpace &addressSpace() { return space_; }
+
+    /**
+     * Save/restore the generator stream position and the
+     * private-page watermark (the Zipf CDFs are construction-time
+     * constants derived from the spec).
+     */
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        ar.io(rng_);
+        ar.io(space_);
+    }
 
   private:
     ServiceSpec spec_;

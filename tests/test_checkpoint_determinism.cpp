@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Cluster-level checkpoint contract tests: byte-identity of
+ * `run(0 -> end)` vs `run(0 -> T) -> save -> load -> run(T -> end)`
+ * for several T and worker counts, rejection of mismatched format
+ * versions and SystemConfigs, periodic checkpointing, the
+ * pre-violation dump, and the violation-window bisection helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cluster/checkpoint.h"
+#include "cluster/experiment.h"
+#include "snapshot/archive.h"
+#include "snapshot/file.h"
+
+using namespace hh::cluster;
+
+namespace {
+
+/**
+ * Reduced-scale cluster with every observability surface on, so
+ * serialized() covers metrics, traces and the audit section and the
+ * byte-identity assertion is as strict as the subsystem gets.
+ */
+SystemConfig
+fullObservabilityConfig()
+{
+    SystemConfig cfg = makeSystem(SystemKind::HardHarvestBlock);
+    cfg.requestsPerVm = 40;
+    cfg.accessSampling = 16;
+    cfg.traceEnabled = true;
+    cfg.traceCapacity = 1u << 14;
+    cfg.metricsEnabled = true;
+    cfg.metricsPeriod = hh::sim::msToCycles(1.0);
+    cfg.auditEnabled = true;
+    cfg.auditPeriod = 4096;
+    return cfg;
+}
+
+/** The known-violating PR-1 race configuration (see test_audit_fuzz). */
+SystemConfig
+violatingConfig()
+{
+    SystemConfig cfg = makeSystem(SystemKind::HardHarvestBlock);
+    cfg.requestsPerVm = 30;
+    cfg.accessSampling = 32;
+    cfg.auditEnabled = true;
+    cfg.auditPeriod = 64;
+    cfg.auditStopOnViolation = true;
+    cfg.faults.enabled = true;
+    cfg.faults.resurrectLendRace = true;
+    cfg.faults.meanPeriod = hh::sim::usToCycles(5);
+    cfg.faults.startAt = hh::sim::usToCycles(10);
+    cfg.faults.actionsPerTick = 6;
+    return cfg;
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+} // namespace
+
+TEST(CheckpointDeterminism, ByteIdentityAcrossTimesAndWorkers)
+{
+    const SystemConfig cfg = fullObservabilityConfig();
+    const unsigned servers = 4;
+    const std::uint64_t seed = 9;
+
+    const ClusterResults full = runCluster(cfg, servers, seed, 4);
+    const std::string want = full.serialized();
+    const std::string want_trace = full.traceJson();
+    ASSERT_FALSE(want.empty());
+
+    const hh::sim::Cycles times[] = {
+        hh::sim::msToCycles(1.0),
+        hh::sim::msToCycles(3.0),
+        hh::sim::msToCycles(8.0),
+    };
+    for (const hh::sim::Cycles T : times) {
+        const std::string path =
+            tmpPath("hh_ckpt_" + std::to_string(T) + ".hhcp");
+        std::string err;
+        ASSERT_TRUE(checkpointClusterAt(cfg, servers, seed, 4, T,
+                                        path, &err))
+            << err;
+        for (const unsigned workers : {1u, 4u, 8u}) {
+            const auto resumed =
+                resumeCluster(path, cfg, workers, &err);
+            ASSERT_TRUE(resumed.has_value())
+                << "T=" << T << " workers=" << workers << ": " << err;
+            EXPECT_EQ(resumed->serialized(), want)
+                << "T=" << T << " workers=" << workers;
+            EXPECT_EQ(resumed->traceJson(), want_trace)
+                << "T=" << T << " workers=" << workers;
+        }
+    }
+}
+
+TEST(CheckpointDeterminism, FormatVersionMismatchIsRejected)
+{
+    const SystemConfig cfg = fullObservabilityConfig();
+    hh::snap::CheckpointFile f;
+    f.version = hh::snap::kFormatVersion + 1;
+    f.configFingerprint = configFingerprint(cfg);
+    f.servers = 1;
+    f.seed = 1;
+    f.batchApps = "BFS";
+    f.blobs.emplace_back();
+    const std::string path = tmpPath("hh_ckpt_future_version.hhcp");
+    std::string err;
+    ASSERT_TRUE(hh::snap::writeCheckpointFile(path, f, &err)) << err;
+
+    const auto resumed = resumeCluster(path, cfg, 1, &err);
+    EXPECT_FALSE(resumed.has_value());
+    EXPECT_NE(err.find("format version"), std::string::npos) << err;
+}
+
+TEST(CheckpointDeterminism, ConfigMismatchIsRejected)
+{
+    SystemConfig cfg = fullObservabilityConfig();
+    cfg.requestsPerVm = 10; // keep this one tiny
+    const std::string path = tmpPath("hh_ckpt_config_mismatch.hhcp");
+    std::string err;
+    ASSERT_TRUE(checkpointClusterAt(cfg, 1, 3, 1,
+                                    hh::sim::usToCycles(200), path,
+                                    &err))
+        << err;
+
+    SystemConfig other = cfg;
+    other.requestsPerVm = 11;
+    const auto resumed = resumeCluster(path, other, 1, &err);
+    EXPECT_FALSE(resumed.has_value());
+    EXPECT_NE(err.find("SystemConfig"), std::string::npos) << err;
+
+    // The unmodified config still resumes.
+    const auto ok = resumeCluster(path, cfg, 1, &err);
+    EXPECT_TRUE(ok.has_value()) << err;
+}
+
+TEST(CheckpointDeterminism, PeriodicCheckpointingMatchesPlainRun)
+{
+    SystemConfig cfg = makeSystem(SystemKind::HardHarvestBlock);
+    cfg.requestsPerVm = 30;
+    cfg.accessSampling = 32;
+    const unsigned servers = 2;
+    const std::uint64_t seed = 5;
+    const std::string path = tmpPath("hh_ckpt_periodic.hhcp");
+
+    const CheckpointedRun run = runClusterCheckpointed(
+        cfg, servers, seed, 2, hh::sim::msToCycles(2.0), path);
+    EXPECT_GE(run.checkpointsWritten, 1u);
+    EXPECT_FALSE(run.preViolationDumped);
+
+    const ClusterResults plain = runCluster(cfg, servers, seed, 2);
+    EXPECT_EQ(run.results.serialized(), plain.serialized());
+
+    // The file holds the final epoch; resuming it replays the (empty)
+    // tail and must land on the same results.
+    std::string err;
+    const auto resumed = resumeCluster(path, cfg, 2, &err);
+    ASSERT_TRUE(resumed.has_value()) << err;
+    EXPECT_EQ(resumed->serialized(), plain.serialized());
+}
+
+TEST(CheckpointDeterminism, PreViolationDumpIsResumable)
+{
+    const SystemConfig cfg = violatingConfig();
+    const std::string path = tmpPath("hh_ckpt_violation.hhcp");
+
+    const CheckpointedRun run = runClusterCheckpointed(
+        cfg, 1, 2, 1, hh::sim::usToCycles(20), path);
+    ASSERT_GT(run.results.auditViolations, 0u);
+    ASSERT_TRUE(run.preViolationDumped);
+    ASSERT_FALSE(run.preViolationPath.empty());
+
+    // Resuming the last violation-free epoch must walk straight back
+    // into the same violation: same reports, same totals.
+    std::string err;
+    const auto resumed =
+        resumeCluster(run.preViolationPath, cfg, 1, &err);
+    ASSERT_TRUE(resumed.has_value()) << err;
+    EXPECT_EQ(resumed->auditViolations,
+              run.results.auditViolations);
+    ASSERT_FALSE(resumed->auditReports.empty());
+    ASSERT_FALSE(run.results.auditReports.empty());
+    EXPECT_EQ(resumed->auditReports.front().second.time,
+              run.results.auditReports.front().second.time);
+    EXPECT_EQ(resumed->auditReports.front().second.message,
+              run.results.auditReports.front().second.message);
+}
+
+TEST(CheckpointDeterminism, ViolationWindowBisection)
+{
+    const SystemConfig cfg = violatingConfig();
+    const hh::sim::Cycles resolution = hh::sim::usToCycles(10);
+    const ViolationWindow w =
+        narrowViolationWindow(cfg, "BFS", 2, resolution);
+    ASSERT_TRUE(w.found);
+    EXPECT_GT(w.hi, w.lo);
+    EXPECT_LE(w.hi - w.lo, resolution);
+    EXPECT_FALSE(w.component.empty());
+    EXPECT_FALSE(w.loState.empty());
+    EXPECT_GT(w.probes, 1u);
+
+    // The narrowed window really brackets the violation: resuming the
+    // lo snapshot and advancing to hi reproduces it...
+    {
+        ServerSim sim(cfg, "BFS", 2);
+        auto ar = hh::snap::Archive::forLoad(w.loState);
+        sim.loadState(ar);
+        ASSERT_TRUE(ar.ok()) << ar.error();
+        EXPECT_LE(sim.now(), w.lo);
+        sim.advanceRun(w.hi);
+        ASSERT_NE(sim.auditor(), nullptr);
+        EXPECT_GT(sim.auditor()->violationCount(), 0u);
+        EXPECT_EQ(sim.auditor()->violations().front().time, w.hi);
+    }
+    // ...while the state at lo itself is violation-free.
+    {
+        ServerSim sim(cfg, "BFS", 2);
+        auto ar = hh::snap::Archive::forLoad(w.loState);
+        sim.loadState(ar);
+        ASSERT_TRUE(ar.ok()) << ar.error();
+        ASSERT_NE(sim.auditor(), nullptr);
+        EXPECT_EQ(sim.auditor()->violationCount(), 0u);
+    }
+}

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Unit tests for the snapshot subsystem's component round-trips: Rng
+ * position-exactness and stream independence, SubQueue state with
+ * overflow pending, a cache hierarchy mid-flush (hidden harvest
+ * ways), and a full server saved while a lend/reclaim race is in
+ * flight (the PR-1 regression state).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "cluster/server.h"
+#include "cluster/system_config.h"
+#include "core/rq.h"
+#include "sim/rng.h"
+#include "snapshot/archive.h"
+
+using hh::snap::Archive;
+
+namespace {
+
+std::vector<std::uint8_t>
+saveRng(hh::sim::Rng &rng)
+{
+    auto ar = Archive::forSave();
+    rng.serialize(ar);
+    EXPECT_TRUE(ar.ok());
+    return ar.take();
+}
+
+void
+loadRng(hh::sim::Rng &rng, const std::vector<std::uint8_t> &bytes)
+{
+    auto ar = Archive::forLoad(bytes);
+    rng.serialize(ar);
+    EXPECT_TRUE(ar.ok());
+}
+
+} // namespace
+
+TEST(SnapshotRng, RestoreIsPositionExact)
+{
+    hh::sim::Rng rng(42, 7);
+    for (int i = 0; i < 1000; ++i)
+        rng.next();
+
+    const auto bytes = saveRng(rng);
+
+    // Reference continuation from the save point.
+    std::vector<std::uint64_t> want;
+    for (int i = 0; i < 64; ++i)
+        want.push_back(rng.next());
+
+    // Restore into a generator with a completely different identity.
+    hh::sim::Rng other(999, 123);
+    loadRng(other, bytes);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(other.next(), want[i]) << "draw " << i;
+}
+
+TEST(SnapshotRng, CachedBoxMullerNormalSurvives)
+{
+    hh::sim::Rng rng(7, 1);
+    // An odd number of normal() draws leaves one cached variate.
+    rng.normal();
+
+    const auto bytes = saveRng(rng);
+    const double want_n = rng.normal();
+    const std::uint64_t want_u = rng.next();
+
+    hh::sim::Rng other(1, 2);
+    loadRng(other, bytes);
+    EXPECT_EQ(other.normal(), want_n);
+    EXPECT_EQ(other.next(), want_u);
+}
+
+TEST(SnapshotRng, RestoreDoesNotPerturbOtherStreams)
+{
+    // Two independent streams of one experiment seed.
+    hh::sim::Rng a(5, 1);
+    hh::sim::Rng b(5, 2);
+    for (int i = 0; i < 10; ++i)
+        a.next();
+
+    // b's future draws must be the same whether or not a is
+    // saved/restored around them.
+    hh::sim::Rng b_ref(5, 2);
+    const auto bytes = saveRng(a);
+    loadRng(a, bytes);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(b.next(), b_ref.next());
+
+    // And distinct streams stay distinct after a restore.
+    hh::sim::Rng c(5, 3);
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(SnapshotRq, OverflowPendingRoundTrip)
+{
+    // 2 chunks of 4 entries; give the subqueue one chunk so pushing
+    // 7 requests leaves 3 waiting in the in-memory overflow subqueue.
+    hh::core::RequestQueue rq(2, 4);
+    hh::core::SubQueue q(rq);
+    const int chunk = rq.allocChunk();
+    ASSERT_GE(chunk, 0);
+    ASSERT_TRUE(q.addChunk(static_cast<unsigned>(chunk)));
+    for (std::uint64_t p = 1; p <= 7; ++p)
+        q.enqueue(p);
+    // Put one entry in each non-ready state too.
+    ASSERT_TRUE(q.dequeue().has_value()); // payload 1 -> running
+    ASSERT_TRUE(q.dequeue().has_value()); // payload 2 -> running
+    q.markBlocked(2);
+    ASSERT_EQ(q.overflowSize(), 3u);
+
+    auto save = Archive::forSave();
+    rq.serialize(save);
+    q.serialize(save);
+    ASSERT_TRUE(save.ok());
+
+    hh::core::RequestQueue rq2(2, 4);
+    hh::core::SubQueue q2(rq2);
+    auto load = Archive::forLoad(save.take());
+    rq2.serialize(load);
+    q2.serialize(load);
+    ASSERT_TRUE(load.ok());
+
+    EXPECT_EQ(rq2.freeChunks(), rq.freeChunks());
+    EXPECT_EQ(q2.rqMap(), q.rqMap());
+    EXPECT_EQ(q2.readyEntries(), q.readyEntries());
+    EXPECT_EQ(q2.runningEntries(), q.runningEntries());
+    EXPECT_EQ(q2.blockedEntries(), q.blockedEntries());
+    EXPECT_EQ(q2.overflowEntries(), q.overflowEntries());
+
+    // Both queues must now evolve identically: completing the running
+    // request frees a slot and drains the oldest overflow entry.
+    q.complete(1);
+    q2.complete(1);
+    EXPECT_EQ(q2.overflowEntries(), q.overflowEntries());
+    EXPECT_EQ(q2.readyEntries(), q.readyEntries());
+    while (auto id = q.dequeue()) {
+        auto id2 = q2.dequeue();
+        ASSERT_TRUE(id2.has_value());
+        EXPECT_EQ(*id2, *id);
+        q.complete(*id);
+        q2.complete(*id2);
+    }
+    EXPECT_FALSE(q2.dequeue().has_value());
+    // Drain the remaining bookkeeping so teardown doesn't count the
+    // test's synthetic payloads as leaks.
+    q.markReady(2);
+    q2.markReady(2);
+    while (auto id = q.dequeue()) {
+        q.complete(*id);
+        auto id2 = q2.dequeue();
+        ASSERT_TRUE(id2.has_value());
+        q2.complete(*id2);
+    }
+}
+
+namespace {
+
+hh::cache::HierarchyConfig
+partitionedConfig()
+{
+    hh::cache::HierarchyConfig cfg;
+    cfg.l1d = hh::cache::Geometry{8, 4, 5};
+    cfg.l1i = hh::cache::Geometry{8, 4, 5};
+    cfg.l2 = hh::cache::Geometry{16, 4, 13};
+    cfg.l1tlb = hh::cache::Geometry{4, 4, 2};
+    cfg.l2tlb = hh::cache::Geometry{8, 4, 12};
+    cfg.partitioning = true;
+    return cfg;
+}
+
+hh::cache::MemAccess
+dataAccess(hh::cache::Addr page, std::uint32_t line = 0)
+{
+    hh::cache::MemAccess a;
+    a.page = page;
+    a.line = line;
+    a.isInstr = false;
+    a.shared = true;
+    return a;
+}
+
+} // namespace
+
+TEST(SnapshotHierarchy, MidFlushHiddenWaysRoundTrip)
+{
+    using hh::sim::Cycles;
+    auto cfg = partitionedConfig();
+    hh::cache::CoreHierarchy h(cfg, nullptr, nullptr);
+
+    // Warm a working set, then flush the harvest region with the
+    // hiding window still open at save time.
+    for (hh::cache::Addr p = 1; p <= 16; ++p)
+        h.access(100, dataAccess(p, static_cast<std::uint32_t>(p)));
+    const Cycles flush_at = 2000;
+    const Cycles bound = 100000;
+    h.flushHarvestRegion(flush_at, bound);
+
+    auto save = Archive::forSave();
+    h.serialize(save);
+    ASSERT_TRUE(save.ok());
+
+    hh::cache::CoreHierarchy h2(cfg, nullptr, nullptr);
+    auto load = Archive::forLoad(save.take());
+    h2.serialize(load);
+    ASSERT_TRUE(load.ok());
+
+    // Identical access streams both inside the hiding window and
+    // after it expires must cost identical latencies: the restored
+    // hierarchy carries the same contents, replacement state and
+    // harvest_visible_at_.
+    Cycles t = flush_at + 10;
+    for (hh::cache::Addr p = 1; p <= 24; ++p) {
+        const auto a =
+            dataAccess(p, static_cast<std::uint32_t>(7 * p));
+        EXPECT_EQ(h2.access(t, a), h.access(t, a)) << "page " << p;
+        t += 50;
+    }
+    t = flush_at + bound + 10; // window expired
+    for (hh::cache::Addr p = 1; p <= 24; ++p) {
+        const auto a =
+            dataAccess(p, static_cast<std::uint32_t>(3 * p));
+        EXPECT_EQ(h2.access(t, a), h.access(t, a)) << "page " << p;
+        t += 50;
+    }
+    EXPECT_EQ(h2.accesses(), h.accesses());
+}
+
+TEST(SnapshotServer, RaceStateMidRunRoundTrip)
+{
+    // The PR-1 regression state: untracked lend completions (the
+    // resurrected race) with fault injection stirring reclaims into
+    // transitions, auditing on. A snapshot taken mid-run must capture
+    // the in-flight lend/reclaim events and replay to the same
+    // violations, fault schedule and results.
+    hh::cluster::SystemConfig cfg = hh::cluster::makeSystem(
+        hh::cluster::SystemKind::HardHarvestBlock);
+    cfg.requestsPerVm = 30;
+    cfg.accessSampling = 32;
+    cfg.auditEnabled = true;
+    cfg.auditPeriod = 64;
+    cfg.auditStopOnViolation = true;
+    cfg.faults.enabled = true;
+    cfg.faults.resurrectLendRace = true;
+    cfg.faults.meanPeriod = hh::sim::usToCycles(5);
+    cfg.faults.startAt = hh::sim::usToCycles(10);
+    cfg.faults.actionsPerTick = 6;
+
+    const hh::sim::Cycles T = hh::sim::usToCycles(60);
+
+    hh::cluster::ServerSim a(cfg, "BFS", 2);
+    a.startRun();
+    a.advanceRun(T);
+    auto save = Archive::forSave();
+    a.saveState(save);
+    ASSERT_TRUE(save.ok()) << save.error();
+
+    a.advanceRun(hh::cluster::ServerSim::horizon());
+    const hh::cluster::ServerResults ra = a.finishRun();
+
+    hh::cluster::ServerSim b(cfg, "BFS", 2);
+    auto load = Archive::forLoad(save.take());
+    b.loadState(load);
+    ASSERT_TRUE(load.ok()) << load.error();
+    b.advanceRun(hh::cluster::ServerSim::horizon());
+    const hh::cluster::ServerResults rb = b.finishRun();
+
+    EXPECT_EQ(rb.auditViolations, ra.auditViolations);
+    EXPECT_EQ(rb.auditsRun, ra.auditsRun);
+    EXPECT_EQ(rb.faultsInjected, ra.faultsInjected);
+    EXPECT_EQ(rb.coreLoans, ra.coreLoans);
+    EXPECT_EQ(rb.coreReclaims, ra.coreReclaims);
+    EXPECT_EQ(rb.elapsedSec, ra.elapsedSec);
+    ASSERT_EQ(rb.services.size(), ra.services.size());
+    for (std::size_t i = 0; i < ra.services.size(); ++i) {
+        EXPECT_EQ(rb.services[i].count, ra.services[i].count);
+        EXPECT_EQ(rb.services[i].p99Ms, ra.services[i].p99Ms);
+        EXPECT_EQ(rb.services[i].meanMs, ra.services[i].meanMs);
+    }
+    ASSERT_EQ(rb.auditReports.size(), ra.auditReports.size());
+    for (std::size_t i = 0; i < ra.auditReports.size(); ++i) {
+        EXPECT_EQ(rb.auditReports[i].time, ra.auditReports[i].time);
+        EXPECT_EQ(rb.auditReports[i].message,
+                  ra.auditReports[i].message);
+    }
+}
+
+TEST(SnapshotServer, ObservabilityMismatchIsRejected)
+{
+    hh::cluster::SystemConfig cfg = hh::cluster::makeSystem(
+        hh::cluster::SystemKind::HardHarvestBlock);
+    cfg.requestsPerVm = 40;
+    cfg.auditEnabled = true;
+
+    hh::cluster::ServerSim a(cfg, "BFS", 3);
+    a.startRun();
+    a.advanceRun(hh::sim::msToCycles(0.5));
+    auto save = Archive::forSave();
+    a.saveState(save);
+    ASSERT_TRUE(save.ok());
+
+    // Restore into a server without the auditor: clear error, not
+    // silent divergence.
+    hh::cluster::SystemConfig plain = cfg;
+    plain.auditEnabled = false;
+    hh::cluster::ServerSim b(plain, "BFS", 3);
+    auto load = Archive::forLoad(save.take());
+    b.loadState(load);
+    EXPECT_FALSE(load.ok());
+    EXPECT_NE(load.error().find("observability"), std::string::npos)
+        << load.error();
+}
