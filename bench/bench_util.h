@@ -267,6 +267,24 @@ struct ObsSink
 };
 
 /**
+ * Shared `main()` skeleton of the figure binaries: env-driven scale
+ * (HH_REQUESTS / HH_SERVERS / HH_SAMPLING / HH_SEED), observability
+ * argument parsing, and end-of-run trace/metrics file emission.
+ * @p body receives the parsed scale, options, and sink and runs the
+ * figure; the process exit code reports sink I/O failures.
+ */
+template <class Body>
+inline int
+figureMain(int argc, char **argv, Body &&body)
+{
+    BenchScale scale;
+    const ObsOptions obs = parseObsArgs(argc, argv);
+    ObsSink sink(obs);
+    body(scale, obs, sink);
+    return sink.finish();
+}
+
+/**
  * Run one server simulation per sweep point, in parallel (one
  * thread-pool task per point; workers from HH_THREADS or hardware
  * concurrency). Results come back in sweep order and are identical

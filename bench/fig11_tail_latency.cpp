@@ -6,69 +6,26 @@
  * Paper headline: Harvest-Term / Harvest-Block average 3.4x / 4.1x
  * NoHarvest; HardHarvest-Term/Block reduce Harvest-Term's tail by
  * ~83% and land 30.5% / 28.4% below NoHarvest.
+ *
+ * Thin wrapper over Fig11Harness (figures.h): the same jobs, run
+ * through the experiment engine's scheduler, render byte-identically
+ * to the pre-engine binary. `bench/repro_all` runs the same harness
+ * with memoization and fidelity gating on top.
  */
 
-#include "bench_util.h"
+#include "figures.h"
 
 int
 main(int argc, char **argv)
 {
     using namespace hh::bench;
-    using namespace hh::cluster;
-
-    BenchScale scale;
-    const ObsOptions obs = parseObsArgs(argc, argv);
-    ObsSink sink(obs);
-    printHeader("Figure 11",
-                "P99 tail latency of Primary VMs, 5 systems [ms]");
-
-    const SystemKind kinds[] = {
-        SystemKind::NoHarvest, SystemKind::HarvestTerm,
-        SystemKind::HarvestBlock, SystemKind::HardHarvestTerm,
-        SystemKind::HardHarvestBlock};
-
-    std::vector<std::string> series;
-    std::vector<SystemConfig> cfgs;
-    for (const SystemKind kind : kinds) {
-        SystemConfig cfg = makeSystem(kind);
-        applyScale(cfg, scale);
-        applyObs(cfg, obs);
-        cfgs.push_back(cfg);
-        series.emplace_back(systemName(kind));
-    }
-    std::vector<ServerResults> full =
-        runServerSweep(cfgs, "BFS", scale.seed);
-
-    std::vector<std::vector<ServiceResult>> runs;
-    std::vector<double> avg_p99;
-    for (std::size_t i = 0; i < full.size(); ++i) {
-        ServerResults &res = full[i];
-        sink.collect(res, series[i]);
-        runs.push_back(res.services);
-        avg_p99.push_back(res.avgP99Ms());
-    }
-
-    printServiceTable(series, runs, "p99[ms]",
-                      [](const ServiceResult &r) { return r.p99Ms; });
-
-    std::printf("\nRatios vs NoHarvest (paper: 3.4x, 4.1x, 0.70x, "
-                "0.72x):\n");
-    for (std::size_t i = 1; i < series.size(); ++i) {
-        std::printf("  %-18s %.2fx\n", series[i].c_str(),
-                    avg_p99[i] / avg_p99[0]);
-    }
-    std::printf("Reduction of HardHarvest-Block vs Harvest-Term "
-                "(paper: 83.3%%): %.1f%%\n",
-                100.0 * (1.0 - avg_p99[4] / avg_p99[1]));
-
-    std::printf("\n%-18s %10s %10s %10s\n", "system", "busyCores",
-                "loans", "reclaims");
-    for (std::size_t i = 0; i < series.size(); ++i) {
-        std::printf("%-18s %10.1f %10llu %10llu\n", series[i].c_str(),
-                    full[i].avgBusyCores,
-                    static_cast<unsigned long long>(full[i].coreLoans),
-                    static_cast<unsigned long long>(
-                        full[i].coreReclaims));
-    }
-    return sink.finish();
+    return figureMain(argc, argv,
+                      [](const BenchScale &scale, const ObsOptions &obs,
+                         ObsSink &sink) {
+                          Fig11Harness fig(scale, obs);
+                          hh::exp::JobScheduler sched;
+                          fig.submit(sched);
+                          sched.run();
+                          fig.print(sched, sink);
+                      });
 }

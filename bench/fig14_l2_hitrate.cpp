@@ -4,219 +4,29 @@
  * vanilla LRU, RRIP, the HardHarvest policy (Algorithm 1), and the
  * offline-optimal Belady.
  *
- * Methodology: for each service we generate the post-L1 access
- * stream of a HardHarvest-Block-like core — interleaving Primary
- * invocations with Harvest-VM episodes on the borrowed core and the
- * harvest-region flushes at every transition — then replay the
- * identical stream into an L2-configured array per policy. The
- * Belady oracle is built from the same stream.
+ * Methodology lives in Fig14Harness (bench/figures.cc): for each
+ * service we generate the post-L1 access stream of a
+ * HardHarvest-Block-like core, then replay the identical stream into
+ * an L2-configured array per policy. The Belady oracle is built from
+ * the same stream.
  *
  * Paper: HardHarvest improves the L2 hit rate over LRU and RRIP by
  * 11.3% and 8.2%, and is within 3.1% of Belady.
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "bench_util.h"
-#include "cache/repl_belady.h"
-#include "cache/repl_lru.h"
-#include "cache/set_assoc.h"
-#include "workload/batch.h"
-#include "workload/service.h"
-
-namespace {
-
-using namespace hh::cache;
-
-struct TraceEvent
-{
-    Addr key = 0;
-    bool shared = false;
-    bool primary = false; //!< Primary-VM reference (counted).
-    bool flushHarvest = false; //!< Region-flush marker.
-};
-
-/**
- * Generate the post-L1 stream: invocations of one service, with a
- * harvest episode (batch accesses on the borrowed core, restricted
- * to the harvest ways) every few invocations.
- */
-std::vector<TraceEvent>
-makeTrace(const hh::workload::ServiceSpec &spec, std::uint64_t seed,
-          unsigned invocations)
-{
-    hh::workload::ServiceWorkload svc(spec, 1, seed);
-    hh::workload::BatchWorkload batch(
-        hh::workload::batchByName("PRank"), 99, seed);
-
-    // L1 filter shared by the whole stream (one physical core).
-    SetAssocArray l1d(kL1D, std::make_unique<LruPolicy>());
-    SetAssocArray l1i(kL1I, std::make_unique<LruPolicy>());
-
-    std::vector<TraceEvent> trace;
-    hh::sim::Rng rng(seed, 0xF16);
-    for (unsigned inv = 0; inv < invocations; ++inv) {
-        const auto plan = svc.planInvocation();
-        for (int i = 0; i < 2500; ++i) {
-            const auto a = svc.nextAccess(plan);
-            const Addr key = a.page * kLinesPerPage + a.line;
-            SetAssocArray &l1 = a.isInstr ? l1i : l1d;
-            if (!l1.access(key, a.shared).hit) {
-                trace.push_back(
-                    {key, a.isInstr || a.shared, true, false});
-            }
-        }
-        // Harvest episode on a fraction of invocation gaps.
-        if (rng.bernoulli(0.125)) {
-            trace.push_back({0, false, false, true});
-            for (int i = 0; i < 200; ++i) {
-                const auto a = batch.nextAccess();
-                const Addr key = a.page * kLinesPerPage + a.line;
-                SetAssocArray &l1 = a.isInstr ? l1i : l1d;
-                // The borrowed core's L1 harvest region was flushed;
-                // approximate with a plain lookup (the L2 effect is
-                // what this experiment measures).
-                if (!l1.access(key, false).hit)
-                    trace.push_back({key, false, false, false});
-            }
-            trace.push_back({0, false, false, true});
-        }
-    }
-    return trace;
-}
-
-/** Replay the trace into an L2 array with the given policy. */
-double
-replay(const std::vector<TraceEvent> &trace,
-       std::unique_ptr<ReplacementPolicy> policy, double candidates)
-{
-    SetAssocArray l2(kL2, std::move(policy));
-    l2.setHarvestWayCount(4); // 50% of 8 ways
-    l2.setCandidateFraction(candidates);
-    const WayMask harvest = l2.harvestWays();
-    const WayMask all = l2.allWays();
-    std::uint64_t hits = 0;
-    std::uint64_t refs = 0;
-    bool in_harvest = false;
-    for (const auto &e : trace) {
-        if (e.flushHarvest) {
-            l2.flushWays(harvest);
-            in_harvest = !in_harvest;
-            continue;
-        }
-        const WayMask allowed = in_harvest ? harvest : all;
-        const bool hit = l2.access(e.key, e.shared, allowed).hit;
-        if (e.primary) {
-            ++refs;
-            hits += hit ? 1 : 0;
-        }
-    }
-    return refs ? static_cast<double>(hits) /
-                      static_cast<double>(refs)
-                : 0.0;
-}
-
-/** Trace keys only (oracle construction). */
-std::vector<Addr>
-keysOf(const std::vector<TraceEvent> &trace)
-{
-    std::vector<Addr> keys;
-    for (const auto &e : trace) {
-        if (!e.flushHarvest)
-            keys.push_back(e.key);
-    }
-    return keys;
-}
-
-/** Belady needs per-access bookkeeping; skip flush markers. */
-double
-replayBelady(const std::vector<TraceEvent> &trace)
-{
-    const auto keys = keysOf(trace);
-    NextUseOracle oracle(keys);
-    SetAssocArray l2(kL2, std::make_unique<BeladyPolicy>(oracle));
-    l2.setHarvestWayCount(4);
-    const WayMask harvest = l2.harvestWays();
-    const WayMask all = l2.allWays();
-    std::uint64_t hits = 0;
-    std::uint64_t refs = 0;
-    bool in_harvest = false;
-    for (const auto &e : trace) {
-        if (e.flushHarvest) {
-            // The ideal bar is flush-free clairvoyant replacement:
-            // an upper bound no online, flushed policy can reach.
-            in_harvest = !in_harvest;
-            continue;
-        }
-        const WayMask allowed = in_harvest ? harvest : all;
-        const bool hit = l2.access(e.key, e.shared, allowed).hit;
-        if (e.primary) {
-            ++refs;
-            hits += hit ? 1 : 0;
-        }
-    }
-    return refs ? static_cast<double>(hits) /
-                      static_cast<double>(refs)
-                : 0.0;
-}
-
-} // namespace
+#include "figures.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hh::bench;
-    BenchScale scale;
-    printHeader("Figure 14",
-                "L2 hit rate under different replacement policies");
-
-    std::printf("%-10s %10s %10s %12s %10s\n", "service", "LRU",
-                "RRIP", "HardHarvest", "Belady");
-    double a_lru = 0;
-    double a_rrip = 0;
-    double a_hh = 0;
-    double a_bel = 0;
-    const auto services = hh::workload::deathStarBenchServices();
-
-    // One parallel task per service: trace generation + the four
-    // replays are independent across services.
-    struct Rates
-    {
-        double lru = 0, rrip = 0, hh = 0, bel = 0;
-    };
-    const auto rates = hh::cluster::runParallel<Rates>(
-        services.size(), [&services, &scale](std::size_t i) {
-            const auto trace =
-                makeTrace(services[i], scale.seed, 60);
-            Rates r;
-            r.lru = replay(trace, makePolicy(ReplKind::LRU), 1.0);
-            r.rrip = replay(trace, makePolicy(ReplKind::RRIP), 1.0);
-            r.hh = replay(trace, makePolicy(ReplKind::HardHarvest),
-                          0.75);
-            r.bel = replayBelady(trace);
-            return r;
-        });
-
-    for (std::size_t i = 0; i < services.size(); ++i) {
-        const Rates &r = rates[i];
-        std::printf("%-10s %9.1f%% %9.1f%% %11.1f%% %9.1f%%\n",
-                    services[i].name.c_str(), r.lru * 100,
-                    r.rrip * 100, r.hh * 100, r.bel * 100);
-        a_lru += r.lru;
-        a_rrip += r.rrip;
-        a_hh += r.hh;
-        a_bel += r.bel;
-    }
-    const double n = static_cast<double>(services.size());
-    std::printf("%-10s %9.1f%% %9.1f%% %11.1f%% %9.1f%%\n", "Avg",
-                a_lru / n * 100, a_rrip / n * 100, a_hh / n * 100,
-                a_bel / n * 100);
-    std::printf("\nHardHarvest vs LRU:  +%.1f%% (paper: +11.3%%)\n",
-                (a_hh - a_lru) / n * 100);
-    std::printf("HardHarvest vs RRIP: +%.1f%% (paper: +8.2%%)\n",
-                (a_hh - a_rrip) / n * 100);
-    std::printf("Belady - HardHarvest: %.1f%% (paper: 3.1%%)\n",
-                (a_bel - a_hh) / n * 100);
-    return 0;
+    return figureMain(argc, argv,
+                      [](const BenchScale &scale, const ObsOptions &,
+                         ObsSink &) {
+                          Fig14Harness fig(scale);
+                          hh::exp::JobScheduler sched;
+                          fig.submit(sched);
+                          sched.run();
+                          fig.print(sched);
+                      });
 }

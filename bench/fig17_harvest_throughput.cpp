@@ -9,61 +9,24 @@
  *
  * HH_SERVERS selects how many of the 8 batch applications to run
  * (each requires 5 full-system simulations).
+ *
+ * Thin wrapper over Fig17Harness (figures.h); see fig11 for the
+ * engine plumbing rationale.
  */
 
-#include "bench_util.h"
-#include "workload/batch.h"
+#include "figures.h"
 
 int
 main(int argc, char **argv)
 {
     using namespace hh::bench;
-    using namespace hh::cluster;
-
-    BenchScale scale;
-    const ObsOptions obs = parseObsArgs(argc, argv);
-    ObsSink sink(obs);
-    printHeader("Figure 17",
-                "Harvest VM throughput normalized to NoHarvest");
-
-    const SystemKind kinds[] = {
-        SystemKind::NoHarvest, SystemKind::HarvestTerm,
-        SystemKind::HarvestBlock, SystemKind::HardHarvestTerm,
-        SystemKind::HardHarvestBlock};
-
-    const auto apps = hh::workload::batchApplications();
-    const unsigned n_apps = std::min<unsigned>(
-        scale.servers, static_cast<unsigned>(apps.size()));
-
-    std::printf("%-10s", "app");
-    for (const SystemKind kind : kinds)
-        std::printf(" %18s", systemName(kind));
-    std::printf("\n");
-
-    std::vector<double> avg(5, 0.0);
-    for (unsigned a = 0; a < n_apps; ++a) {
-        std::vector<double> tput;
-        for (const SystemKind kind : kinds) {
-            SystemConfig cfg = makeSystem(kind);
-            applyScale(cfg, scale);
-            applyObs(cfg, obs);
-            auto res = runServer(cfg, apps[a].name, scale.seed);
-            sink.collect(res, apps[a].name + "/" +
-                                  systemName(kind));
-            tput.push_back(res.batchThroughput);
-        }
-        std::printf("%-10s", apps[a].name.c_str());
-        for (std::size_t s = 0; s < tput.size(); ++s) {
-            const double norm = tput[s] / tput[0];
-            avg[s] += norm;
-            std::printf(" %18.2f", norm);
-        }
-        std::printf("\n");
-    }
-    std::printf("%-10s", "Average");
-    for (std::size_t s = 0; s < avg.size(); ++s)
-        std::printf(" %18.2f", avg[s] / n_apps);
-    std::printf("\n\n(paper averages: 1.0, 1.7x, ~1.9x, ~2.8x, "
-                "3.1x)\n");
-    return sink.finish();
+    return figureMain(argc, argv,
+                      [](const BenchScale &scale, const ObsOptions &obs,
+                         ObsSink &sink) {
+                          Fig17Harness fig(scale, obs);
+                          hh::exp::JobScheduler sched;
+                          fig.submit(sched);
+                          sched.run();
+                          fig.print(sched, sink);
+                      });
 }

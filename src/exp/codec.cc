@@ -1,0 +1,112 @@
+#include "exp/codec.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace hh::exp {
+
+namespace {
+
+/** Read one whitespace-delimited token; false at end of input. */
+bool
+nextToken(std::istringstream &is, std::string *tok)
+{
+    return static_cast<bool>(is >> *tok);
+}
+
+/**
+ * Parse a double written by the encoder. operator>> cannot be used
+ * here: libstdc++ num_get does not accept hexfloat input, strtod
+ * does.
+ */
+bool
+readDouble(std::istringstream &is, double *out)
+{
+    std::string tok;
+    if (!nextToken(is, &tok))
+        return false;
+    char *end = nullptr;
+    *out = std::strtod(tok.c_str(), &end);
+    return end != tok.c_str() && *end == '\0';
+}
+
+bool
+readU64(std::istringstream &is, std::uint64_t *out)
+{
+    std::string tok;
+    if (!nextToken(is, &tok))
+        return false;
+    char *end = nullptr;
+    *out = std::strtoull(tok.c_str(), &end, 10);
+    return end != tok.c_str() && *end == '\0';
+}
+
+} // namespace
+
+std::string
+encodeServerResults(const hh::cluster::ServerResults &r)
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << "services " << r.services.size() << '\n';
+    for (const auto &s : r.services) {
+        os << s.name << ' ' << s.count << ' ' << s.meanMs << ' '
+           << s.p50Ms << ' ' << s.p99Ms << ' ' << s.queueMs << ' '
+           << s.reassignMs << ' ' << s.flushMs << ' ' << s.execMs
+           << ' ' << s.ioMs << '\n';
+    }
+    os << "scalars " << r.elapsedSec << ' ' << r.batchTasksCompleted
+       << ' ' << r.batchThroughput << ' ' << r.avgBusyCores << ' '
+       << r.utilization << ' ' << r.coreLoans << ' ' << r.coreReclaims
+       << ' ' << r.primaryL2HitRate << '\n';
+    return os.str();
+}
+
+bool
+decodeServerResults(const std::string &text,
+                    hh::cluster::ServerResults *out, std::string *error)
+{
+    const auto fail = [&](const char *what) {
+        if (error)
+            *error = std::string("ServerResults decode: ") + what;
+        return false;
+    };
+
+    hh::cluster::ServerResults r;
+    std::istringstream is(text);
+    std::string tok;
+    if (!nextToken(is, &tok) || tok != "services")
+        return fail("missing services header");
+    std::uint64_t n = 0;
+    if (!readU64(is, &n))
+        return fail("bad service count");
+    for (std::uint64_t i = 0; i < n; ++i) {
+        hh::cluster::ServiceResult s;
+        if (!nextToken(is, &s.name))
+            return fail("truncated service row");
+        if (!readU64(is, &s.count) || !readDouble(is, &s.meanMs) ||
+            !readDouble(is, &s.p50Ms) || !readDouble(is, &s.p99Ms) ||
+            !readDouble(is, &s.queueMs) ||
+            !readDouble(is, &s.reassignMs) ||
+            !readDouble(is, &s.flushMs) ||
+            !readDouble(is, &s.execMs) || !readDouble(is, &s.ioMs))
+            return fail("bad service row");
+        r.services.push_back(std::move(s));
+    }
+    if (!nextToken(is, &tok) || tok != "scalars")
+        return fail("missing scalars header");
+    if (!readDouble(is, &r.elapsedSec) ||
+        !readU64(is, &r.batchTasksCompleted) ||
+        !readDouble(is, &r.batchThroughput) ||
+        !readDouble(is, &r.avgBusyCores) ||
+        !readDouble(is, &r.utilization) ||
+        !readU64(is, &r.coreLoans) || !readU64(is, &r.coreReclaims) ||
+        !readDouble(is, &r.primaryL2HitRate))
+        return fail("bad scalars row");
+    if (nextToken(is, &tok))
+        return fail("trailing data");
+    *out = std::move(r);
+    return true;
+}
+
+} // namespace hh::exp

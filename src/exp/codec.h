@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Exact text round-trip of ServerResults for the result ledger.
+ *
+ * Doubles are written as C hexfloats and parsed with strtod, so a
+ * decoded ServerResults compares bit-identical to the original — the
+ * property the memoization cache needs for `repro_all` to reproduce
+ * figure outputs byte-for-byte from cached rows.
+ *
+ * Only the figure-facing fields are covered (service latencies,
+ * throughput, utilization, loan counters). Observability and audit
+ * payloads are deliberately excluded: the JobScheduler never memoizes
+ * runs that have tracing, metric sampling, auditing or fault
+ * injection enabled, so nothing is lost.
+ */
+
+#ifndef HH_EXP_CODEC_H
+#define HH_EXP_CODEC_H
+
+#include <string>
+
+#include "cluster/server.h"
+
+namespace hh::exp {
+
+/** Canonical text encoding of the figure-facing result fields. */
+std::string encodeServerResults(const hh::cluster::ServerResults &r);
+
+/**
+ * Inverse of encodeServerResults().
+ *
+ * @return false (and sets @p error) on malformed input; @p out is
+ *         then unspecified.
+ */
+bool decodeServerResults(const std::string &text,
+                         hh::cluster::ServerResults *out,
+                         std::string *error);
+
+} // namespace hh::exp
+
+#endif // HH_EXP_CODEC_H

@@ -1,0 +1,265 @@
+#include "exp/fidelity.h"
+
+#include <cstdio>
+
+#include "sim/log.h"
+
+namespace hh::exp {
+
+namespace {
+
+std::string
+num(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+    return buf;
+}
+
+} // namespace
+
+double
+MeasurementSet::get(const std::string &name) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        hh::sim::fatal("MeasurementSet: no measurement \"", name,
+                       "\"");
+    return it->second;
+}
+
+std::vector<FidelityOutcome>
+evaluateFidelity(const std::vector<FidelityCheck> &checks,
+                 const MeasurementSet &m, GateLevel level)
+{
+    std::vector<FidelityOutcome> out;
+    for (const FidelityCheck &c : checks) {
+        FidelityOutcome o;
+        o.id = c.id;
+        o.paperRow = c.paperRow;
+
+        const bool needs_full =
+            c.fullOnly || c.kind == FidelityCheck::Kind::Band;
+        if (needs_full && level != GateLevel::Full) {
+            o.status = FidelityOutcome::Status::Skipped;
+            o.detail = "full-scale check (gate level: direction)";
+            out.push_back(std::move(o));
+            continue;
+        }
+
+        std::string missing;
+        for (const std::string &t : c.terms) {
+            if (!m.has(t)) {
+                missing = t;
+                break;
+            }
+        }
+        if (!missing.empty()) {
+            o.status = FidelityOutcome::Status::Skipped;
+            o.detail = "measurement \"" + missing + "\" not produced "
+                       "by this invocation";
+            out.push_back(std::move(o));
+            continue;
+        }
+
+        switch (c.kind) {
+        case FidelityCheck::Kind::Less:
+        case FidelityCheck::Kind::Greater: {
+            const double a = m.get(c.terms.at(0));
+            const double b = c.terms.size() > 1 ? m.get(c.terms[1])
+                                                : c.constant;
+            const bool less = c.kind == FidelityCheck::Kind::Less;
+            const bool ok = less ? a < b : a > b;
+            o.status = ok ? FidelityOutcome::Status::Pass
+                          : FidelityOutcome::Status::Fail;
+            o.detail = c.terms.at(0) + "=" + num(a) +
+                       (less ? " < " : " > ") +
+                       (c.terms.size() > 1 ? c.terms[1] + "=" : "") +
+                       num(b);
+            break;
+        }
+        case FidelityCheck::Kind::Ordering: {
+            bool ok = true;
+            std::string chain;
+            for (std::size_t i = 0; i < c.terms.size(); ++i) {
+                const double v = m.get(c.terms[i]);
+                if (i > 0) {
+                    chain += " <= ";
+                    if (m.get(c.terms[i - 1]) > v)
+                        ok = false;
+                }
+                chain += c.terms[i] + "=" + num(v);
+            }
+            o.status = ok ? FidelityOutcome::Status::Pass
+                          : FidelityOutcome::Status::Fail;
+            o.detail = chain;
+            break;
+        }
+        case FidelityCheck::Kind::Band: {
+            const double v = m.get(c.terms.at(0));
+            const bool ok = c.lo <= v && v <= c.hi;
+            o.status = ok ? FidelityOutcome::Status::Pass
+                          : FidelityOutcome::Status::Fail;
+            o.detail = c.terms.at(0) + "=" + num(v) + " in [" +
+                       num(c.lo) + ", " + num(c.hi) + "]";
+            break;
+        }
+        }
+        out.push_back(std::move(o));
+    }
+    return out;
+}
+
+bool
+fidelityPassed(const std::vector<FidelityOutcome> &outcomes)
+{
+    for (const auto &o : outcomes) {
+        if (o.status == FidelityOutcome::Status::Fail)
+            return false;
+    }
+    return true;
+}
+
+std::vector<FidelityCheck>
+paperFidelityCatalogue()
+{
+    using K = FidelityCheck::Kind;
+    std::vector<FidelityCheck> c;
+    const auto add = [&](FidelityCheck chk) {
+        c.push_back(std::move(chk));
+    };
+
+    // ---- Headline table (EXPERIMENTS.md "Headline results") ----
+
+    // "Fig 11 Harvest-Term P99 vs NoHarvest | 3.4x | 3.53x | ✔"
+    add({"fig11.ht_above_noharvest",
+         "Fig 11 Harvest-Term P99 vs NoHarvest (3.4x)", K::Greater,
+         {"fig11.ht_over_noh"}, 1.0, 0, 0, false});
+    add({"fig11.ht_factor_band",
+         "Fig 11 Harvest-Term P99 vs NoHarvest (3.4x)", K::Band,
+         {"fig11.ht_over_noh"}, 0, 2.0, 6.0, false});
+
+    // "Fig 11 Harvest-Block ... ✔ (Block > Term preserved)"
+    add({"fig11.hb_above_noharvest",
+         "Fig 11 Harvest-Block P99 vs NoHarvest (4.1x)", K::Greater,
+         {"fig11.hb_over_noh"}, 1.0, 0, 0, false});
+    add({"fig11.hb_factor_band",
+         "Fig 11 Harvest-Block P99 vs NoHarvest (4.1x)", K::Band,
+         {"fig11.hb_over_noh"}, 0, 2.0, 6.0, false});
+    add({"fig11.block_above_term",
+         "Fig 11 Block > Term split preserved", K::Greater,
+         {"fig11.hb_over_noh", "fig11.ht_over_noh"}, 0, 0, 0,
+         /*fullOnly=*/true});
+
+    // "Fig 11 HardHarvest-Term vs NoHarvest | 0.70x | ✔ below"
+    add({"fig11.hht_below_noharvest",
+         "Fig 11 HardHarvest-Term vs NoHarvest (0.70x)", K::Less,
+         {"fig11.hht_over_noh"}, 1.0, 0, 0, false});
+    add({"fig11.hht_factor_band",
+         "Fig 11 HardHarvest-Term vs NoHarvest (0.70x)", K::Band,
+         {"fig11.hht_over_noh"}, 0, 0.4, 0.98, false});
+
+    // "Fig 11 HardHarvest-Block vs NoHarvest | 0.72x | ✔ below"
+    add({"fig11.hhb_below_noharvest",
+         "Fig 11 HardHarvest-Block vs NoHarvest (0.72x)", K::Less,
+         {"fig11.hhb_over_noh"}, 1.0, 0, 0, false});
+    add({"fig11.hhb_factor_band",
+         "Fig 11 HardHarvest-Block vs NoHarvest (0.72x)", K::Band,
+         {"fig11.hhb_over_noh"}, 0, 0.4, 0.98, false});
+
+    // "Fig 11 HardHarvest-Block vs Harvest-Term | -83.3% | ✔"
+    add({"fig11.hhb_reduces_ht_tail",
+         "Fig 11 HardHarvest-Block vs Harvest-Term (-83.3%)",
+         K::Greater, {"fig11.hhb_reduction_vs_ht"}, 0.0, 0, 0, false});
+    add({"fig11.hhb_reduction_band",
+         "Fig 11 HardHarvest-Block vs Harvest-Term (-83.3%)", K::Band,
+         {"fig11.hhb_reduction_vs_ht"}, 0, 0.5, 0.95, false});
+
+    // "Fig 16 HardHarvest-Block median vs NoHarvest | ✔ negative"
+    // (fig16 is not run by repro_all; skips until measured.)
+    add({"fig16.hhb_median_below_noharvest",
+         "Fig 16 HardHarvest-Block median vs NoHarvest (-26.1%)",
+         K::Less, {"fig16.hhb_median_delta"}, 0.0, 0, 0, false});
+
+    // "Fig 17 ... ordering ✔": HardHarvest > software > baseline.
+    add({"fig17.ht_above_baseline",
+         "Fig 17 software harvesting gains throughput (1.7x)",
+         K::Greater, {"fig17.ht_norm"}, 1.0, 0, 0, false});
+    add({"fig17.hhb_above_baseline",
+         "Fig 17 HardHarvest-Block gains throughput (3.1x)",
+         K::Greater, {"fig17.hhb_norm"}, 1.0, 0, 0, false});
+    add({"fig17.hardware_above_software",
+         "Fig 17 ordering: HardHarvest-Block > Harvest-Term",
+         K::Greater, {"fig17.hhb_norm", "fig17.ht_norm"}, 0, 0, 0,
+         false});
+
+    // "§6.7 busy cores | ✔ monotone split sw < hw"
+    add({"sec67.harvesting_raises_utilization",
+         "§6.7 busy cores: NoHarvest lowest", K::Less,
+         {"sec67.noh_busy", "sec67.ht_busy"}, 0, 0, 0, false});
+    add({"sec67.hardware_above_software",
+         "§6.7 busy cores: software < hardware harvesting", K::Less,
+         {"sec67.sw_max_busy", "sec67.hw_min_busy"}, 0, 0, 0, false});
+
+    // ---- Mechanism table (Figs 12-15, 18, 19, §6.3, §6.8) ----
+
+    // "Fig 12 | ✔ +Part largest step, endpoint ~79%" (not run yet).
+    add({"fig12.endpoint_reduction",
+         "Fig 12 cumulative reduction endpoint (85.6%)", K::Greater,
+         {"fig12.endpoint_reduction"}, 0.5, 0, 0, false});
+    add({"fig12.part_step_largest",
+         "Fig 12 +Part is the largest step", K::Greater,
+         {"fig12.part_step_minus_max_other"}, 0.0, 0, 0, false});
+
+    // "Fig 14 L2 hit rates | ✔ ordering"
+    add({"fig14.policy_ordering",
+         "Fig 14 L2 hit rate ordering LRU <= RRIP <= HH <= Belady",
+         K::Ordering,
+         {"fig14.lru", "fig14.rrip", "fig14.hh", "fig14.belady"}, 0, 0,
+         0, false});
+
+    // "Fig 14 HH policy vs LRU | +11.3% | +8.8% | ✔"
+    add({"fig14.hh_above_lru", "Fig 14 HardHarvest vs LRU (+11.3%)",
+         K::Greater, {"fig14.hh_minus_lru"}, 0.0, 0, 0, false});
+    add({"fig14.hh_vs_lru_band", "Fig 14 HardHarvest vs LRU (+11.3%)",
+         K::Band, {"fig14.hh_minus_lru"}, 0, 0.02, 0.20, false});
+
+    // "Fig 14 HH policy vs RRIP | +8.2% | +5.4% | ✔"
+    add({"fig14.hh_above_rrip", "Fig 14 HardHarvest vs RRIP (+8.2%)",
+         K::Greater, {"fig14.hh_minus_rrip"}, 0.0, 0, 0, false});
+    add({"fig14.hh_vs_rrip_band", "Fig 14 HardHarvest vs RRIP (+8.2%)",
+         K::Band, {"fig14.hh_minus_rrip"}, 0, 0.01, 0.15, false});
+
+    // "Fig 15 | ✔ monotone, close" (not run yet).
+    add({"fig15.endpoint_reduction",
+         "Fig 15 cumulative reductions without harvesting (33.6%)",
+         K::Band, {"fig15.endpoint_reduction"}, 0, 0.1, 0.5, false});
+
+    // "Fig 18 LLC size sensitivity | ✔" (not run yet).
+    add({"fig18.llc_sensitivity_small",
+         "Fig 18 LLC size sensitivity: small changes", K::Band,
+         {"fig18.max_abs_delta"}, 0, 0.0, 0.25, false});
+
+    // "Fig 19 eviction candidates, 75% best | ✔" (not run yet).
+    add({"fig19.best_fraction",
+         "Fig 19 U-shape around 75% candidate fraction", K::Band,
+         {"fig19.best_candidate_fraction"}, 0, 0.5, 0.9, false});
+
+    // "§6.3 CDP vs HardHarvest replacement | ✔ positive" (not run).
+    add({"sec63.cdp_worse",
+         "§6.3 CDP replacement raises tail vs HardHarvest (+8%)",
+         K::Greater, {"sec63.cdp_tail_delta"}, 0.0, 0, 0, false});
+
+    // "§6.8 storage / area / power | ✔ exact arithmetic" (not run).
+    add({"sec68.controller_storage",
+         "§6.8 controller storage (18.9 KB)", K::Band,
+         {"sec68.controller_kb"}, 0, 18.0, 20.0, false});
+    add({"sec68.shared_bits", "§6.8 Shared bits (67.8 KB)", K::Band,
+         {"sec68.shared_kb"}, 0, 60.0, 75.0, false});
+    add({"sec68.area_overhead", "§6.8 area overhead (0.19%)", K::Band,
+         {"sec68.area_pct"}, 0, 0.1, 0.3, false});
+
+    return c;
+}
+
+} // namespace hh::exp

@@ -1,0 +1,350 @@
+#include "exp/spec.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/log.h"
+#include "sim/time.h"
+
+namespace hh::exp {
+
+namespace {
+
+/** Split on whitespace. */
+std::vector<std::string>
+tokens(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream is(s);
+    std::string t;
+    while (is >> t)
+        out.push_back(t);
+    return out;
+}
+
+bool
+parseUnsigned(const std::string &v, unsigned *out)
+{
+    char *end = nullptr;
+    const unsigned long parsed = std::strtoul(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0')
+        return false;
+    *out = static_cast<unsigned>(parsed);
+    return true;
+}
+
+bool
+parseDouble(const std::string &v, double *out)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0')
+        return false;
+    *out = parsed;
+    return true;
+}
+
+bool
+parseBool(const std::string &v, bool *out)
+{
+    if (v == "true" || v == "1") {
+        *out = true;
+        return true;
+    }
+    if (v == "false" || v == "0") {
+        *out = false;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+systemKindByName(const std::string &name, hh::cluster::SystemKind *out)
+{
+    using hh::cluster::SystemKind;
+    static const std::pair<const char *, SystemKind> kNames[] = {
+        {"NoHarvest", SystemKind::NoHarvest},
+        {"Harvest-Term", SystemKind::HarvestTerm},
+        {"HarvestTerm", SystemKind::HarvestTerm},
+        {"Harvest-Block", SystemKind::HarvestBlock},
+        {"HarvestBlock", SystemKind::HarvestBlock},
+        {"HardHarvest-Term", SystemKind::HardHarvestTerm},
+        {"HardHarvestTerm", SystemKind::HardHarvestTerm},
+        {"HardHarvest-Block", SystemKind::HardHarvestBlock},
+        {"HardHarvestBlock", SystemKind::HardHarvestBlock},
+    };
+    for (const auto &[n, k] : kNames) {
+        if (name == n) {
+            *out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+applySpecKey(hh::cluster::SystemConfig &cfg, const std::string &key,
+             const std::string &value, std::string *error)
+{
+    const auto fail = [&](const char *what) {
+        if (error)
+            *error = "key \"" + key + "\": " + what + " \"" + value +
+                     "\"";
+        return false;
+    };
+
+    // unsigned fields
+    if (key == "requestsPerVm")
+        return parseUnsigned(value, &cfg.requestsPerVm) ||
+               fail("bad unsigned");
+    if (key == "accessSampling")
+        return parseUnsigned(value, &cfg.accessSampling) ||
+               fail("bad unsigned");
+    if (key == "cores")
+        return parseUnsigned(value, &cfg.cores) || fail("bad unsigned");
+    if (key == "primaryVms")
+        return parseUnsigned(value, &cfg.primaryVms) ||
+               fail("bad unsigned");
+    if (key == "coresPerPrimary")
+        return parseUnsigned(value, &cfg.coresPerPrimary) ||
+               fail("bad unsigned");
+    if (key == "hwEmergencyBuffer")
+        return parseUnsigned(value, &cfg.hwEmergencyBuffer) ||
+               fail("bad unsigned");
+
+    // double fields
+    if (key == "loadScale")
+        return parseDouble(value, &cfg.loadScale) || fail("bad double");
+    if (key == "warmupFraction")
+        return parseDouble(value, &cfg.warmupFraction) ||
+               fail("bad double");
+    if (key == "candidateFraction")
+        return parseDouble(value, &cfg.candidateFraction) ||
+               fail("bad double");
+    if (key == "harvestWayFraction")
+        return parseDouble(value, &cfg.harvestWayFraction) ||
+               fail("bad double");
+    if (key == "waysFraction")
+        return parseDouble(value, &cfg.waysFraction) ||
+               fail("bad double");
+    if (key == "llcMbPerCore")
+        return parseDouble(value, &cfg.llcMbPerCore) ||
+               fail("bad double");
+
+    // bool fields
+    if (key == "harvesting")
+        return parseBool(value, &cfg.harvesting) || fail("bad bool");
+    if (key == "harvestOnBlock")
+        return parseBool(value, &cfg.harvestOnBlock) ||
+               fail("bad bool");
+    if (key == "adaptiveHarvest")
+        return parseBool(value, &cfg.adaptiveHarvest) ||
+               fail("bad bool");
+    if (key == "hwSched")
+        return parseBool(value, &cfg.hwSched) || fail("bad bool");
+    if (key == "hwQueue")
+        return parseBool(value, &cfg.hwQueue) || fail("bad bool");
+    if (key == "hwCtxtSwitch")
+        return parseBool(value, &cfg.hwCtxtSwitch) || fail("bad bool");
+    if (key == "partitioning")
+        return parseBool(value, &cfg.partitioning) || fail("bad bool");
+    if (key == "efficientFlush")
+        return parseBool(value, &cfg.efficientFlush) ||
+               fail("bad bool");
+    if (key == "swFlushOnReassign")
+        return parseBool(value, &cfg.swFlushOnReassign) ||
+               fail("bad bool");
+    if (key == "swReassignFree")
+        return parseBool(value, &cfg.swReassignFree) ||
+               fail("bad bool");
+    if (key == "harvestVmIdle")
+        return parseBool(value, &cfg.harvestVmIdle) || fail("bad bool");
+    if (key == "infiniteCaches")
+        return parseBool(value, &cfg.infiniteCaches) ||
+               fail("bad bool");
+
+    // enums
+    if (key == "repl") {
+        using hh::cache::ReplKind;
+        if (value == "LRU")
+            cfg.repl = ReplKind::LRU;
+        else if (value == "RRIP")
+            cfg.repl = ReplKind::RRIP;
+        else if (value == "HardHarvest")
+            cfg.repl = ReplKind::HardHarvest;
+        else if (value == "CDP")
+            cfg.repl = ReplKind::CDP;
+        else
+            return fail("unknown replacement policy");
+        return true;
+    }
+
+    if (error)
+        *error = "unknown config key \"" + key + "\"";
+    return false;
+}
+
+std::vector<ExperimentPoint>
+ExperimentSpec::points() const
+{
+    using hh::cluster::SystemConfig;
+    using hh::cluster::SystemKind;
+
+    const std::vector<std::string> sys =
+        systems.empty() ? std::vector<std::string>{"HardHarvestBlock"}
+                        : systems;
+    const std::vector<std::string> app_list =
+        apps.empty() ? std::vector<std::string>{"BFS"} : apps;
+    const std::vector<std::uint64_t> seed_list =
+        seeds.empty() ? std::vector<std::uint64_t>{1} : seeds;
+
+    std::vector<ExperimentPoint> out;
+    for (const std::string &sname : sys) {
+        SystemKind kind;
+        if (!systemKindByName(sname, &kind))
+            hh::sim::fatal("ExperimentSpec \"", name,
+                           "\": unknown system \"", sname, "\"");
+        SystemConfig base = hh::cluster::makeSystem(kind);
+        for (const auto &[k, v] : overrides) {
+            std::string err;
+            if (!applySpecKey(base, k, v, &err))
+                hh::sim::fatal("ExperimentSpec \"", name, "\": ", err);
+        }
+
+        // Cross product over the sweep axes, last axis fastest.
+        std::size_t combos = 1;
+        for (const auto &axis : sweeps)
+            combos *= axis.values.size();
+        for (std::size_t c = 0; c < combos; ++c) {
+            SystemConfig cfg = base;
+            std::string sweep_label;
+            std::size_t rem = c;
+            std::vector<std::size_t> idx(sweeps.size(), 0);
+            for (std::size_t a = sweeps.size(); a-- > 0;) {
+                idx[a] = rem % sweeps[a].values.size();
+                rem /= sweeps[a].values.size();
+            }
+            for (std::size_t a = 0; a < sweeps.size(); ++a) {
+                const std::string &v = sweeps[a].values[idx[a]];
+                std::string err;
+                if (!applySpecKey(cfg, sweeps[a].key, v, &err))
+                    hh::sim::fatal("ExperimentSpec \"", name,
+                                   "\": ", err);
+                sweep_label += "/" + sweeps[a].key + "=" + v;
+            }
+            for (const std::string &app : app_list) {
+                for (const std::uint64_t seed : seed_list) {
+                    ExperimentPoint p;
+                    p.cfg = cfg;
+                    p.batchApp = app;
+                    p.seed = seed;
+                    p.label = sname + "/" + app + "/seed" +
+                              std::to_string(seed) + sweep_label;
+                    out.push_back(std::move(p));
+                }
+            }
+        }
+    }
+    return out;
+}
+
+bool
+parseSpec(const std::string &text, ExperimentSpec *out,
+          std::string *error)
+{
+    ExperimentSpec spec;
+    std::istringstream is(text);
+    std::string line;
+    unsigned lineno = 0;
+    hh::cluster::SystemConfig scratch; // key/value validation only
+    while (std::getline(is, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            if (!tokens(line).empty()) {
+                if (error)
+                    *error = "line " + std::to_string(lineno) +
+                             ": expected key = value";
+                return false;
+            }
+            continue;
+        }
+        const auto key_toks = tokens(line.substr(0, eq));
+        const auto vals = tokens(line.substr(eq + 1));
+        if (key_toks.size() != 1 || vals.empty()) {
+            if (error)
+                *error = "line " + std::to_string(lineno) +
+                         ": expected key = value";
+            return false;
+        }
+        const std::string &key = key_toks[0];
+
+        if (key == "name") {
+            spec.name = vals[0];
+        } else if (key == "systems") {
+            for (const auto &v : vals) {
+                hh::cluster::SystemKind k;
+                if (!systemKindByName(v, &k)) {
+                    if (error)
+                        *error = "line " + std::to_string(lineno) +
+                                 ": unknown system \"" + v + "\"";
+                    return false;
+                }
+            }
+            spec.systems = vals;
+        } else if (key == "apps") {
+            spec.apps = vals;
+        } else if (key == "seeds") {
+            spec.seeds.clear();
+            for (const auto &v : vals) {
+                unsigned s = 0;
+                if (!parseUnsigned(v, &s)) {
+                    if (error)
+                        *error = "line " + std::to_string(lineno) +
+                                 ": bad seed \"" + v + "\"";
+                    return false;
+                }
+                spec.seeds.push_back(s);
+            }
+        } else if (key.rfind("sweep.", 0) == 0) {
+            SweepAxis axis;
+            axis.key = key.substr(6);
+            axis.values = vals;
+            for (const auto &v : vals) {
+                std::string err;
+                if (!applySpecKey(scratch, axis.key, v, &err)) {
+                    if (error)
+                        *error = "line " + std::to_string(lineno) +
+                                 ": " + err;
+                    return false;
+                }
+            }
+            spec.sweeps.push_back(std::move(axis));
+        } else {
+            if (vals.size() != 1) {
+                if (error)
+                    *error = "line " + std::to_string(lineno) +
+                             ": scalar key \"" + key +
+                             "\" takes one value";
+                return false;
+            }
+            std::string err;
+            if (!applySpecKey(scratch, key, vals[0], &err)) {
+                if (error)
+                    *error =
+                        "line " + std::to_string(lineno) + ": " + err;
+                return false;
+            }
+            spec.overrides.emplace_back(key, vals[0]);
+        }
+    }
+    *out = std::move(spec);
+    return true;
+}
+
+} // namespace hh::exp

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Declarative experiment specifications.
+ *
+ * An ExperimentSpec names a grid of SystemConfig variants — systems x
+ * batch applications x seeds x swept config fields — and expands it
+ * into concrete ExperimentPoints for the JobScheduler. Specs are
+ * constructible in code (the figure benches build theirs directly)
+ * and from a small key=value text format, so ad-hoc design-space
+ * sweeps need no recompilation:
+ *
+ *     # fig19-style candidate sweep at two load levels
+ *     name = candidate-sweep
+ *     systems = HardHarvestBlock
+ *     apps = BFS PRank
+ *     seeds = 1 2 3
+ *     requestsPerVm = 400
+ *     accessSampling = 8
+ *     sweep.candidateFraction = 0.25 0.5 0.75 1.0
+ *
+ * Lines are `key = value...`; `#` starts a comment. Scalar keys set
+ * the field on every variant; `sweep.<key>` adds a cross-product
+ * axis. The recognized keys are the SystemConfig fields listed in
+ * applySpecKey() (docs/EXPERIMENTS_ENGINE.md has the catalogue).
+ */
+
+#ifndef HH_EXP_SPEC_H
+#define HH_EXP_SPEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/system_config.h"
+
+namespace hh::exp {
+
+/** One concrete job of an expanded experiment grid. */
+struct ExperimentPoint
+{
+    /** Human-readable label, e.g. "HardHarvestBlock/BFS/seed1". */
+    std::string label;
+    hh::cluster::SystemConfig cfg;
+    std::string batchApp;
+    std::uint64_t seed = 1;
+};
+
+/** One swept SystemConfig field: a key and its grid of values. */
+struct SweepAxis
+{
+    std::string key;
+    std::vector<std::string> values;
+};
+
+/**
+ * A named grid of SystemConfig variants x seeds x scales.
+ */
+struct ExperimentSpec
+{
+    std::string name;
+    /** System kinds by name ("NoHarvest"...); empty = base config. */
+    std::vector<std::string> systems;
+    /** Batch applications; empty defaults to {"BFS"}. */
+    std::vector<std::string> apps;
+    /** Experiment seeds; empty defaults to {1}. */
+    std::vector<std::uint64_t> seeds;
+    /** Scalar `key = value` overrides applied to every variant. */
+    std::vector<std::pair<std::string, std::string>> overrides;
+    /** `sweep.key = v1 v2 ...` cross-product axes, in file order. */
+    std::vector<SweepAxis> sweeps;
+
+    /**
+     * Expand the grid into concrete points, ordered systems-major
+     * then apps, seeds, and sweep axes (last axis fastest). Fatal on
+     * an unknown system name or config key.
+     */
+    std::vector<ExperimentPoint> points() const;
+};
+
+/**
+ * Set one SystemConfig field from its spec key and value text.
+ *
+ * @return false (and sets @p error) on an unknown key or a value
+ *         that does not parse for the field's type.
+ */
+bool applySpecKey(hh::cluster::SystemConfig &cfg, const std::string &key,
+                  const std::string &value, std::string *error);
+
+/**
+ * Parse the key=value spec format.
+ *
+ * @return false (and sets @p error, with a line number) on syntax
+ *         errors or unknown keys; recognized keys are validated
+ *         against a scratch SystemConfig at parse time so a bad spec
+ *         fails before any simulation starts.
+ */
+bool parseSpec(const std::string &text, ExperimentSpec *out,
+               std::string *error);
+
+/** Resolve a SystemKind from its printable name; false if unknown. */
+bool systemKindByName(const std::string &name,
+                      hh::cluster::SystemKind *out);
+
+} // namespace hh::exp
+
+#endif // HH_EXP_SPEC_H

@@ -86,4 +86,25 @@ empiricalCdf(std::vector<double> samples, const std::vector<double> &xs)
     return out;
 }
 
+ReplicationStats
+replicationStats(const std::vector<double> &values)
+{
+    ReplicationStats r;
+    r.n = values.size();
+    if (r.n == 0)
+        return r;
+    double sum = 0;
+    for (double v : values)
+        sum += v;
+    r.mean = sum / static_cast<double>(r.n);
+    if (r.n < 2)
+        return r;
+    double sq = 0;
+    for (double v : values)
+        sq += (v - r.mean) * (v - r.mean);
+    r.sd = std::sqrt(sq / static_cast<double>(r.n - 1));
+    r.ci95 = 1.96 * r.sd / std::sqrt(static_cast<double>(r.n));
+    return r;
+}
+
 } // namespace hh::stats

@@ -86,6 +86,25 @@ class LatencyRecorder
 std::vector<double> empiricalCdf(std::vector<double> samples,
                                  const std::vector<double> &xs);
 
+/**
+ * Summary of one metric replicated across independent seeds.
+ *
+ * The half-width is the normal-approximation 95% confidence interval
+ * of the mean (1.96 * sd / sqrt(n)); with the handful of seeds
+ * multi-seed experiments use it is indicative, not exact, and is 0
+ * for n < 2.
+ */
+struct ReplicationStats
+{
+    std::size_t n = 0;
+    double mean = 0;
+    double sd = 0;   //!< Sample standard deviation (n-1).
+    double ci95 = 0; //!< Half-width of the 95% CI of the mean.
+};
+
+/** Mean / sd / CI of one metric's per-seed values. */
+ReplicationStats replicationStats(const std::vector<double> &values);
+
 } // namespace hh::stats
 
 #endif // HH_STATS_PERCENTILE_H
