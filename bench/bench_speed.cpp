@@ -21,6 +21,7 @@
  * because single-core containers are noisy).
  */
 
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -31,6 +32,8 @@
 #include "exp/scheduler.h"
 #include "legacy_event_queue.h"
 #include "sim/event_queue.h"
+#include "sim/event_queue_heap.h"
+#include "sim/prof.h"
 #include "sim/thread_pool.h"
 #include "snapshot/archive.h"
 #include "workload/batch.h"
@@ -46,10 +49,11 @@ secondsSince(Clock::time_point start)
         .count();
 }
 
-/** Ops/sec of the schedule/cancel/pop mix over @p rounds rounds. */
+/** Ops/sec of one schedule/cancel/pop mix over @p rounds rounds. */
 template <typename Queue>
 double
-measureQueueMix(std::uint64_t rounds)
+measureQueueMix(std::uint64_t rounds,
+                const hh::bench::QueueMixPreset &p)
 {
     std::uint64_t sink = 0;
     hh::sim::Rng rng(7, 0xE0);
@@ -61,9 +65,22 @@ measureQueueMix(std::uint64_t rounds)
             q.schedule(now + 1 + (i % 13), [&sink] { ++sink; }));
     const auto start = Clock::now();
     for (std::uint64_t r = 0; r < rounds; ++r)
-        hh::bench::eventQueueMixRound(q, rng, now, pending, sink);
+        hh::bench::eventQueueMixRound(q, rng, now, pending, sink,
+                                      p.horizon, p.cancelProb);
     const double sec = secondsSince(start);
     return sec > 0 ? static_cast<double>(rounds) / sec : 0.0;
+}
+
+/** One queue variant's ops/sec across the three workload presets. */
+template <typename Queue>
+std::array<double, 3>
+measureQueueVariant(std::uint64_t rounds)
+{
+    std::array<double, 3> ops{};
+    for (std::size_t i = 0; i < 3; ++i)
+        ops[i] = measureQueueMix<Queue>(
+            rounds, hh::bench::kQueueMixPresets[i]);
+    return ops;
 }
 
 } // namespace
@@ -249,22 +266,58 @@ main(int argc, char **argv)
         exp_warm_sec > 0 ? exp_cold_sec / exp_warm_sec : 0.0;
     const auto &warm_stats = warm_sched.stats();
 
-    std::printf("event-queue mix (seed baseline vs slab)...\n");
+    std::printf("event-queue shootout (legacy / heap / wheel x "
+                "near / far / cancel)...\n");
     const std::uint64_t rounds = 4'000'000;
-    const double legacy_ops =
-        measureQueueMix<LegacyEventQueue>(rounds);
-    const double slab_ops =
-        measureQueueMix<hh::sim::EventQueue>(rounds);
+    const auto legacy_ops = measureQueueVariant<LegacyEventQueue>(rounds);
+    const auto heap_ops =
+        measureQueueVariant<hh::sim::HeapEventQueue>(rounds);
+    const auto wheel_ops =
+        measureQueueVariant<hh::sim::EventQueue>(rounds);
+    // Headline speedup stays the near-future (server-like) mix of
+    // the production queue vs the seed implementation.
     const double queue_speedup =
-        legacy_ops > 0 ? slab_ops / legacy_ops : 0.0;
+        legacy_ops[0] > 0 ? wheel_ops[0] / legacy_ops[0] : 0.0;
+
+    // Profile pass: re-run a reduced sequential slice with the
+    // scoped cycle counters on, then report where kernel time goes.
+    // Separate from the timed runs above so the (small) rdtsc +
+    // atomic-add overhead never pollutes the tracked numbers.
+    std::printf("profile pass (scoped cycle counters on)...\n");
+    hh::sim::prof::reset();
+    hh::sim::prof::setEnabled(true);
+    const auto t_prof = Clock::now();
+    SystemConfig prof_cfg = cfg;
+    prof_cfg.requestsPerVm = std::max(scale.requests / 4, 10u);
+    const ClusterResults prof_res =
+        runCluster(prof_cfg, 1, scale.seed, 1);
+    const double prof_sec = secondsSince(t_prof);
+    hh::sim::prof::setEnabled(false);
+    (void)prof_res;
+    const auto prof_sites = hh::sim::prof::snapshot();
 
     std::printf("\ncluster:  seq %.2fs  par %.2fs  speedup %.2fx  "
                 "bit-identical %s\n",
                 seq_sec, par_sec, speedup,
                 identical ? "yes" : "NO");
-    std::printf("eventq:   legacy %.2f Mops/s  slab %.2f Mops/s  "
-                "speedup %.2fx\n",
-                legacy_ops / 1e6, slab_ops / 1e6, queue_speedup);
+    for (std::size_t i = 0; i < 3; ++i) {
+        std::printf("eventq/%-6s legacy %6.2f  heap %6.2f  wheel "
+                    "%6.2f Mops/s  (wheel %.2fx legacy)\n",
+                    hh::bench::kQueueMixPresets[i].name,
+                    legacy_ops[i] / 1e6, heap_ops[i] / 1e6,
+                    wheel_ops[i] / 1e6,
+                    legacy_ops[i] > 0 ? wheel_ops[i] / legacy_ops[i]
+                                      : 0.0);
+    }
+    std::printf("profile:  %.2fs instrumented slice, top sites:\n",
+                prof_sec);
+    for (std::size_t i = 0; i < prof_sites.size() && i < 5; ++i) {
+        const auto &s = prof_sites[i];
+        std::printf("  %-28s %12.0f Mcycles  %10llu hits\n",
+                    s.name.c_str(),
+                    static_cast<double>(s.cycles) / 1e6,
+                    static_cast<unsigned long long>(s.hits));
+    }
     std::printf("tracing:  off %.2fs  on %.2fs  overhead %+.1f%%  "
                 "(%llu events)\n",
                 par_sec, trc_sec, trace_overhead_pct,
@@ -320,9 +373,40 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"event_queue\": {\n");
     std::fprintf(f, "    \"mix_rounds\": %llu,\n",
                  static_cast<unsigned long long>(rounds));
-    std::fprintf(f, "    \"legacy_ops_per_sec\": %.0f,\n", legacy_ops);
-    std::fprintf(f, "    \"slab_ops_per_sec\": %.0f,\n", slab_ops);
+    const struct
+    {
+        const char *name;
+        const std::array<double, 3> &ops;
+    } variants[] = {{"legacy", legacy_ops},
+                    {"heap", heap_ops},
+                    {"wheel", wheel_ops}};
+    for (const auto &v : variants) {
+        std::fprintf(f, "    \"%s\": {\n", v.name);
+        for (std::size_t i = 0; i < 3; ++i) {
+            std::fprintf(
+                f, "      \"%s_ops_per_sec\": %.0f%s\n",
+                hh::bench::kQueueMixPresets[i].name, v.ops[i],
+                i + 1 < 3 ? "," : "");
+        }
+        std::fprintf(f, "    },\n");
+    }
     std::fprintf(f, "    \"speedup\": %.3f\n", queue_speedup);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"profile\": {\n");
+    std::fprintf(f, "    \"instrumented_sec\": %.4f,\n", prof_sec);
+    std::fprintf(f, "    \"sites\": [\n");
+    for (std::size_t i = 0; i < prof_sites.size(); ++i) {
+        const auto &s = prof_sites[i];
+        std::fprintf(
+            f,
+            "      {\"name\": \"%s\", \"cycles\": %llu, "
+            "\"hits\": %llu}%s\n",
+            s.name.c_str(),
+            static_cast<unsigned long long>(s.cycles),
+            static_cast<unsigned long long>(s.hits),
+            i + 1 < prof_sites.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"tracing\": {\n");
     std::fprintf(f, "    \"baseline_sec\": %.4f,\n", par_sec);

@@ -104,9 +104,19 @@ class LegacyEventQueue
 };
 
 /**
- * The schedule/cancel/pop mix the server simulation generates: keep
- * a window of pending events; each round schedules one, cancels a
- * superseded timer with probability 1/4, and pops one.
+ * One round of a parameterized schedule/cancel/pop mix: keep a
+ * window of pending events; each round schedules one @p horizon
+ * cycles ahead at most, cancels a superseded timer with probability
+ * @p cancelProb, and pops one.
+ *
+ * The three workload presets the shootout benchmarks use:
+ *  - near-future-heavy: horizon 50, cancel 0.25 (the server mix —
+ *    most timers land in the wheel's level-0 window);
+ *  - far-future-heavy: horizon 1<<20, cancel 0.25 (events spread
+ *    across coarse wheel levels and the far heap, maximizing
+ *    cascade work);
+ *  - cancel-heavy:     horizon 50, cancel 0.75 (dead-node skipping
+ *    and compaction dominate).
  *
  * @return An accumulator defeating dead-code elimination.
  */
@@ -114,12 +124,14 @@ template <typename Queue, typename Rng>
 std::uint64_t
 eventQueueMixRound(Queue &q, Rng &rng, hh::sim::Cycles &now,
                    std::vector<typename Queue::EventId> &pending,
-                   std::uint64_t &sink)
+                   std::uint64_t &sink,
+                   hh::sim::Cycles horizon = 50,
+                   double cancelProb = 0.25)
 {
     pending.push_back(
-        q.schedule(now + 1 + rng.uniformInt(std::uint64_t{50}),
+        q.schedule(now + 1 + rng.uniformInt(std::uint64_t{horizon}),
                    [&sink] { ++sink; }));
-    if (rng.bernoulli(0.25) && !pending.empty()) {
+    if (rng.bernoulli(cancelProb) && !pending.empty()) {
         const auto victim =
             rng.uniformInt(std::uint64_t{pending.size()});
         q.cancel(pending[victim]);
@@ -133,6 +145,20 @@ eventQueueMixRound(Queue &q, Rng &rng, hh::sim::Cycles &now,
     }
     return sink;
 }
+
+/** Workload presets for the event-queue shootout (see above). */
+struct QueueMixPreset
+{
+    const char *name;
+    hh::sim::Cycles horizon;
+    double cancelProb;
+};
+
+inline constexpr QueueMixPreset kQueueMixPresets[] = {
+    {"near", 50, 0.25},
+    {"far", hh::sim::Cycles{1} << 20, 0.25},
+    {"cancel", 50, 0.75},
+};
 
 } // namespace hh::bench
 

@@ -1,24 +1,25 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the discrete-event queue hot
- * path: schedule/pop cycles, schedule/cancel churn, and the mixed
- * workload the server simulation actually generates (most events
- * run, a sizable fraction of timers is superseded and cancelled).
- *
- * `hh::bench::LegacyEventQueue` reproduces the seed implementation —
- * std::function callbacks plus unordered_map/unordered_set id
- * bookkeeping — so the speedup of the slab/InlineFunction rewrite is
- * measured side by side in one binary.
+ * path: schedule/pop cycles, schedule/cancel churn, and a three-way
+ * shootout — seed implementation (std::function + hash-map id
+ * bookkeeping), slab binary heap, hierarchical timing wheel — across
+ * the three workload mixes that stress different structures:
+ * near-future-heavy (the server mix), far-future-heavy (spread
+ * across coarse wheel levels), and cancel-heavy (dead-node
+ * skipping/compaction).
  */
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <vector>
 
 #include "legacy_event_queue.h"
 #include "sim/event_queue.h"
+#include "sim/event_queue_heap.h"
 #include "sim/inline_function.h"
 #include "sim/rng.h"
 
@@ -26,10 +27,10 @@ namespace {
 
 using hh::sim::Cycles;
 
-/** The mixed schedule/cancel/pop workload (see legacy_event_queue.h). */
+/** The parameterized schedule/cancel/pop workload mix. */
 template <typename Queue>
 void
-runMix(benchmark::State &state)
+runMix(benchmark::State &state, const hh::bench::QueueMixPreset &p)
 {
     std::uint64_t sink = 0;
     hh::sim::Rng rng(7, 0xE0);
@@ -41,25 +42,40 @@ runMix(benchmark::State &state)
         pending.push_back(
             q.schedule(now + 1 + (i % 13), [&sink] { ++sink; }));
     for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            hh::bench::eventQueueMixRound(q, rng, now, pending, sink));
+        benchmark::DoNotOptimize(hh::bench::eventQueueMixRound(
+            q, rng, now, pending, sink, p.horizon, p.cancelProb));
     }
     state.SetItemsProcessed(state.iterations());
 }
 
-void
-BM_EventQueueMix_Legacy(benchmark::State &state)
+const hh::bench::QueueMixPreset &
+preset(const char *name)
 {
-    runMix<hh::bench::LegacyEventQueue>(state);
+    for (const auto &p : hh::bench::kQueueMixPresets) {
+        if (std::string_view(p.name) == name)
+            return p;
+    }
+    __builtin_trap(); // presets are compile-time constants
 }
-BENCHMARK(BM_EventQueueMix_Legacy);
 
-void
-BM_EventQueueMix_Slab(benchmark::State &state)
-{
-    runMix<hh::sim::EventQueue>(state);
-}
-BENCHMARK(BM_EventQueueMix_Slab);
+#define HH_MIX_BENCH(Variant, Queue, Mix)                            \
+    void BM_EventQueueMix_##Variant##_##Mix(benchmark::State &state) \
+    {                                                                \
+        runMix<Queue>(state, preset(#Mix));                          \
+    }                                                                \
+    BENCHMARK(BM_EventQueueMix_##Variant##_##Mix)
+
+HH_MIX_BENCH(Legacy, hh::bench::LegacyEventQueue, near);
+HH_MIX_BENCH(Legacy, hh::bench::LegacyEventQueue, far);
+HH_MIX_BENCH(Legacy, hh::bench::LegacyEventQueue, cancel);
+HH_MIX_BENCH(Heap, hh::sim::HeapEventQueue, near);
+HH_MIX_BENCH(Heap, hh::sim::HeapEventQueue, far);
+HH_MIX_BENCH(Heap, hh::sim::HeapEventQueue, cancel);
+HH_MIX_BENCH(Wheel, hh::sim::EventQueue, near);
+HH_MIX_BENCH(Wheel, hh::sim::EventQueue, far);
+HH_MIX_BENCH(Wheel, hh::sim::EventQueue, cancel);
+
+#undef HH_MIX_BENCH
 
 /** Pure schedule/pop cycles, no cancellation. */
 template <typename Queue>
@@ -87,11 +103,18 @@ BM_EventQueueSchedulePop_Legacy(benchmark::State &state)
 BENCHMARK(BM_EventQueueSchedulePop_Legacy);
 
 void
-BM_EventQueueSchedulePop_Slab(benchmark::State &state)
+BM_EventQueueSchedulePop_Heap(benchmark::State &state)
+{
+    runSchedulePop<hh::sim::HeapEventQueue>(state);
+}
+BENCHMARK(BM_EventQueueSchedulePop_Heap);
+
+void
+BM_EventQueueSchedulePop_Wheel(benchmark::State &state)
 {
     runSchedulePop<hh::sim::EventQueue>(state);
 }
-BENCHMARK(BM_EventQueueSchedulePop_Slab);
+BENCHMARK(BM_EventQueueSchedulePop_Wheel);
 
 /** Schedule + immediate cancel churn (superseded timers). */
 template <typename Queue>
@@ -116,11 +139,18 @@ BM_EventQueueScheduleCancel_Legacy(benchmark::State &state)
 BENCHMARK(BM_EventQueueScheduleCancel_Legacy);
 
 void
-BM_EventQueueScheduleCancel_Slab(benchmark::State &state)
+BM_EventQueueScheduleCancel_Heap(benchmark::State &state)
+{
+    runScheduleCancel<hh::sim::HeapEventQueue>(state);
+}
+BENCHMARK(BM_EventQueueScheduleCancel_Heap);
+
+void
+BM_EventQueueScheduleCancel_Wheel(benchmark::State &state)
 {
     runScheduleCancel<hh::sim::EventQueue>(state);
 }
-BENCHMARK(BM_EventQueueScheduleCancel_Slab);
+BENCHMARK(BM_EventQueueScheduleCancel_Wheel);
 
 /** Callback wrapper cost in isolation: construct + invoke. */
 void

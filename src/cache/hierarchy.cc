@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sim/log.h"
+#include "sim/prof.h"
 #include "stats/registry.h"
 
 namespace hh::cache {
@@ -71,6 +72,7 @@ CoreHierarchy::allowedMask(const SetAssocArray &arr, Cycles now) const
 Cycles
 CoreHierarchy::access(Cycles now, const MemAccess &a)
 {
+    HH_PROF_SCOPE("cache.hierarchy_access");
     ++accesses_;
     Cycles lat = 0;
 

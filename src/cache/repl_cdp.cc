@@ -24,6 +24,44 @@ dataEntryMask(const SetContext &ctx, WayMask among)
 unsigned
 CdpPolicy::victim(const SetContext &ctx, bool incoming_shared)
 {
+    if (ctx.lastUse) {
+        // SoA fast path; see HardHarvestPolicy::victim. CDP differs
+        // only in protecting instruction entries instead of shared
+        // ones.
+        const WayMask allowed = ctx.allowedMask;
+        const WayMask non_harvest = allowed & ~ctx.harvestMask;
+        const WayMask harvest = allowed & ctx.harvestMask;
+
+        const WayMask inv = allowed & ~ctx.validMask;
+        if (inv) {
+            const WayMask preferred =
+                inv & (incoming_shared ? non_harvest : harvest);
+            return static_cast<unsigned>(
+                std::countr_zero(preferred ? preferred : inv));
+        }
+
+        const WayMask cand = ctx.candidateMask & allowed;
+        const WayMask data = ctx.validMask & ~ctx.instrMask;
+        const WayMask first_region =
+            incoming_shared ? non_harvest : harvest;
+        const WayMask second_region =
+            incoming_shared ? harvest : non_harvest;
+
+        WayMask victims = cand & first_region & data;
+        if (!victims)
+            victims = cand & second_region & data;
+        if (!victims)
+            victims = cand;
+        if (!victims)
+            victims = allowed;
+
+        const unsigned v =
+            detail::lruAmongFast(ctx.lastUse, victims);
+        if (v >= ctx.ways.size())
+            hh::sim::panic("CdpPolicy: empty allowed mask");
+        return v;
+    }
+
     // Strip out-of-range mask bits first (same degenerate-mask guard
     // as HardHarvestPolicy::victim): phantom ways beyond the set's
     // geometry would survive into `victims`, defeat the safety net,

@@ -30,6 +30,7 @@ class CdpPolicy : public ReplacementPolicy
   public:
     unsigned victim(const SetContext &ctx, bool incoming_shared) override;
     const char *name() const override { return "CDP"; }
+    bool usesCandidates() const override { return true; }
 };
 
 } // namespace hh::cache

@@ -24,6 +24,45 @@ privateEntryMask(const SetContext &ctx, WayMask among)
 unsigned
 HardHarvestPolicy::victim(const SetContext &ctx, bool incoming_shared)
 {
+    if (ctx.lastUse) {
+        // SoA fast path: every mask is pre-clipped to the set's
+        // geometry, and validity/sharedness come as bitmaps, so the
+        // five priority classes reduce to mask algebra plus one
+        // lruAmongFast scan. Mirrors the span path below exactly.
+        const WayMask allowed = ctx.allowedMask;
+        const WayMask non_harvest = allowed & ~ctx.harvestMask;
+        const WayMask harvest = allowed & ctx.harvestMask;
+
+        const WayMask inv = allowed & ~ctx.validMask;
+        if (inv) {
+            const WayMask preferred =
+                inv & (incoming_shared ? non_harvest : harvest);
+            return static_cast<unsigned>(
+                std::countr_zero(preferred ? preferred : inv));
+        }
+
+        const WayMask cand = ctx.candidateMask & allowed;
+        const WayMask priv = ctx.validMask & ~ctx.sharedMask;
+        const WayMask first_region =
+            incoming_shared ? non_harvest : harvest;
+        const WayMask second_region =
+            incoming_shared ? harvest : non_harvest;
+
+        WayMask victims = cand & first_region & priv;
+        if (!victims)
+            victims = cand & second_region & priv;
+        if (!victims)
+            victims = cand;
+        if (!victims)
+            victims = allowed;
+
+        const unsigned v =
+            detail::lruAmongFast(ctx.lastUse, victims);
+        if (v >= ctx.ways.size())
+            hh::sim::panic("HardHarvestPolicy: empty allowed mask");
+        return v;
+    }
+
     // Strip mask bits beyond the set's geometry first. A caller-side
     // mask wider than the set (e.g. a HarvestMask programmed for a
     // larger structure, or a candidate mask carried across a way

@@ -45,6 +45,7 @@ class HardHarvestPolicy : public ReplacementPolicy
   public:
     unsigned victim(const SetContext &ctx, bool incoming_shared) override;
     const char *name() const override { return "HardHarvest"; }
+    bool usesCandidates() const override { return true; }
 };
 
 } // namespace hh::cache

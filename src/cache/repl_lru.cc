@@ -8,6 +8,17 @@ unsigned
 LruPolicy::victim(const SetContext &ctx, bool incoming_shared)
 {
     (void)incoming_shared;
+    if (ctx.lastUse) {
+        // SoA fast path: masks are pre-clipped to the geometry.
+        const WayMask inv = ctx.allowedMask & ~ctx.validMask;
+        if (inv)
+            return static_cast<unsigned>(std::countr_zero(inv));
+        const unsigned v =
+            detail::lruAmongFast(ctx.lastUse, ctx.allowedMask);
+        if (v >= ctx.ways.size())
+            hh::sim::panic("LruPolicy: empty allowed mask");
+        return v;
+    }
     const WayMask inv = detail::invalidMask(ctx.ways, ctx.allowedMask);
     if (inv) {
         // Any invalid slot; pick the lowest-index one for determinism.

@@ -12,6 +12,7 @@
 #ifndef HH_CACHE_REPLACEMENT_H
 #define HH_CACHE_REPLACEMENT_H
 
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -60,6 +61,25 @@ struct SetContext
     WayMask allowedMask = 0;        //!< Ways the requester may fill.
     WayMask candidateMask = 0;      //!< Eviction candidates (valid ways).
     std::uint64_t setIndex = 0;     //!< Which set (Belady oracle key).
+
+    /**
+     * @name Struct-of-arrays fast path (set by SetAssocArray)
+     *
+     * When `lastUse` is non-null it points at the set's contiguous
+     * per-way LRU timestamps and the three bitmap fields below are
+     * populated, with every mask (including allowedMask and
+     * candidateMask) already clipped to the set's geometry. Policies
+     * then pick victims from bitmaps and one flat array instead of
+     * striding through 32-byte WayState records. A null `lastUse`
+     * (direct construction in tests) selects the original
+     * span-walking path; both paths compute identical victims.
+     * @{
+     */
+    const std::uint64_t *lastUse = nullptr;
+    WayMask validMask = 0;  //!< Ways holding a valid entry.
+    WayMask sharedMask = 0; //!< Ways whose valid entry is Shared.
+    WayMask instrMask = 0;  //!< Ways whose valid entry is I-side.
+    /** @} */
 };
 
 /**
@@ -99,6 +119,13 @@ class ReplacementPolicy
 
     /** Human-readable policy name. */
     virtual const char *name() const = 0;
+
+    /**
+     * True when victim() reads ctx.candidateMask. Lets the array
+     * skip the M-least-recently-used selection entirely for
+     * policies (LRU, RRIP, Belady) that never look at it.
+     */
+    virtual bool usesCandidates() const { return false; }
 };
 
 /**
@@ -117,6 +144,27 @@ unsigned lruAmong(std::span<const WayState> ways, WayMask mask);
 
 /** Mask of invalid ways within @p allowed. */
 WayMask invalidMask(std::span<const WayState> ways, WayMask allowed);
+
+/**
+ * lruAmong over a contiguous lastUse array (SoA fast path); visits
+ * only the set bits of @p mask, lowest index winning ties exactly
+ * like lruAmong. Returns 64 when @p mask is empty.
+ */
+inline unsigned
+lruAmongFast(const std::uint64_t *lastUse, WayMask mask)
+{
+    unsigned best = 64;
+    std::uint64_t best_use = ~0ULL;
+    for (WayMask m = mask; m; m &= m - 1) {
+        const auto w =
+            static_cast<unsigned>(std::countr_zero(m));
+        if (lastUse[w] < best_use) {
+            best_use = lastUse[w];
+            best = w;
+        }
+    }
+    return best;
+}
 
 } // namespace detail
 

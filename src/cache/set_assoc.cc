@@ -1,9 +1,11 @@
 #include "cache/set_assoc.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "sim/log.h"
+#include "sim/prof.h"
 #include "stats/registry.h"
 
 namespace hh::cache {
@@ -12,7 +14,10 @@ SetAssocArray::SetAssocArray(const Geometry &geom,
                              std::unique_ptr<ReplacementPolicy> policy)
     : geom_(geom), policy_(std::move(policy)),
       ways_(static_cast<std::size_t>(geom.sets) * geom.ways),
-      candidate_count_(geom.ways)
+      tags_(static_cast<std::size_t>(geom.sets) * geom.ways),
+      last_use_(static_cast<std::size_t>(geom.sets) * geom.ways),
+      valid_bits_(geom.sets), shared_bits_(geom.sets),
+      instr_bits_(geom.sets), candidate_count_(geom.ways)
 {
     if (!policy_)
         hh::sim::panic("SetAssocArray: null policy");
@@ -23,6 +28,7 @@ SetAssocArray::SetAssocArray(const Geometry &geom,
         hh::sim::fatal("SetAssocArray: sets must be > 0");
     all_ways_ = geom.ways == 64 ? ~WayMask{0}
                                 : ((WayMask{1} << geom.ways) - 1);
+    policy_uses_candidates_ = policy_->usesCandidates();
 }
 
 void
@@ -58,21 +64,31 @@ SetAssocArray::setIndex(Addr key) const
     return static_cast<std::uint32_t>(key % geom_.sets);
 }
 
-WayState *
-SetAssocArray::findTag(std::uint32_t set, Addr key)
+void
+SetAssocArray::rebuildMirrors()
 {
-    WayState *base = &ways_[static_cast<std::size_t>(set) * geom_.ways];
-    for (unsigned w = 0; w < geom_.ways; ++w) {
-        if (base[w].valid && base[w].tag == key)
-            return &base[w];
+    for (std::uint32_t s = 0; s < geom_.sets; ++s) {
+        const std::size_t si =
+            static_cast<std::size_t>(s) * geom_.ways;
+        WayMask valid = 0;
+        WayMask shared = 0;
+        WayMask instr = 0;
+        for (unsigned w = 0; w < geom_.ways; ++w) {
+            const WayState &ws = ways_[si + w];
+            tags_[si + w] = ws.tag;
+            last_use_[si + w] = ws.lastUse;
+            const WayMask bit = WayMask{1} << w;
+            if (ws.valid)
+                valid |= bit;
+            if (ws.shared)
+                shared |= bit;
+            if (ws.instr)
+                instr |= bit;
+        }
+        valid_bits_[s] = valid;
+        shared_bits_[s] = shared;
+        instr_bits_[s] = instr;
     }
-    return nullptr;
-}
-
-const WayState *
-SetAssocArray::findTag(std::uint32_t set, Addr key) const
-{
-    return const_cast<SetAssocArray *>(this)->findTag(set, key);
 }
 
 WayMask
@@ -80,26 +96,27 @@ SetAssocArray::candidateMask(std::uint32_t set, WayMask allowed) const
 {
     if (candidate_count_ >= geom_.ways)
         return allowed;
-    // Select the M least-recently-used allowed ways. Associativity is
-    // at most 16 in practice, so a simple selection loop is fine.
-    const WayState *base =
-        &ways_[static_cast<std::size_t>(set) * geom_.ways];
+    // Select the M least-recently-used allowed ways: repeatedly pick
+    // the minimum lastUse, lowest way winning ties — exactly the
+    // order a full selection sort would produce. The scan walks the
+    // contiguous lastUse mirror and only the bits still remaining.
+    const std::uint64_t *lu =
+        &last_use_[static_cast<std::size_t>(set) * geom_.ways];
     WayMask mask = 0;
     unsigned chosen = 0;
     WayMask remaining = allowed;
     while (chosen < candidate_count_ && remaining) {
-        unsigned best = geom_.ways;
+        unsigned best = 64;
         std::uint64_t best_use = ~0ULL;
-        for (unsigned w = 0; w < geom_.ways; ++w) {
-            const WayMask bit = WayMask{1} << w;
-            if (!(remaining & bit))
-                continue;
-            if (base[w].lastUse < best_use) {
-                best_use = base[w].lastUse;
+        for (WayMask m = remaining; m; m &= m - 1) {
+            const auto w =
+                static_cast<unsigned>(std::countr_zero(m));
+            if (lu[w] < best_use) {
+                best_use = lu[w];
                 best = w;
             }
         }
-        if (best >= geom_.ways)
+        if (best >= 64)
             break;
         mask |= WayMask{1} << best;
         remaining &= ~(WayMask{1} << best);
@@ -112,31 +129,51 @@ AccessResult
 SetAssocArray::access(Addr key, bool shared, WayMask allowed,
                       bool instr)
 {
+    HH_PROF_SCOPE("cache.array_access");
     allowed &= all_ways_;
     if (!allowed)
         hh::sim::panic("SetAssocArray::access: empty allowed mask");
 
     ++tick_;
     const std::uint32_t set = setIndex(key);
+    const std::size_t si = static_cast<std::size_t>(set) * geom_.ways;
     AccessResult res;
 
-    if (WayState *hit = findTag(set, key)) {
+    // Tag search over the contiguous mirror, valid ways only.
+    const WayMask valid = valid_bits_[set];
+    const Addr *tags = &tags_[si];
+    for (WayMask m = valid; m; m &= m - 1) {
+        const auto w = static_cast<unsigned>(std::countr_zero(m));
+        if (tags[w] != key)
+            continue;
         res.hit = true;
-        res.way = static_cast<unsigned>(
-            hit - &ways_[static_cast<std::size_t>(set) * geom_.ways]);
-        policy_->touch(*hit, tick_);
+        res.way = w;
+        WayState &hit = ways_[si + w];
+        policy_->touch(hit, tick_);
+        last_use_[si + w] = hit.lastUse;
         ++hits_;
         return res;
     }
 
     ++misses_;
-    WayState *base = &ways_[static_cast<std::size_t>(set) * geom_.ways];
+    WayState *base = &ways_[si];
     SetContext ctx;
     ctx.ways = std::span<const WayState>(base, geom_.ways);
     ctx.harvestMask = harvest_mask_;
     ctx.allowedMask = allowed;
-    ctx.candidateMask = candidateMask(set, allowed);
     ctx.setIndex = set;
+    ctx.lastUse = &last_use_[si];
+    ctx.validMask = valid;
+    ctx.sharedMask = shared_bits_[set];
+    ctx.instrMask = instr_bits_[set];
+    // The M-LRU selection only matters to policies that read it
+    // (HardHarvest/CDP), and those consult it only when every
+    // allowed way is valid — an invalid way short-circuits victim
+    // selection before candidates are looked at.
+    ctx.candidateMask =
+        (policy_uses_candidates_ && (allowed & ~valid) == 0)
+            ? candidateMask(set, allowed)
+            : allowed;
 
     const unsigned victim = policy_->victim(ctx, shared);
     if (victim >= geom_.ways)
@@ -153,6 +190,15 @@ SetAssocArray::access(Addr key, bool shared, WayMask allowed,
     slot.shared = shared;
     slot.instr = instr;
     policy_->fill(slot, tick_);
+
+    const WayMask bit = WayMask{1} << victim;
+    tags_[si + victim] = key;
+    last_use_[si + victim] = slot.lastUse;
+    valid_bits_[set] |= bit;
+    shared_bits_[set] = shared ? (shared_bits_[set] | bit)
+                               : (shared_bits_[set] & ~bit);
+    instr_bits_[set] = instr ? (instr_bits_[set] | bit)
+                             : (instr_bits_[set] & ~bit);
     res.way = victim;
     return res;
 }
@@ -160,7 +206,15 @@ SetAssocArray::access(Addr key, bool shared, WayMask allowed,
 bool
 SetAssocArray::probe(Addr key) const
 {
-    return findTag(setIndex(key), key) != nullptr;
+    const std::uint32_t set = setIndex(key);
+    const std::size_t si = static_cast<std::size_t>(set) * geom_.ways;
+    const Addr *tags = &tags_[si];
+    for (WayMask m = valid_bits_[set]; m; m &= m - 1) {
+        const auto w = static_cast<unsigned>(std::countr_zero(m));
+        if (tags[w] == key)
+            return true;
+    }
+    return false;
 }
 
 void
@@ -168,6 +222,11 @@ SetAssocArray::flushAll()
 {
     for (auto &w : ways_)
         w = WayState{};
+    std::fill(tags_.begin(), tags_.end(), Addr{0});
+    std::fill(last_use_.begin(), last_use_.end(), std::uint64_t{0});
+    std::fill(valid_bits_.begin(), valid_bits_.end(), WayMask{0});
+    std::fill(shared_bits_.begin(), shared_bits_.end(), WayMask{0});
+    std::fill(instr_bits_.begin(), instr_bits_.end(), WayMask{0});
 }
 
 void
@@ -175,11 +234,18 @@ SetAssocArray::flushWays(WayMask mask)
 {
     mask &= all_ways_;
     for (std::uint32_t s = 0; s < geom_.sets; ++s) {
-        WayState *base = &ways_[static_cast<std::size_t>(s) * geom_.ways];
-        for (unsigned w = 0; w < geom_.ways; ++w) {
-            if (mask & (WayMask{1} << w))
-                base[w] = WayState{};
+        const std::size_t si =
+            static_cast<std::size_t>(s) * geom_.ways;
+        for (WayMask m = mask; m; m &= m - 1) {
+            const auto w =
+                static_cast<unsigned>(std::countr_zero(m));
+            ways_[si + w] = WayState{};
+            tags_[si + w] = 0;
+            last_use_[si + w] = 0;
         }
+        valid_bits_[s] &= ~mask;
+        shared_bits_[s] &= ~mask;
+        instr_bits_[s] &= ~mask;
     }
 }
 

@@ -137,22 +137,48 @@ class SetAssocArray
         ar.io(hits_);
         ar.io(misses_);
         ar.io(evictions_);
+        if (ar.loading())
+            rebuildMirrors();
     }
 
   private:
     std::uint32_t setIndex(Addr key) const;
-    WayState *findTag(std::uint32_t set, Addr key);
-    const WayState *findTag(std::uint32_t set, Addr key) const;
 
     /** Compute the M-least-recently-used candidate mask for a set. */
     WayMask candidateMask(std::uint32_t set, WayMask allowed) const;
 
+    /** Recompute the SoA mirrors from ways_ (snapshot load). */
+    void rebuildMirrors();
+
     Geometry geom_;
     std::unique_ptr<ReplacementPolicy> policy_;
-    std::vector<WayState> ways_; //!< sets * ways, row-major.
+    /**
+     * Authoritative per-way state, sets * ways row-major. The
+     * serialized encoding reads this array only, so the mirrors
+     * below never appear in (and cannot break) checkpoints.
+     */
+    std::vector<WayState> ways_;
+    /**
+     * @name Struct-of-arrays mirrors of ways_
+     *
+     * The access hot path is tag search plus lastUse scans; striding
+     * 32-byte WayState records for those touches 8 cache lines per
+     * 16-way set. The mirrors pack tags and LRU timestamps
+     * contiguously and fold the boolean columns into per-set
+     * bitmaps, and are kept in sync on every fill/touch/flush.
+     * @{
+     */
+    std::vector<Addr> tags_;             //!< sets * ways.
+    std::vector<std::uint64_t> last_use_; //!< sets * ways.
+    std::vector<WayMask> valid_bits_;    //!< one mask per set.
+    std::vector<WayMask> shared_bits_;   //!< one mask per set.
+    std::vector<WayMask> instr_bits_;    //!< one mask per set.
+    /** @} */
     WayMask harvest_mask_ = 0;
     WayMask all_ways_ = 0;
     unsigned candidate_count_; //!< M as an absolute way count.
+    /** Cached policy_->usesCandidates() (virtual call per miss). */
+    bool policy_uses_candidates_ = false;
     std::uint64_t tick_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

@@ -7,6 +7,7 @@
 
 #include "cluster/checkpoint.h"
 #include "sim/log.h"
+#include "sim/prof.h"
 
 namespace hh::cluster {
 
@@ -269,16 +270,15 @@ ServerSim::registerInvariants()
                 if (ctx.slice)
                     return concat("core ", c,
                                   " RunPrimary with a harvest slice");
-                const auto it = requests_.find(ctx.runningRequest);
-                if (it == requests_.end())
+                const auto *req = requests_.find(ctx.runningRequest);
+                if (!req)
                     return concat("core ", c, " runs unknown request ",
                                   ctx.runningRequest);
-                if (it->second.state !=
-                    hh::cpu::RequestState::Running)
+                if (req->state != hh::cpu::RequestState::Running)
                     return concat("request ", ctx.runningRequest,
                                   " on core ", c,
                                   " is not in Running state");
-                const auto *qm = ctrl_->qmFor(it->second.vm);
+                const auto *qm = ctrl_->qmFor(req->vm);
                 if (!qm || qm->queue().runningEntries().count(
                                ctx.runningRequest) == 0)
                     return concat("request ", ctx.runningRequest,
@@ -314,31 +314,39 @@ ServerSim::registerInvariants()
                 ctx.runningRequest != 0)
                 ++claims[ctx.runningRequest];
         }
-        for (const auto &[id, req] : requests_) {
+        std::optional<std::string> req_err;
+        requests_.forEach([&](std::uint64_t id,
+                              const hh::cpu::Request &req) {
+            if (req_err)
+                return;
             const auto it = claims.find(id);
             const unsigned n = it == claims.end() ? 0 : it->second;
             switch (req.state) {
             case hh::cpu::RequestState::Running:
                 if (n != 1)
-                    return concat("request ", id, " (vm ", req.vm,
-                                  ") is Running on ", n,
-                                  " cores (orphaned or duplicated)");
+                    req_err = concat(
+                        "request ", id, " (vm ", req.vm,
+                        ") is Running on ", n,
+                        " cores (orphaned or duplicated)");
                 break;
             case hh::cpu::RequestState::Queued:
             case hh::cpu::RequestState::Blocked:
                 if (n != 0)
-                    return concat("request ", id, " (vm ", req.vm,
-                                  ") claimed by a core while ",
-                                  req.state ==
-                                          hh::cpu::RequestState::Queued
-                                      ? "Queued"
-                                      : "Blocked");
+                    req_err = concat(
+                        "request ", id, " (vm ", req.vm,
+                        ") claimed by a core while ",
+                        req.state == hh::cpu::RequestState::Queued
+                            ? "Queued"
+                            : "Blocked");
                 break;
             case hh::cpu::RequestState::Done:
-                return concat("request ", id,
-                              " lingers in Done state");
+                req_err = concat("request ", id,
+                                 " lingers in Done state");
+                break;
             }
-        }
+        });
+        if (req_err)
+            return req_err;
         std::optional<std::string> err;
         ctrl_->forEachQm([&](const hh::core::QueueManager &qm) {
             if (err)
@@ -347,15 +355,15 @@ ServerSim::registerInvariants()
             const auto check = [&](std::uint64_t id,
                                    hh::cpu::RequestState want,
                                    const char *where) {
-                const auto it = requests_.find(id);
-                if (it == requests_.end())
+                const auto *req = requests_.find(id);
+                if (!req)
                     err = concat("vm ", qm.vm(), " ", where,
                                  " holds unknown request ", id);
-                else if (it->second.vm != qm.vm())
-                    err = concat("request ", id, " of vm ",
-                                 it->second.vm, " found in vm ",
-                                 qm.vm(), "'s subqueue");
-                else if (it->second.state != want)
+                else if (req->vm != qm.vm())
+                    err = concat("request ", id, " of vm ", req->vm,
+                                 " found in vm ", qm.vm(),
+                                 "'s subqueue");
+                else if (req->state != want)
                     err = concat("request ", id, " in ", where,
                                  " of vm ", qm.vm(),
                                  " has inconsistent state");
@@ -556,12 +564,12 @@ ServerSim::registerInvariants()
                           anchor_.size(), " anchors vs ", anchored,
                           " anchored-blocked marks");
         for (const auto &[id, core] : anchor_) {
-            const auto it = requests_.find(id);
-            if (it == requests_.end())
+            const auto *req = requests_.find(id);
+            if (!req)
                 return concat("anchored request ", id,
                               " does not exist");
-            if (it->second.state != hh::cpu::RequestState::Blocked &&
-                it->second.state != hh::cpu::RequestState::Queued)
+            if (req->state != hh::cpu::RequestState::Blocked &&
+                req->state != hh::cpu::RequestState::Queued)
                 return concat("anchored request ", id,
                               " neither blocked nor awaiting "
                               "redispatch");
@@ -784,13 +792,12 @@ ServerSim::onArrival(std::uint32_t vm)
     --v.arrivalsRemaining;
 
     const std::uint64_t id = next_request_id_++;
-    hh::cpu::Request req;
+    hh::cpu::Request &req = requests_.create(id);
     req.id = id;
     req.vm = vm;
     req.plan = v.service->planInvocation();
     req.arrival = sim_.now();
     req.readySince = sim_.now();
-    requests_.emplace(id, std::move(req));
 
     if (tracer_)
         tracer_->openSpan(id);
@@ -813,11 +820,11 @@ void
 ServerSim::onPacket(const hh::net::Packet &pkt)
 {
     const std::uint32_t vm = pkt.dstVm;
-    auto it = requests_.find(pkt.requestId);
-    if (it == requests_.end())
+    hh::cpu::Request *found = requests_.find(pkt.requestId);
+    if (!found)
         hh::sim::panic("ServerSim::onPacket: unknown request ",
                        pkt.requestId);
-    hh::cpu::Request &req = it->second;
+    hh::cpu::Request &req = *found;
 
     if (pkt.kind == hh::net::PacketKind::NewRequest) {
         ctrl_->enqueue(vm, req.id);
@@ -935,10 +942,10 @@ ServerSim::startRequestOnCore(unsigned core, std::uint64_t reqId,
                               Cycles overhead, Cycles reassignPart,
                               Cycles flushPart)
 {
-    auto it = requests_.find(reqId);
-    if (it == requests_.end())
+    hh::cpu::Request *found = requests_.find(reqId);
+    if (!found)
         hh::sim::panic("startRequestOnCore: unknown request ", reqId);
-    hh::cpu::Request &req = it->second;
+    hh::cpu::Request &req = *found;
     CoreCtx &ctx = core_ctx_[core];
     if (ctx.phase != Phase::Idle && ctx.phase != Phase::Transition)
         hh::sim::panic("startRequestOnCore: core ", core, " not idle");
@@ -991,11 +998,20 @@ hh::sim::Cycles
 ServerSim::replaySegment(unsigned core, std::uint64_t reqId,
                          const hh::workload::Segment &seg)
 {
+    HH_PROF_SCOPE("server.replay_segment");
     auto &req = requests_.at(reqId);
     auto &wl = *vms_[req.vm].service;
     const unsigned sampling = std::max(1u, cfg_.accessSampling);
-    const std::uint32_t n =
-        std::max<std::uint32_t>(1, seg.accesses / sampling);
+    // Round to nearest and carry the residual weight forward so the
+    // request's replayed access total converges to accesses/sampling
+    // (plain truncation loses up to sampling-1 accesses per segment,
+    // biasing short-segment services fast).
+    const std::int64_t pool =
+        static_cast<std::int64_t>(seg.accesses) + req.samplingCarry;
+    const auto n = static_cast<std::uint32_t>(
+        (pool + sampling / 2) / sampling);
+    req.samplingCarry = static_cast<std::int32_t>(
+        pool - static_cast<std::int64_t>(n) * sampling);
     // The cursor advances with the accumulated (de-sampled) memory
     // time so DRAM bandwidth sees correctly spaced traffic instead
     // of an artificial same-instant burst.
@@ -1010,10 +1026,10 @@ ServerSim::replaySegment(unsigned core, std::uint64_t reqId,
 void
 ServerSim::executeSegment(unsigned core, std::uint64_t reqId)
 {
-    auto it = requests_.find(reqId);
-    if (it == requests_.end())
+    hh::cpu::Request *found = requests_.find(reqId);
+    if (!found)
         hh::sim::panic("executeSegment: unknown request ", reqId);
-    hh::cpu::Request &req = it->second;
+    hh::cpu::Request &req = *found;
     const auto &seg = req.plan.segments[req.nextSegment];
 
     const Cycles dur = replaySegment(core, reqId, seg);
@@ -1030,10 +1046,10 @@ ServerSim::executeSegment(unsigned core, std::uint64_t reqId)
 void
 ServerSim::onSegmentDone(unsigned core, std::uint64_t reqId)
 {
-    auto it = requests_.find(reqId);
-    if (it == requests_.end())
+    hh::cpu::Request *found = requests_.find(reqId);
+    if (!found)
         hh::sim::panic("onSegmentDone: unknown request ", reqId);
-    hh::cpu::Request &req = it->second;
+    hh::cpu::Request &req = *found;
     const auto seg = req.plan.segments[req.nextSegment];
     ++req.nextSegment;
 
@@ -1084,8 +1100,7 @@ ServerSim::onSegmentDone(unsigned core, std::uint64_t reqId)
 void
 ServerSim::completeRequest(unsigned core, std::uint64_t reqId)
 {
-    auto it = requests_.find(reqId);
-    hh::cpu::Request &req = it->second;
+    hh::cpu::Request &req = requests_.at(reqId);
     req.state = hh::cpu::RequestState::Done;
     req.completion = sim_.now();
     ctrl_->complete(req.vm, reqId);
@@ -1108,7 +1123,7 @@ ServerSim::completeRequest(unsigned core, std::uint64_t reqId)
         v.breakdownSum.io += req.breakdown.io;
         ++v.breakdownCount;
     }
-    requests_.erase(it);
+    requests_.erase(reqId);
 
     CoreCtx &ctx = core_ctx_[core];
     ctx.phase = Phase::Idle;
@@ -1370,9 +1385,17 @@ ServerSim::startHarvestSlice(unsigned core)
 hh::sim::Cycles
 ServerSim::replayHarvest(unsigned core, HarvestSlice &slice)
 {
+    HH_PROF_SCOPE("server.replay_harvest");
     const unsigned sampling = std::max(1u, cfg_.accessSampling);
-    const std::uint32_t n =
-        std::max<std::uint32_t>(1, slice.remainingAccesses / sampling);
+    // Same round-to-nearest + residual-carry scheme as
+    // replaySegment, banked per slice across preemption resumes.
+    const std::int64_t pool =
+        static_cast<std::int64_t>(slice.remainingAccesses) +
+        slice.samplingCarry;
+    const auto n = static_cast<std::uint32_t>(
+        (pool + sampling / 2) / sampling);
+    slice.samplingCarry = static_cast<std::int32_t>(
+        pool - static_cast<std::int64_t>(n) * sampling);
     Cycles t = sim_.now();
     for (std::uint32_t i = 0; i < n; ++i) {
         t += sampling *
@@ -2001,7 +2024,7 @@ ServerSim::serializeState(hh::snap::Archive &ar)
         }
     }
     ar.io(core_ctx_);
-    ar.io(requests_);
+    requests_.serialize(ar);
     ar.io(next_request_id_);
     ar.io(anchor_);
     ar.io(pending_reclaims_);

@@ -29,6 +29,7 @@
 #include "core/controller.h"
 #include "cpu/core.h"
 #include "cpu/request.h"
+#include "cpu/request_arena.h"
 #include "mem/dram.h"
 #include "net/fabric.h"
 #include "net/nic.h"
@@ -231,6 +232,8 @@ class ServerSim
         std::uint64_t id = 0;
         hh::sim::Cycles remainingCompute = 0;
         std::uint32_t remainingAccesses = 0;
+        /** Residual sampled-replay weight (see Request). */
+        std::int32_t samplingCarry = 0;
 
         void
         serialize(hh::snap::Archive &ar)
@@ -238,6 +241,7 @@ class ServerSim
             ar.io(id);
             ar.io(remainingCompute);
             ar.io(remainingAccesses);
+            ar.io(samplingCarry);
         }
     };
 
@@ -407,7 +411,12 @@ class ServerSim
     std::vector<std::unique_ptr<hh::cpu::Core>> cores_;
     std::vector<CoreCtx> core_ctx_;
 
-    std::unordered_map<std::uint64_t, hh::cpu::Request> requests_;
+    /**
+     * In-flight requests, arena-allocated so segment replay walks
+     * chunk-contiguous records instead of hash-scattered nodes.
+     * Serialized byte-identically to the unordered_map it replaced.
+     */
+    hh::cpu::RequestArena requests_;
     std::uint64_t next_request_id_ = 1;
     std::unordered_map<std::uint64_t, unsigned> anchor_; //!< req -> core
 

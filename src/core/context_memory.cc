@@ -1,5 +1,6 @@
 #include "core/context_memory.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sim/log.h"
@@ -39,22 +40,28 @@ RequestContextMemory::restoreCost(unsigned core) const
 void
 RequestContextMemory::store(std::uint64_t ctxtId)
 {
-    stored_.insert(ctxtId);
+    const auto it =
+        std::lower_bound(stored_.begin(), stored_.end(), ctxtId);
+    if (it == stored_.end() || *it != ctxtId)
+        stored_.insert(it, ctxtId);
     peak_ = std::max(peak_, stored_.size());
 }
 
 void
 RequestContextMemory::release(std::uint64_t ctxtId)
 {
-    if (stored_.erase(ctxtId) == 0)
+    const auto it =
+        std::lower_bound(stored_.begin(), stored_.end(), ctxtId);
+    if (it == stored_.end() || *it != ctxtId)
         hh::sim::panic("RequestContextMemory: releasing unknown "
                        "context ", ctxtId);
+    stored_.erase(it);
 }
 
 bool
 RequestContextMemory::contains(std::uint64_t ctxtId) const
 {
-    return stored_.count(ctxtId) != 0;
+    return std::binary_search(stored_.begin(), stored_.end(), ctxtId);
 }
 
 } // namespace hh::core

@@ -14,7 +14,7 @@
 #define HH_CORE_CONTEXT_MEMORY_H
 
 #include <cstdint>
-#include <unordered_set>
+#include <vector>
 
 #include "noc/mesh.h"
 #include "sim/time.h"
@@ -56,6 +56,11 @@ class RequestContextMemory
     std::size_t occupancy() const { return stored_.size(); }
     std::size_t peakOccupancy() const { return peak_; }
 
+    /**
+     * stored_ is kept sorted, so writing it as a plain vector emits
+     * exactly the bytes the old unordered_set encoding did (the
+     * archive serializes unordered sets in ascending key order).
+     */
     void
     serialize(hh::snap::Archive &ar)
     {
@@ -71,7 +76,8 @@ class RequestContextMemory
     const hh::noc::Mesh2D &mesh_;
     unsigned bytes_per_ctxt_;
     double bytes_per_cycle_;
-    std::unordered_set<std::uint64_t> stored_;
+    /** Resident context ids, ascending (flat set; tiny and scan-hot). */
+    std::vector<std::uint64_t> stored_;
     std::size_t peak_ = 0;
 };
 

@@ -64,6 +64,16 @@ struct Request
 
     LatencyBreakdown breakdown;
 
+    /**
+     * Residual access weight under sampled replay, in accesses.
+     * Each segment replays round((accesses + carry) / sampling)
+     * sampled accesses and banks the remainder here, so the
+     * request's replayed total converges to accesses / sampling
+     * instead of losing up to sampling-1 accesses per segment to
+     * truncation. Range (-sampling/2, sampling/2].
+     */
+    std::int32_t samplingCarry = 0;
+
     /** True when every segment has executed. */
     bool
     finished() const
@@ -91,6 +101,7 @@ struct Request
         ar.io(readySince);
         ar.io(completion);
         ar.io(breakdown);
+        ar.io(samplingCarry);
     }
 };
 

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Arena storage for in-flight requests.
+ *
+ * The scheduling layer used to keep requests in a
+ * `std::unordered_map<id, Request>`, which scatters every Request
+ * node across the heap and adds a hash + chase to each hot-path
+ * lookup (executeSegment/onSegmentDone run once per segment). The
+ * arena stores Request records in fixed-size chunks — contiguous
+ * within a chunk, addresses stable forever — and resolves ids
+ * through a dense id->slot table, so a lookup is two array indexes.
+ * Ids are handed out by a monotonic counter starting at 1, which
+ * keeps the table small and append-only.
+ *
+ * Determinism/serialization contract: `serialize()` emits exactly
+ * the bytes `Archive::io(std::unordered_map<std::uint64_t,
+ * Request>&)` would for the same logical contents (count, then
+ * ascending-id key/value pairs), so checkpoints taken before and
+ * after the container swap are interchangeable and byte-identical.
+ */
+
+#ifndef HH_CPU_REQUEST_ARENA_H
+#define HH_CPU_REQUEST_ARENA_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cpu/request.h"
+#include "sim/log.h"
+#include "snapshot/archive.h"
+
+namespace hh::cpu {
+
+/**
+ * Chunked arena of Request records indexed by request id.
+ */
+class RequestArena
+{
+  public:
+    /**
+     * Allocate (or recycle) a slot for @p id and return the
+     * freshly reset record. @pre id > 0 and not already live.
+     */
+    Request &
+    create(std::uint64_t id)
+    {
+        if (id == 0)
+            hh::sim::panic("RequestArena: id 0 is reserved");
+        if (id >= slot_of_.size())
+            slot_of_.resize(static_cast<std::size_t>(id) + 1, -1);
+        if (slot_of_[id] >= 0)
+            hh::sim::panic("RequestArena: duplicate request ", id);
+
+        std::uint32_t slot;
+        if (!free_.empty()) {
+            slot = free_.back();
+            free_.pop_back();
+        } else {
+            if (next_fresh_ ==
+                static_cast<std::uint32_t>(chunks_.size()) *
+                    kChunkSlots)
+                chunks_.push_back(std::make_unique<Chunk>());
+            slot = next_fresh_++;
+        }
+        slot_of_[id] = static_cast<std::int32_t>(slot);
+        ++live_;
+        Request &r = slotRef(slot);
+        r = Request{};
+        return r;
+    }
+
+    /** Live record for @p id, or nullptr. */
+    Request *
+    find(std::uint64_t id) noexcept
+    {
+        if (id >= slot_of_.size() || slot_of_[id] < 0)
+            return nullptr;
+        return &slotRef(static_cast<std::uint32_t>(slot_of_[id]));
+    }
+
+    const Request *
+    find(std::uint64_t id) const noexcept
+    {
+        return const_cast<RequestArena *>(this)->find(id);
+    }
+
+    /** Live record for @p id; panics if absent. */
+    Request &
+    at(std::uint64_t id)
+    {
+        Request *r = find(id);
+        if (!r)
+            hh::sim::panic("RequestArena: unknown request ", id);
+        return *r;
+    }
+
+    /** Release @p id's slot. @pre id is live. */
+    void
+    erase(std::uint64_t id)
+    {
+        if (id >= slot_of_.size() || slot_of_[id] < 0)
+            hh::sim::panic("RequestArena: erasing unknown request ",
+                           id);
+        free_.push_back(static_cast<std::uint32_t>(slot_of_[id]));
+        slot_of_[id] = -1;
+        --live_;
+    }
+
+    std::size_t size() const { return live_; }
+    bool empty() const { return live_ == 0; }
+
+    /**
+     * Visit every live request in ascending id order (deterministic,
+     * unlike the unordered_map this replaced). @p f receives
+     * (id, Request&). Must not create or erase during the sweep.
+     */
+    template <typename F>
+    void
+    forEach(F &&f) const
+    {
+        for (std::uint64_t id = 1; id < slot_of_.size(); ++id) {
+            if (slot_of_[id] < 0)
+                continue;
+            f(id, const_cast<RequestArena *>(this)->slotRef(
+                      static_cast<std::uint32_t>(slot_of_[id])));
+        }
+    }
+
+    /**
+     * Save/restore. Byte-identical to the Archive's
+     * unordered_map<uint64_t, Request> encoding; see file comment.
+     */
+    void
+    serialize(hh::snap::Archive &ar)
+    {
+        if (ar.saving()) {
+            std::uint64_t n = live_;
+            ar.io(n);
+            forEach([&](std::uint64_t id, Request &r) {
+                std::uint64_t key = id;
+                ar.io(key);
+                r.serialize(ar);
+            });
+        } else {
+            chunks_.clear();
+            free_.clear();
+            slot_of_.clear();
+            live_ = 0;
+            next_fresh_ = 0;
+            std::uint64_t n = 0;
+            ar.io(n);
+            for (std::uint64_t i = 0; i < n && ar.ok(); ++i) {
+                std::uint64_t key = 0;
+                ar.io(key);
+                create(key).serialize(ar);
+            }
+        }
+    }
+
+  private:
+    static constexpr std::uint32_t kChunkSlots = 256;
+    using Chunk = std::array<Request, kChunkSlots>;
+
+    Request &
+    slotRef(std::uint32_t slot)
+    {
+        return (*chunks_[slot / kChunkSlots])[slot % kChunkSlots];
+    }
+
+    std::vector<std::unique_ptr<Chunk>> chunks_;
+    std::vector<std::uint32_t> free_; //!< Recycled slots (LIFO).
+    /** id -> slot; -1 when not live. Grows with the id counter. */
+    std::vector<std::int32_t> slot_of_;
+    std::uint32_t next_fresh_ = 0; //!< First never-used slot.
+    std::size_t live_ = 0;
+};
+
+} // namespace hh::cpu
+
+#endif // HH_CPU_REQUEST_ARENA_H

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The binary-heap event queue (PR-2 design), kept alongside the
+ * timing-wheel `EventQueue` as a differential reference.
+ *
+ * `HeapEventQueue` is the exact slab + lazy-compaction binary heap
+ * that shipped before the hierarchical timing wheel replaced it on
+ * the hot path. It stays in the tree for three reasons:
+ *  - the micro-benchmark shootout (`bench/micro_eventqueue.cpp`)
+ *    measures legacy / heap / wheel side by side;
+ *  - the fuzz property test asserts the wheel and the heap produce
+ *    identical (time, seq) pop orders under random interleavings;
+ *  - the snapshot tests restore heap-written checkpoints on the
+ *    wheel and vice versa, proving the serialized encoding is a
+ *    structure-independent contract.
+ *
+ * The public interface and the serialize() byte encoding are
+ * identical to `EventQueue`'s; see event_queue.h for the contract.
+ */
+
+#ifndef HH_SIM_EVENT_QUEUE_HEAP_H
+#define HH_SIM_EVENT_QUEUE_HEAP_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/inline_function.h"
+#include "sim/time.h"
+#include "snapshot/tag.h"
+
+namespace hh::snap {
+class Archive;
+} // namespace hh::snap
+
+namespace hh::sim {
+
+/**
+ * Min-heap of timestamped callbacks with stable FIFO tie-breaking.
+ */
+class HeapEventQueue
+{
+  public:
+    using Callback = InlineFunction<void()>;
+    using EventId = hh::sim::EventId;
+
+    /** See EventQueue::schedule. */
+    EventId schedule(Cycles when, Callback cb);
+
+    /** See EventQueue::schedule (tagged overload). */
+    EventId schedule(Cycles when, const hh::snap::SnapTag &tag,
+                     Callback cb);
+
+    /** See EventQueue::cancel. */
+    bool cancel(EventId id);
+
+    bool empty() const { return live_ == 0; }
+    std::size_t size() const { return live_; }
+
+    /** Time of the earliest live event. @pre !empty(). */
+    Cycles nextTime() const;
+
+    /** Pop and return the earliest live event. @pre !empty(). */
+    Callback pop(Cycles &when);
+
+    /** @name Introspection (tests/benchmarks) @{ */
+    std::size_t heapEntries() const { return heap_.size(); }
+    std::size_t slabSlots() const { return slab_.size(); }
+    std::uint64_t monotonicViolations() const
+    {
+        return monotonic_violations_;
+    }
+    /** @} */
+
+    using RearmFn =
+        std::function<Callback(const hh::snap::SnapTag &)>;
+
+    /**
+     * Save or restore through @p ar; byte-compatible with
+     * EventQueue::serialize (same structural encoding).
+     */
+    void serialize(hh::snap::Archive &ar, const RearmFn &rearm);
+
+  private:
+    /** One reusable event record. */
+    struct Record
+    {
+        Callback cb;
+        hh::snap::SnapTag tag;
+        std::uint32_t gen = 1;
+    };
+
+    /** Heap entry: plain data, no callback, no hashing. */
+    struct Entry
+    {
+        Cycles when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+        std::uint32_t gen;
+    };
+
+    /** Min-heap order on (when, seq) via std::*_heap's max-heap. */
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    bool dead(const Entry &e) const
+    {
+        return slab_[e.slot].gen != e.gen;
+    }
+
+    void skipDead() const;
+    void maybeCompact();
+
+    std::uint32_t allocSlot();
+    void freeSlot(std::uint32_t slot);
+
+    mutable std::vector<Entry> heap_;
+    std::vector<Record> slab_;
+    std::vector<std::uint32_t> free_slots_;
+    std::uint64_t next_seq_ = 0;
+    std::size_t live_ = 0;
+    mutable std::size_t dead_ = 0;
+    Cycles last_popped_ = 0;
+    std::uint64_t monotonic_violations_ = 0;
+};
+
+} // namespace hh::sim
+
+#endif // HH_SIM_EVENT_QUEUE_HEAP_H

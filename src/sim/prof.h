@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Scoped cycle-counter profiling, gated like tracing.
+ *
+ * A `HH_PROF_SCOPE("name")` at the top of a function accumulates
+ * elapsed TSC cycles and hit counts into a process-wide site
+ * registry while profiling is enabled. When disabled (the default),
+ * the scope constructor is a single untaken branch — cheap enough to
+ * leave in the hottest simulator paths permanently, which is the
+ * point: `bench_speed` flips the flag for one instrumented pass and
+ * emits the per-site totals as the "profile" section of
+ * BENCH_sim_speed.json, so every future PR can see where kernel time
+ * goes without rebuilding with -pg.
+ *
+ * Counters are relaxed atomics: concurrent cluster shards may run
+ * while profiling, and approximate per-site sums are fine for a
+ * profile (the alternative — per-thread sites — would complicate the
+ * registry for no analytical gain).
+ */
+
+#ifndef HH_SIM_PROF_H
+#define HH_SIM_PROF_H
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace hh::sim::prof {
+
+namespace detail {
+
+inline std::atomic<bool> g_enabled{false};
+
+inline std::uint64_t
+now()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __rdtsc();
+#else
+    return static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+} // namespace detail
+
+/**
+ * One instrumented site; constructed as a function-local static by
+ * HH_PROF_SCOPE and linked into the global registry on first hit.
+ */
+struct Site
+{
+    const char *name;
+    std::atomic<std::uint64_t> cycles{0};
+    std::atomic<std::uint64_t> hits{0};
+    Site *next = nullptr;
+
+    explicit Site(const char *n);
+};
+
+namespace detail {
+
+inline std::mutex g_registry_mutex;
+inline Site *g_sites = nullptr;
+
+} // namespace detail
+
+inline Site::Site(const char *n) : name(n)
+{
+    std::lock_guard<std::mutex> lock(detail::g_registry_mutex);
+    next = detail::g_sites;
+    detail::g_sites = this;
+}
+
+/** True while scopes are recording. */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/** Turn recording on or off (off is the default). */
+inline void
+setEnabled(bool on)
+{
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/** Zero every registered site (start of a profile pass). */
+inline void
+reset()
+{
+    std::lock_guard<std::mutex> lock(detail::g_registry_mutex);
+    for (Site *s = detail::g_sites; s; s = s->next) {
+        s->cycles.store(0, std::memory_order_relaxed);
+        s->hits.store(0, std::memory_order_relaxed);
+    }
+}
+
+/** One site's totals at snapshot time. */
+struct Sample
+{
+    std::string name;
+    std::uint64_t cycles = 0;
+    std::uint64_t hits = 0;
+};
+
+/** All sites with any hits, heaviest first. */
+inline std::vector<Sample>
+snapshot()
+{
+    std::vector<Sample> out;
+    {
+        std::lock_guard<std::mutex> lock(detail::g_registry_mutex);
+        for (Site *s = detail::g_sites; s; s = s->next) {
+            const std::uint64_t h =
+                s->hits.load(std::memory_order_relaxed);
+            if (h == 0)
+                continue;
+            out.push_back(Sample{
+                s->name,
+                s->cycles.load(std::memory_order_relaxed), h});
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Sample &a, const Sample &b) {
+                  return a.cycles > b.cycles;
+              });
+    return out;
+}
+
+/**
+ * RAII cycle accumulator. Nested scopes double-count by design
+ * (each site reports inclusive time, like a flat gprof profile).
+ */
+class Scope
+{
+  public:
+    explicit Scope(Site &site)
+    {
+        if (!enabled()) [[likely]]
+            return;
+        site_ = &site;
+        start_ = detail::now();
+    }
+
+    ~Scope()
+    {
+        if (!site_)
+            return;
+        site_->cycles.fetch_add(detail::now() - start_,
+                                std::memory_order_relaxed);
+        site_->hits.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    Site *site_ = nullptr;
+    std::uint64_t start_ = 0;
+};
+
+} // namespace hh::sim::prof
+
+#define HH_PROF_CONCAT2(a, b) a##b
+#define HH_PROF_CONCAT(a, b) HH_PROF_CONCAT2(a, b)
+
+/**
+ * Accumulate cycles spent in the enclosing scope under @p name.
+ * One untaken branch when profiling is off.
+ */
+#define HH_PROF_SCOPE(name)                                         \
+    static ::hh::sim::prof::Site HH_PROF_CONCAT(                    \
+        hh_prof_site_, __LINE__){name};                             \
+    ::hh::sim::prof::Scope HH_PROF_CONCAT(hh_prof_scope_,           \
+                                          __LINE__)(                \
+        HH_PROF_CONCAT(hh_prof_site_, __LINE__))
+
+#endif // HH_SIM_PROF_H

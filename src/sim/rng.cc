@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/log.h"
+#include "sim/prof.h"
 #include "snapshot/archive.h"
 
 namespace hh::sim {
@@ -154,13 +155,35 @@ ZipfSampler::ZipfSampler(std::size_t n, double theta)
     }
     for (auto &v : cdf_)
         v /= sum;
+
+    bucket_.resize(kIndexBuckets + 1);
+    for (std::size_t b = 0; b <= kIndexBuckets; ++b) {
+        const double lo = static_cast<double>(b) /
+                          static_cast<double>(kIndexBuckets);
+        bucket_[b] = static_cast<std::uint32_t>(
+            std::lower_bound(cdf_.begin(), cdf_.end(), lo) -
+            cdf_.begin());
+    }
 }
 
 std::size_t
 ZipfSampler::sample(Rng &rng) const
 {
+    HH_PROF_SCOPE("workload.zipf_sample");
     const double u = rng.uniform();
-    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    // Narrow to the index slice containing u, then lower_bound
+    // inside it: cdf_[bucket_[b]] is the first value >= b/B and u
+    // lies in [b/B, (b+1)/B), so the answer is in
+    // [bucket_[b], bucket_[b+1]] — the +1 below keeps the slice's
+    // one-past-the-answer element searchable.
+    std::size_t b = static_cast<std::size_t>(
+        u * static_cast<double>(kIndexBuckets));
+    b = std::min(b, kIndexBuckets - 1);
+    const auto first = cdf_.begin() + bucket_[b];
+    const auto last =
+        cdf_.begin() +
+        std::min<std::size_t>(bucket_[b + 1] + 1, cdf_.size());
+    const auto it = std::lower_bound(first, last, u);
     return static_cast<std::size_t>(
         std::min<std::ptrdiff_t>(it - cdf_.begin(),
                                  static_cast<std::ptrdiff_t>(cdf_.size()) -

@@ -118,6 +118,15 @@ class ZipfSampler
 
   private:
     std::vector<double> cdf_;
+    /**
+     * First-level acceleration index: bucket_[b] is the lower_bound
+     * of b / kIndexBuckets in cdf_, so a sample only binary-searches
+     * the slice [bucket_[b], bucket_[b+1]] its uniform draw falls
+     * in. Pure narrowing — the result is the exact lower_bound the
+     * full-range search would return.
+     */
+    static constexpr std::size_t kIndexBuckets = 256;
+    std::vector<std::uint32_t> bucket_;
 };
 
 } // namespace hh::sim

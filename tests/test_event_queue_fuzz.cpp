@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Differential fuzz: the hierarchical timing wheel (`EventQueue`)
+ * and the binary heap it replaced (`HeapEventQueue`) must produce
+ * identical (time, seq) pop orders under randomized interleavings
+ * of schedule / cancel / pop.
+ *
+ * Every operation is applied to both structures with the same
+ * arguments; pops are compared pairwise on (when, ordinal), where
+ * the ordinal is the schedule-time sequence number baked into each
+ * callback. Equal ordinal streams at equal times imply equal
+ * (time, seq) order, since both queues assign seq in schedule()
+ * call order. Cancels target the same scheduled event in both and
+ * must agree on whether it was still live.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/event_queue_heap.h"
+#include "sim/rng.h"
+
+using hh::sim::Cycles;
+using hh::sim::EventQueue;
+using hh::sim::HeapEventQueue;
+
+namespace {
+
+struct PopRec
+{
+    Cycles when;
+    std::uint64_t ordinal;
+
+    bool
+    operator==(const PopRec &o) const
+    {
+        return when == o.when && ordinal == o.ordinal;
+    }
+};
+
+/** Pop one event from @p q and record (when, ordinal) into @p log. */
+template <typename Queue>
+void
+popInto(Queue &q, std::vector<PopRec> &log)
+{
+    Cycles when = 0;
+    auto cb = q.pop(when);
+    const std::size_t before = log.size();
+    cb();
+    ASSERT_EQ(log.size(), before + 1) << "callback did not fire";
+    log.back().when = when;
+}
+
+/**
+ * Drive both queues through @p ops random operations and verify the
+ * pop streams match. The delay mix is shaped by @p nearWeight /
+ * @p farWeight / @p cancelProb so distinct profiles stress the
+ * wheel's level-0 fast path, the far heap + cascade path, and the
+ * tombstone path respectively.
+ */
+void
+fuzzRound(std::uint64_t seed, int ops, double nearWeight,
+          double farWeight, double cancelProb)
+{
+    hh::sim::Rng rng(seed, 77);
+    EventQueue wheel;
+    HeapEventQueue heap;
+
+    std::vector<PopRec> wheel_log, heap_log;
+    // Per-ordinal ids; an ordinal is "live" until cancelled/popped.
+    std::vector<hh::sim::EventId> wheel_ids, heap_ids;
+    std::vector<std::uint64_t> cancellable;
+
+    Cycles now = 0;
+    std::uint64_t next_ordinal = 0;
+
+    for (int i = 0; i < ops; ++i) {
+        const double r = rng.uniform();
+        if (r < cancelProb && !cancellable.empty()) {
+            const std::size_t pick = static_cast<std::size_t>(
+                rng.uniformInt(cancellable.size()));
+            const std::uint64_t ord = cancellable[pick];
+            cancellable[pick] = cancellable.back();
+            cancellable.pop_back();
+            const bool cw = wheel.cancel(wheel_ids[ord]);
+            const bool ch = heap.cancel(heap_ids[ord]);
+            ASSERT_EQ(cw, ch) << "cancel liveness diverged, op " << i;
+            continue;
+        }
+        if (r < cancelProb + 0.25 && !wheel.empty()) {
+            ASSERT_FALSE(heap.empty());
+            ASSERT_EQ(wheel.nextTime(), heap.nextTime());
+            popInto(wheel, wheel_log);
+            popInto(heap, heap_log);
+            now = wheel_log.back().when;
+            continue;
+        }
+        // Schedule. Delay mix: ties at `now` exercise FIFO order,
+        // near hits level 0, far lands in higher levels / far heap.
+        Cycles delay = 0;
+        const double d = rng.uniform();
+        if (d < 0.15)
+            delay = 0;
+        else if (d < 0.15 + nearWeight)
+            delay = rng.uniformInt(std::uint64_t{256});
+        else if (d < 0.15 + nearWeight + farWeight)
+            delay = rng.uniformInt(std::uint64_t{1} << 22);
+        else
+            delay = rng.uniformInt(std::uint64_t{1} << 14);
+        const Cycles when = now + delay;
+        const std::uint64_t ord = next_ordinal++;
+        wheel_ids.push_back(wheel.schedule(when, [&, ord] {
+            wheel_log.push_back({0, ord});
+        }));
+        heap_ids.push_back(heap.schedule(when, [&, ord] {
+            heap_log.push_back({0, ord});
+        }));
+        cancellable.push_back(ord);
+    }
+
+    // Drain everything that is left.
+    while (!wheel.empty()) {
+        ASSERT_FALSE(heap.empty());
+        ASSERT_EQ(wheel.nextTime(), heap.nextTime());
+        popInto(wheel, wheel_log);
+        popInto(heap, heap_log);
+    }
+    EXPECT_TRUE(heap.empty());
+
+    ASSERT_EQ(wheel_log.size(), heap_log.size());
+    for (std::size_t i = 0; i < wheel_log.size(); ++i) {
+        ASSERT_TRUE(wheel_log[i] == heap_log[i])
+            << "pop " << i << " diverged: wheel=("
+            << wheel_log[i].when << "," << wheel_log[i].ordinal
+            << ") heap=(" << heap_log[i].when << ","
+            << heap_log[i].ordinal << ")";
+    }
+    EXPECT_EQ(wheel.monotonicViolations(), 0u);
+    EXPECT_EQ(heap.monotonicViolations(), 0u);
+}
+
+} // namespace
+
+TEST(EventQueueFuzz, NearFutureHeavy)
+{
+    for (std::uint64_t seed = 1; seed <= 6; ++seed)
+        fuzzRound(seed, 4000, 0.70, 0.05, 0.10);
+}
+
+TEST(EventQueueFuzz, FarFutureHeavy)
+{
+    for (std::uint64_t seed = 11; seed <= 16; ++seed)
+        fuzzRound(seed, 4000, 0.05, 0.70, 0.10);
+}
+
+TEST(EventQueueFuzz, CancelHeavy)
+{
+    for (std::uint64_t seed = 21; seed <= 26; ++seed)
+        fuzzRound(seed, 4000, 0.30, 0.20, 0.45);
+}
+
+TEST(EventQueueFuzz, MixedLongRun)
+{
+    fuzzRound(99, 40000, 0.35, 0.25, 0.20);
+}

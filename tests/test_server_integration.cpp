@@ -204,3 +204,76 @@ TEST(ClusterExperiment, ServerCountValidated)
     EXPECT_THROW(runCluster(cfg, 0, 1), std::runtime_error);
     EXPECT_THROW(runCluster(cfg, 99, 1), std::runtime_error);
 }
+
+namespace {
+
+/**
+ * Sum of the primary cores' hierarchy access counters. Batch cores
+ * (index >= primaryVms * coresPerPrimary; never lent back under
+ * NoHarvest) are excluded: the batch replays accesses for as long
+ * as the run lasts, so its totals are time-driven rather than
+ * plan-driven and carry no conservation property to test.
+ */
+std::uint64_t
+totalRequestAccesses(const ServerResults &res, unsigned primaryCores)
+{
+    std::uint64_t total = 0;
+    for (const auto &s : res.metricsFinal) {
+        const std::string &n = s.name;
+        if (n.rfind("core", 0) == 0 && n.size() > 9 &&
+            n.compare(n.size() - 9, 9, ".accesses") == 0 &&
+            n.find('.') == n.size() - 9) { // core<N>.accesses only
+            const unsigned core = static_cast<unsigned>(
+                std::stoul(n.substr(4, n.size() - 13)));
+            if (core < primaryCores)
+                total += static_cast<std::uint64_t>(s.value);
+        }
+    }
+    return total;
+}
+
+} // namespace
+
+// Sampled replay must converge to the unsampled access totals.
+// Round-to-nearest with a per-request residual carry telescopes:
+// replayed * sampling = planned - final_carry, so each request's
+// de-sampled error is at most sampling/2 accesses. The two runs do
+// not share plans (the workload RNG stream interleaves plan and
+// access draws, so changing the sampling rate shifts it), but each
+// request's planned total n * max(1, memAccesses / n) is pinned to
+// within n - 1 <= 8 accesses of memAccesses for every io-call draw
+// n <= 9, so cross-run plan divergence adds at most 8 per request.
+// The truncating replay this replaced lost the full remainder
+// (mean sampling/2, worst sampling-1) per *segment*, which blows
+// this per-request budget for any multi-segment plan.
+TEST(ServerIntegration, SampledReplayTotalsConverge)
+{
+    auto cfg = tinyConfig(SystemKind::NoHarvest);
+    cfg.requestsPerVm = 30; // 8 VMs x 30 requests
+    cfg.metricsEnabled = true;
+    const double requests = 8.0 * 30.0;
+    const unsigned primary_cores =
+        cfg.primaryVms * cfg.coresPerPrimary;
+
+    cfg.accessSampling = 1;
+    const auto unsampled = runServer(cfg, "BFS", 11);
+    const std::uint64_t exact =
+        totalRequestAccesses(unsampled, primary_cores);
+    ASSERT_GT(exact, 0u);
+
+    const unsigned sampling = 64;
+    cfg.accessSampling = sampling;
+    const auto sampled = runServer(cfg, "BFS", 11);
+    const std::uint64_t replayed =
+        totalRequestAccesses(sampled, primary_cores);
+    ASSERT_GT(replayed, 0u);
+
+    const double desampled =
+        static_cast<double>(replayed) * sampling;
+    // Carry residue + plan divergence, with 25% slack. Kept below
+    // the expected truncation loss (~sampling/2 per segment) so a
+    // regression to floor() division trips the bound.
+    const double bound = 1.25 * requests * (sampling / 2.0 + 8.0);
+    EXPECT_NEAR(desampled, static_cast<double>(exact), bound)
+        << "sampled replay totals diverged from unsampled run";
+}

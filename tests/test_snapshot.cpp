@@ -10,9 +10,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "cache/hierarchy.h"
+#include "sim/event_queue.h"
+#include "sim/event_queue_heap.h"
 #include "cluster/server.h"
 #include "cluster/system_config.h"
 #include "core/rq.h"
@@ -316,4 +319,131 @@ TEST(SnapshotServer, ObservabilityMismatchIsRejected)
     EXPECT_FALSE(load.ok());
     EXPECT_NE(load.error().find("observability"), std::string::npos)
         << load.error();
+}
+
+namespace {
+
+/**
+ * Build a queue with a mix of live and cancelled tagged events.
+ * The schedule pattern lands events across wheel levels (and the
+ * heap's sift paths): ties, near, mid and far deadlines.
+ */
+template <typename Queue>
+void
+populateQueue(Queue &q)
+{
+    using hh::snap::SnapTag;
+    std::vector<hh::sim::EventId> ids;
+    for (std::uint64_t i = 0; i < 40; ++i) {
+        SnapTag tag;
+        tag.kind = SnapTag::kCoreIdle;
+        tag.a = i; // ordinal; checked by the rearm callbacks
+        const hh::sim::Cycles when =
+            (i % 4 == 0) ? 100
+                         : (i % 4 == 1) ? 100 + i
+                                        : (i % 4 == 2)
+                                  ? 5000 + 17 * i
+                                  : (hh::sim::Cycles{1} << 21) + i;
+        ids.push_back(q.schedule(when, tag, [] {}));
+    }
+    // Tombstones: cancelled events must vanish from the snapshot
+    // without perturbing the surviving (time, seq) order.
+    for (std::size_t i = 0; i < ids.size(); i += 5)
+        EXPECT_TRUE(q.cancel(ids[i]));
+}
+
+template <typename Queue>
+std::vector<std::uint8_t>
+saveQueue(Queue &q)
+{
+    auto ar = Archive::forSave();
+    q.serialize(ar, nullptr);
+    EXPECT_TRUE(ar.ok());
+    return ar.take();
+}
+
+/** Restore @p bytes into @p q, rearming each event to log tag.a. */
+template <typename Queue>
+void
+loadQueue(Queue &q, const std::vector<std::uint8_t> &bytes,
+          std::vector<std::uint64_t> &log)
+{
+    auto ar = Archive::forLoad(bytes);
+    q.serialize(ar, [&log](const hh::snap::SnapTag &tag) {
+        const std::uint64_t ord = tag.a;
+        return typename Queue::Callback(
+            [&log, ord] { log.push_back(ord); });
+    });
+    ASSERT_TRUE(ar.ok());
+}
+
+template <typename Queue>
+std::vector<std::pair<hh::sim::Cycles, std::uint64_t>>
+drainQueue(Queue &q, std::vector<std::uint64_t> &log)
+{
+    std::vector<std::pair<hh::sim::Cycles, std::uint64_t>> out;
+    while (!q.empty()) {
+        hh::sim::Cycles when = 0;
+        auto cb = q.pop(when);
+        cb();
+        out.emplace_back(when, log.back());
+    }
+    return out;
+}
+
+} // namespace
+
+// The serialized event-queue encoding is a structure-independent
+// contract: a checkpoint written by the binary heap restores on the
+// timing wheel (and vice versa), re-serializes byte-identically,
+// and pops the same (time, seq) stream.
+TEST(SnapshotEventQueue, HeapCheckpointRestoresOnWheel)
+{
+    hh::sim::HeapEventQueue heap;
+    populateQueue(heap);
+    const auto bytes = saveQueue(heap);
+
+    std::vector<std::uint64_t> log;
+    hh::sim::EventQueue wheel;
+    loadQueue(wheel, bytes, log);
+    EXPECT_EQ(wheel.size(), heap.size());
+
+    // Round-trip through the wheel is byte-identical.
+    EXPECT_EQ(saveQueue(wheel), bytes);
+
+    // And the restored wheel pops the heap's exact event stream.
+    std::vector<std::uint64_t> heap_log;
+    hh::sim::HeapEventQueue heap2;
+    loadQueue(heap2, bytes, heap_log);
+    EXPECT_EQ(drainQueue(wheel, log), drainQueue(heap2, heap_log));
+}
+
+TEST(SnapshotEventQueue, WheelCheckpointRestoresOnHeap)
+{
+    hh::sim::EventQueue wheel;
+    populateQueue(wheel);
+    const auto bytes = saveQueue(wheel);
+
+    std::vector<std::uint64_t> log;
+    hh::sim::HeapEventQueue heap;
+    loadQueue(heap, bytes, log);
+    EXPECT_EQ(heap.size(), wheel.size());
+
+    EXPECT_EQ(saveQueue(heap), bytes);
+
+    std::vector<std::uint64_t> wheel_log;
+    hh::sim::EventQueue wheel2;
+    loadQueue(wheel2, bytes, wheel_log);
+    EXPECT_EQ(drainQueue(heap, log), drainQueue(wheel2, wheel_log));
+}
+
+// Both implementations must write identical bytes for identical
+// schedule/cancel histories in the first place.
+TEST(SnapshotEventQueue, IdenticalHistoryIdenticalBytes)
+{
+    hh::sim::EventQueue wheel;
+    hh::sim::HeapEventQueue heap;
+    populateQueue(wheel);
+    populateQueue(heap);
+    EXPECT_EQ(saveQueue(wheel), saveQueue(heap));
 }
