@@ -13,9 +13,10 @@
  * HH_SERVERS says otherwise.
  *
  * Also measures the wall-clock overhead of the observability layer
- * (request-span tracing + metric sampling, both enabled) and of the
+ * (request-span tracing + metric sampling, both enabled), of the
  * invariant auditor (every cross-component check sweeping at the
- * default period) against the everything-off parallel run. Set
+ * default period), and of the harvest telemetry plane (per-epoch
+ * ObservationView rows) against the everything-off parallel run. Set
  * HH_OVERHEAD_GATE=<percent> to make the binary fail when either
  * measured overhead exceeds the gate (used by CI; off by default
  * because single-core containers are noisy).
@@ -153,6 +154,23 @@ main(int argc, char **argv)
     const double aud_sec = secondsSince(t_aud);
     const double audit_overhead_pct =
         par_sec > 0 ? 100.0 * (aud_sec / par_sec - 1.0) : 0.0;
+
+    // Telemetry overhead: same run with the per-epoch ObservationView
+    // materializing feature rows. When disabled (par_sec above) no
+    // view exists and no epoch tick is ever scheduled, so the
+    // baseline is again the true zero-cost path.
+    std::printf("parallel cluster run, telemetry on...\n");
+    SystemConfig telemetered = cfg;
+    telemetered.telemetryEnabled = true;
+    const auto t_tel = Clock::now();
+    const ClusterResults tel =
+        runCluster(telemetered, scale.servers, scale.seed, workers);
+    const double tel_sec = secondsSince(t_tel);
+    const double telemetry_overhead_pct =
+        par_sec > 0 ? 100.0 * (tel_sec / par_sec - 1.0) : 0.0;
+    std::uint64_t telemetry_rows = 0;
+    for (const auto &t : tel.serverTelemetry)
+        telemetry_rows += t.rows.size();
 
     // Snapshot subsystem: cost of one full-state save and load at the
     // server level, then the cluster-level warm-start path — snapshot
@@ -327,6 +345,10 @@ main(int argc, char **argv)
                 par_sec, aud_sec, audit_overhead_pct,
                 static_cast<unsigned long long>(aud.auditsRun),
                 static_cast<unsigned long long>(aud.auditViolations));
+    std::printf("telemetry: off %.2fs  on %.2fs  overhead %+.1f%%  "
+                "(%llu epoch rows)\n",
+                par_sec, tel_sec, telemetry_overhead_pct,
+                static_cast<unsigned long long>(telemetry_rows));
     std::printf("snapshot: save %.1fms  load %.1fms  (%zu KiB)  "
                 "warm-start %.2fs vs full %.2fs  speedup %.2fx  "
                 "bit-identical %s\n",
@@ -426,6 +448,14 @@ main(int argc, char **argv)
     std::fprintf(f, "    \"violations\": %llu\n",
                  static_cast<unsigned long long>(aud.auditViolations));
     std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"telemetry\": {\n");
+    std::fprintf(f, "    \"baseline_sec\": %.4f,\n", par_sec);
+    std::fprintf(f, "    \"telemetered_sec\": %.4f,\n", tel_sec);
+    std::fprintf(f, "    \"overhead_pct\": %.2f,\n",
+                 telemetry_overhead_pct);
+    std::fprintf(f, "    \"epoch_rows\": %llu\n",
+                 static_cast<unsigned long long>(telemetry_rows));
+    std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"snapshot\": {\n");
     std::fprintf(f, "    \"warmup_ms\": %.3f,\n",
                  hh::sim::cyclesToMs(t_warm));
@@ -476,6 +506,13 @@ main(int argc, char **argv)
                          "auditing overhead %.1f%% exceeds gate "
                          "%.1f%%\n",
                          audit_overhead_pct, gate_limit);
+            return 1;
+        }
+        if (telemetry_overhead_pct > gate_limit) {
+            std::fprintf(stderr,
+                         "telemetry overhead %.1f%% exceeds gate "
+                         "%.1f%%\n",
+                         telemetry_overhead_pct, gate_limit);
             return 1;
         }
         if (snap_overhead_pct > gate_limit) {

@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/telemetry_hub.h"
 #include "exp/fidelity.h"
 #include "exp/ledger.h"
 #include "exp/spec.h"
@@ -51,6 +52,7 @@ struct Args
     std::string gate = "direction";
     unsigned workers = 0;
     std::string specPath;
+    std::string telemetryPath;
 };
 
 [[noreturn]] void
@@ -60,7 +62,8 @@ usage(const char *argv0)
         "usage: ", argv0,
         " [--scale quick|default|full] [--seeds N]"
         " [--ledger path | --no-ledger]"
-        " [--gate off|direction|full] [--workers N] [--spec file]");
+        " [--gate off|direction|full] [--workers N] [--spec file]"
+        " [--telemetry out.jsonl]");
 }
 
 Args
@@ -93,6 +96,8 @@ parseArgs(int argc, char **argv)
                 std::strtoul(argv[++i], nullptr, 10));
         } else if (arg == "--spec" && i + 1 < argc) {
             a.specPath = argv[++i];
+        } else if (arg == "--telemetry" && i + 1 < argc) {
+            a.telemetryPath = argv[++i];
         } else {
             usage(argv[0]);
         }
@@ -249,6 +254,29 @@ main(int argc, char **argv)
             std::printf("%-44s %12.3f %12.2f\n", pts[i].label.c_str(),
                         res.avgP99Ms(), res.batchThroughput);
         }
+    }
+
+    // --telemetry: one telemetry-enabled cluster run at this scale,
+    // rendered through the TelemetryHub into the economics JSONL plus
+    // the one-page report. Like tracing/metrics, telemetry payloads
+    // are deliberately outside the ledger codec, so this run bypasses
+    // the scheduler.
+    if (!args.telemetryPath.empty()) {
+        hh::cluster::SystemConfig tcfg = hh::cluster::makeSystem(
+            hh::cluster::SystemKind::HardHarvestBlock);
+        applyScale(tcfg, scale);
+        tcfg.telemetryEnabled = true;
+        hh::cluster::ClusterResults tres = hh::cluster::runCluster(
+            tcfg, scale.servers, scale.seed, args.workers);
+        hh::cluster::TelemetryHub hub(tcfg);
+        for (auto &t : tres.serverTelemetry)
+            hub.addServer(std::move(t));
+        if (!hh::cluster::writeTextFile(args.telemetryPath,
+                                        hub.jsonl()))
+            hh::sim::fatal("cannot write ", args.telemetryPath);
+        std::printf("\ntelemetry: %s (%zu epochs)\n%s",
+                    args.telemetryPath.c_str(), hub.timeline().size(),
+                    hub.report().c_str());
     }
 
     // Per-seed measurements; the gate judges the across-seed means.

@@ -160,6 +160,8 @@ configFingerprint(const SystemConfig &cfg)
        << " traceCapacity=" << cfg.traceCapacity
        << " metricsEnabled=" << cfg.metricsEnabled
        << " metricsPeriod=" << cfg.metricsPeriod
+       << " telemetryEnabled=" << cfg.telemetryEnabled
+       << " telemetryPeriod=" << cfg.telemetryPeriod
        << " auditEnabled=" << cfg.auditEnabled
        << " auditPeriod=" << cfg.auditPeriod
        << " auditPanic=" << cfg.auditPanic

@@ -76,6 +76,35 @@ ClusterResults::serialized() const
                << t.dropped;
         os << ' ' << traceOpenSpans << ' ' << traceUnbalanced << '\n';
     }
+    // Telemetry section: absent unless the telemetry plane was on, so
+    // default-config serializations are unchanged. Covers every epoch
+    // row of every server verbatim (hexfloat features included): the
+    // determinism tests thereby assert the ObservationView itself is
+    // bit-identical across worker counts and checkpoint resume.
+    if (telemetryEnabled) {
+        for (std::size_t s = 0; s < serverTelemetry.size(); ++s) {
+            const ServerTelemetry &t = serverTelemetry[s];
+            os << "telemetry server" << s << " rows=" << t.rows.size()
+               << " reclaims=" << t.reclaims << " loaned="
+               << t.batchLoaned << " native=" << t.batchNative
+               << " harvested=" << t.harvestedCycles << " end="
+               << t.endTime << '\n';
+            for (const auto &row : t.rows) {
+                os << "telemetry.row server" << s << " e=" << row.epoch
+                   << " t=" << row.t << " harv="
+                   << row.harvestedCyclesDelta << " rec="
+                   << row.reclaimsDelta << " bl="
+                   << row.batchLoanedDelta << " bn="
+                   << row.batchNativeDelta;
+                for (const auto &vm : row.vms)
+                    os << " vm" << vm.vm << '=' << vm.coreUtil << '/'
+                       << vm.mpki << '/' << vm.cacheOccupancy << '/'
+                       << vm.rqReady << '/' << vm.coresLent << '/'
+                       << vm.lentCycles;
+                os << '\n';
+            }
+        }
+    }
     return os.str();
 }
 
@@ -143,6 +172,10 @@ aggregateClusterResults(const SystemConfig &cfg, unsigned servers,
             agg.serverMetrics.push_back(std::move(run.metricsFinal));
             run.metricSeries.label = "server" + std::to_string(s);
             agg.metricSeries.push_back(std::move(run.metricSeries));
+        }
+        if (cfg.telemetryEnabled) {
+            agg.telemetryEnabled = true;
+            agg.serverTelemetry.push_back(std::move(run.telemetry));
         }
         agg.auditsRun += run.auditsRun;
         agg.auditViolations += run.auditViolations;

@@ -44,6 +44,10 @@ struct ClusterResults
         serverMetrics;
     /** Per-server sampled time series ("server<i>" label). */
     std::vector<hh::stats::SampledSeries> metricSeries;
+    /** Whether the telemetry plane was enabled for this run. */
+    bool telemetryEnabled = false;
+    /** Per-server telemetry payloads, in server order (PR 7). */
+    std::vector<ServerTelemetry> serverTelemetry;
     /** @} */
 
     /** @name Auditing (filled only when auditing was enabled) @{ */

@@ -116,6 +116,9 @@ ServerSim::buildVms(const std::string &batchApp)
     pending_reclaims_.assign(layout.size(), 0);
     last_reclaim_at_.assign(layout.size(), 0);
     ewma_block_cycles_.assign(layout.size(), 0.0);
+    vm_lent_cycles_.assign(layout.size(), 0);
+    vm_reclaims_.assign(layout.size(), 0);
+    vm_reclaim_cycles_.assign(layout.size(), 0);
     for (const auto &desc : layout) {
         VmCtx v;
         v.desc = desc;
@@ -170,6 +173,7 @@ ServerSim::buildCores()
     hcfg.accessWeight = std::max(1u, cfg_.accessSampling);
 
     core_ctx_.assign(cfg_.cores, CoreCtx{});
+    core_loan_start_.assign(cfg_.cores, kNotLent);
     for (const auto &v : vms_) {
         for (unsigned c : v.desc.cores) {
             while (cores_.size() <= c)
@@ -1116,6 +1120,10 @@ ServerSim::completeRequest(unsigned core, std::uint64_t reqId)
     ++v.completed;
     if (v.completed > v.warmupSkip) {
         v.latencies.record(hh::sim::cyclesToMs(req.latency()));
+        // Telemetry tap: epoch-resolved latency distribution for the
+        // fleet P99-vs-harvest timeline (same warmup cut as p99Ms).
+        latency_hist_us_.add(hh::sim::cyclesToMs(req.latency()) *
+                             1000.0);
         v.breakdownSum.queueing += req.breakdown.queueing;
         v.breakdownSum.reassign += req.breakdown.reassign;
         v.breakdownSum.flush += req.breakdown.flush;
@@ -1213,6 +1221,9 @@ ServerSim::lendCore(unsigned core)
     loans_.inc();
     ctx.onLoan = true;
     ctx.phase = Phase::Transition;
+    // Telemetry tap: harvested core-time accrues from the moment the
+    // owner gives the core up, transition costs included.
+    core_loan_start_[core] = sim_.now();
 
     Cycles cost = 0;
     if (!cfg_.hwSched && !cfg_.swReassignFree) {
@@ -1415,6 +1426,8 @@ ServerSim::onHarvestSliceDone(unsigned core)
                         core, ctx.slice->id);
     ctx.slice.reset();
     ++batch_tasks_done_;
+    if (ctx.onLoan)
+        ++batch_tasks_loaned_; // absorbed by a borrowed core
 
     ctx.phase = Phase::Idle;
     ctx.idleSince = sim_.now();
@@ -1464,10 +1477,13 @@ ServerSim::preemptHarvestSlice(unsigned core)
         static_cast<double>(rest.remainingCompute) * (1.0 - f));
     rest.remainingAccesses = static_cast<std::uint32_t>(
         static_cast<double>(rest.remainingAccesses) * (1.0 - f));
-    if (rest.remainingCompute > 0 || rest.remainingAccesses > 0)
+    if (rest.remainingCompute > 0 || rest.remainingAccesses > 0) {
         harvest_queue_.push_front(rest);
-    else
+    } else {
         ++batch_tasks_done_; // effectively finished at preemption
+        if (ctx.onLoan)
+            ++batch_tasks_loaned_;
+    }
     ctx.slice.reset();
 }
 
@@ -1535,6 +1551,17 @@ ServerSim::reclaimCore(unsigned core, std::uint32_t vm)
     configureCoreForPrimary(core);
 
     const Cycles total = reassign_cost + flush_cost;
+    // Telemetry taps, recorded at schedule time where the reclaim's
+    // full latency is already deterministic: the latency histogram,
+    // the per-VM reclaim accumulators, and the end of the core's
+    // harvested-time interval.
+    reclaim_hist_.add(static_cast<double>(total));
+    ++vm_reclaims_[vm];
+    vm_reclaim_cycles_[vm] += total;
+    if (core_loan_start_[core] != kNotLent) {
+        vm_lent_cycles_[vm] += sim_.now() - core_loan_start_[core];
+        core_loan_start_[core] = kNotLent;
+    }
     if (tracer_)
         tracer_->record(hh::trace::EventType::ReclaimTransition,
                         sim_.now(), total, core, core);
@@ -1647,6 +1674,80 @@ ServerSim::agentTick()
                   tag(SnapTag::kAgentTick), [this] { agentTick(); });
 }
 
+hh::stats::ServerCounters
+ServerSim::telemetryCounters()
+{
+    hh::stats::ServerCounters s;
+    s.t = sim_.now();
+    s.vms.resize(vms_.size());
+
+    // Per-core counters accumulate into the *owning* VM: a core keeps
+    // its boundVm while on loan, so a lent core's busy time and cache
+    // behaviour are attributed to the owner whose capacity is being
+    // harvested (the loan itself is visible via coresLent/lentCycles).
+    for (unsigned c = 0; c < cores_.size(); ++c) {
+        const auto &core = *cores_[c];
+        hh::stats::VmCounters &vc = s.vms[core.boundVm()];
+        ++vc.coresBound;
+        vc.busyCycles += cores_[c]->busy().busyCycles(s.t);
+        auto &h = cores_[c]->hierarchy();
+        vc.accesses += h.accesses();
+        vc.misses += h.l2().misses();
+        vc.validLines += h.l1d().validCount() +
+                         h.l1i().validCount() + h.l2().validCount();
+        vc.lineCapacity += h.l1d().geometry().entries() +
+                           h.l1i().geometry().entries() +
+                           h.l2().geometry().entries();
+        if (core_ctx_[c].onLoan)
+            ++vc.coresLent;
+        if (core_loan_start_[c] != kNotLent)
+            vc.lentCycles += s.t - core_loan_start_[c];
+    }
+    for (std::size_t v = 0; v < vms_.size(); ++v) {
+        hh::stats::VmCounters &vc = s.vms[v];
+        const auto *qm = ctrl_->qmFor(vms_[v].desc.id);
+        vc.rqReady = qm->queue().readyCount();
+        vc.rqOccupancy = qm->queue().occupancy();
+        vc.rqOverflow = qm->queue().overflowSize();
+        vc.pendingReclaims = pending_reclaims_[v];
+        vc.lentCycles += vm_lent_cycles_[v];
+        vc.reclaims = vm_reclaims_[v];
+        vc.reclaimCycles = vm_reclaim_cycles_[v];
+    }
+    s.batchLoaned = batch_tasks_loaned_;
+    s.batchNative = batch_tasks_done_ - batch_tasks_loaned_;
+    s.reclaimHist = reclaim_hist_.counts();
+    s.latencyHist = latency_hist_us_.counts();
+    return s;
+}
+
+void
+ServerSim::telemetryTick()
+{
+    telemetry_pending_ = hh::sim::kInvalidEventId;
+    if (!telemetry_running_)
+        return;
+    telemetry_->record(telemetryCounters());
+    telemetry_pending_ = sim_.schedule(
+        cfg_.telemetryPeriod, tag(SnapTag::kTelemetryTick),
+        [this] { telemetryTick(); });
+}
+
+void
+ServerSim::stopTelemetry()
+{
+    if (!telemetry_running_)
+        return;
+    telemetry_running_ = false;
+    if (telemetry_pending_ != hh::sim::kInvalidEventId) {
+        sim_.cancel(telemetry_pending_);
+        telemetry_pending_ = hh::sim::kInvalidEventId;
+    }
+    // Final partial epoch; the view ignores the call when a periodic
+    // tick already materialized this exact time.
+    telemetry_->record(telemetryCounters());
+}
+
 bool
 ServerSim::allDone() const
 {
@@ -1673,6 +1774,8 @@ ServerSim::noteDoneMaybeFinish()
         // Likewise the injector's self-rescheduling perturbation tick.
         if (injector_)
             injector_->stop();
+        // And the telemetry epoch tick (records the partial epoch).
+        stopTelemetry();
     }
 }
 
@@ -1758,6 +1861,16 @@ ServerSim::startRun()
             sim_, registry_, cfg_.metricsPeriod);
         sampler_->start();
     }
+    if (cfg_.telemetryEnabled) {
+        telemetry_ = std::make_unique<hh::stats::ObservationView>();
+        telemetry_running_ = true;
+        // No row at t=0 (it would be all zeros); the first epoch is
+        // materialized at t=telemetryPeriod against an implicit
+        // all-zero baseline.
+        telemetry_pending_ = sim_.schedule(
+            cfg_.telemetryPeriod, tag(SnapTag::kTelemetryTick),
+            [this] { telemetryTick(); });
+    }
 
     // Harvest VM's own cores start working immediately.
     for (unsigned c : vms_[harvest_vm_].desc.cores)
@@ -1805,6 +1918,13 @@ ServerSim::finishRun()
         sampler_->stop();
     if (injector_)
         injector_->stop();
+    stopTelemetry();
+    // Batch slices still in flight when all requests completed drain
+    // after the all-done stop; one more row at the drain time captures
+    // that tail, so the fleet timeline's deltas sum exactly to the
+    // run totals (the same-time guard makes this a no-op otherwise).
+    if (telemetry_)
+        telemetry_->record(telemetryCounters());
 
     ServerResults res;
     const Cycles end = end_time_ ? end_time_ : sim_.now();
@@ -1884,6 +2004,29 @@ ServerSim::finishRun()
     }
     if (injector_)
         res.faultsInjected = injector_->actionsFired();
+
+    // Harvest-economics payload: always-on tap totals plus, when the
+    // telemetry plane is enabled, the per-epoch observation rows.
+    res.telemetry.enabled = cfg_.telemetryEnabled;
+    res.telemetry.reclaimHist = reclaim_hist_.counts();
+    res.telemetry.latencyHist = latency_hist_us_.counts();
+    res.telemetry.reclaims = reclaim_hist_.totalCount();
+    res.telemetry.batchLoaned = batch_tasks_loaned_;
+    res.telemetry.batchNative =
+        batch_tasks_done_ - batch_tasks_loaned_;
+    std::uint64_t harvested = 0;
+    for (const std::uint64_t c : vm_lent_cycles_)
+        harvested += c;
+    for (unsigned c = 0; c < cores_.size(); ++c) {
+        // Loans still out at run end count up to the end time.
+        if (core_loan_start_[c] != kNotLent &&
+            end > core_loan_start_[c])
+            harvested += end - core_loan_start_[c];
+    }
+    res.telemetry.harvestedCycles = harvested;
+    res.telemetry.endTime = end;
+    if (telemetry_)
+        res.telemetry.rows = telemetry_->takeRows();
     return res;
 }
 
@@ -1946,6 +2089,9 @@ ServerSim::rearmEvent(const SnapTag &t)
     case SnapTag::kFaultTick:
         return injector_ ? injector_->rearmTick()
                          : hh::sim::Simulator::Callback{};
+    case SnapTag::kTelemetryTick:
+        return telemetry_ ? rearmTelemetryTick()
+                          : hh::sim::Simulator::Callback{};
     default:
         // Empty: the event queue turns this into a hard error naming
         // the tag, which is how unknown kinds surface.
@@ -1965,6 +2111,11 @@ ServerSim::serializeState(hh::snap::Archive &ar)
         sampler_ = std::make_unique<hh::stats::MetricSampler>(
             sim_, registry_, cfg_.metricsPeriod);
     }
+    // Same lazy construction for the telemetry view: a pending
+    // kTelemetryTick must find its re-arm target. State arrives in
+    // section 0x15 below.
+    if (ar.loading() && cfg_.telemetryEnabled && !telemetry_)
+        telemetry_ = std::make_unique<hh::stats::ObservationView>();
 
     ar.section(0x10, "simulator");
     sim_.serialize(ar,
@@ -2070,6 +2221,35 @@ ServerSim::serializeState(hh::snap::Archive &ar)
         ar.io(*auditor_);
     if (injector_)
         injector_->serialize(ar);
+    if (!ar.ok())
+        return;
+
+    // Telemetry plane: the always-on economics taps, then (behind a
+    // presence flag, like section 0x14) the per-epoch view and its
+    // tick state. telemetryEnabled is part of the config fingerprint,
+    // so cluster-level restores reject mismatches before reaching
+    // this check.
+    ar.section(0x15, "telemetry");
+    ar.io(reclaim_hist_);
+    ar.io(latency_hist_us_);
+    ar.io(vm_lent_cycles_);
+    ar.io(vm_reclaims_);
+    ar.io(vm_reclaim_cycles_);
+    ar.io(core_loan_start_);
+    ar.io(batch_tasks_loaned_);
+    bool have_telemetry = telemetry_ != nullptr;
+    ar.io(have_telemetry);
+    if (ar.loading() && have_telemetry != (telemetry_ != nullptr)) {
+        ar.fail("checkpoint telemetry state does not match this run; "
+                "restore with the same telemetryEnabled setting the "
+                "saving run used");
+        return;
+    }
+    if (telemetry_) {
+        ar.io(telemetry_running_);
+        ar.io(telemetry_pending_);
+        ar.io(*telemetry_);
+    }
 }
 
 } // namespace hh::cluster

@@ -37,6 +37,8 @@
 #include "sim/simulator.h"
 #include "snapshot/archive.h"
 #include "snapshot/tag.h"
+#include "stats/histogram.h"
+#include "stats/observation_view.h"
 #include "stats/percentile.h"
 #include "stats/registry.h"
 #include "stats/sampler.h"
@@ -66,6 +68,28 @@ struct ServiceResult
     double ioMs = 0;
 };
 
+/**
+ * Per-server harvest-telemetry payload (filled in finishRun). The
+ * economics totals and histograms come from always-on taps, so they
+ * are populated for every run; the per-epoch `rows` exist only when
+ * `SystemConfig::telemetryEnabled` scheduled the epoch tick.
+ */
+struct ServerTelemetry
+{
+    bool enabled = false; //!< telemetryEnabled of the producing run.
+    /** Per-epoch observation rows (empty unless enabled). */
+    std::vector<hh::stats::ObservationRow> rows;
+    /** Final cumulative reclaim-latency bucket counts (cycles). */
+    std::vector<std::uint64_t> reclaimHist;
+    /** Final cumulative post-warmup request-latency buckets (us). */
+    std::vector<std::uint64_t> latencyHist;
+    std::uint64_t reclaims = 0;
+    std::uint64_t batchLoaned = 0; //!< Batch tasks done on lent cores.
+    std::uint64_t batchNative = 0; //!< ... on the Harvest VM's own.
+    std::uint64_t harvestedCycles = 0; //!< Core-cycles spent on loan.
+    std::uint64_t endTime = 0;         //!< Run end (cycles).
+};
+
 /** Results of one server run. */
 struct ServerResults
 {
@@ -89,6 +113,8 @@ struct ServerResults
     std::vector<hh::stats::MetricRegistry::Sample> metricsFinal;
     /** Periodic samples (label filled by the cluster layer). */
     hh::stats::SampledSeries metricSeries;
+    /** Harvest telemetry (economics totals always, rows if enabled). */
+    ServerTelemetry telemetry;
     /** @} */
 
     /** @name Auditing (filled only when auditing is enabled) @{ */
@@ -213,6 +239,12 @@ class ServerSim
 
     /** The fault injector, or nullptr when injection is disabled. */
     hh::check::FaultInjector *faultInjector() { return injector_.get(); }
+
+    /** The observation view, or nullptr when telemetry is disabled. */
+    hh::stats::ObservationView *telemetryView()
+    {
+        return telemetry_.get();
+    }
 
     const SystemConfig &config() const { return cfg_; }
 
@@ -381,6 +413,24 @@ class ServerSim
     hh::sim::Cycles replaySegment(unsigned core, std::uint64_t reqId,
                                   const hh::workload::Segment &seg);
     hh::sim::Cycles replayHarvest(unsigned core, HarvestSlice &slice);
+    /** @} */
+
+    /** @name Telemetry plane @{ */
+    /** Epoch tick: materialize one ObservationRow, reschedule. */
+    void telemetryTick();
+    /** Cancel the tick and record the final partial epoch. */
+    void stopTelemetry();
+    /** Cumulative counters for ObservationView::record(). */
+    hh::stats::ServerCounters telemetryCounters();
+    /** Re-arm hook for a restored kTelemetryTick event. */
+    hh::sim::Simulator::Callback
+    rearmTelemetryTick()
+    {
+        return [this] { telemetryTick(); };
+    }
+    /** @} */
+
+    /** @name Helpers (cont.) @{ */
     void configureCoreForHarvest(unsigned core);
     void configureCoreForPrimary(unsigned core);
     bool allDone() const;
@@ -443,6 +493,27 @@ class ServerSim
     std::unique_ptr<hh::stats::MetricSampler> sampler_;
     /** Null unless cfg_.traceEnabled: hot paths branch on this. */
     std::unique_ptr<hh::trace::Tracer> tracer_;
+    /** @} */
+
+    /** @name Harvest telemetry plane @{ */
+    /** Sentinel for core_loan_start_: core not currently lent. */
+    static constexpr std::uint64_t kNotLent = ~std::uint64_t{0};
+    /** Reclaim-latency distribution in cycles (always-on tap). */
+    hh::stats::LogHistogram reclaim_hist_{48};
+    /** Post-warmup request latencies in us (always-on tap). */
+    hh::stats::LogHistogram latency_hist_us_{48};
+    /** Completed-loan core-cycles per VM (live loans added lazily). */
+    std::vector<std::uint64_t> vm_lent_cycles_;
+    std::vector<std::uint64_t> vm_reclaims_;
+    std::vector<std::uint64_t> vm_reclaim_cycles_;
+    /** Per-core loan start time, kNotLent when not on loan. */
+    std::vector<std::uint64_t> core_loan_start_;
+    /** Of batch_tasks_done_, those finished on lent cores. */
+    std::uint64_t batch_tasks_loaned_ = 0;
+    /** Null unless cfg_.telemetryEnabled. */
+    std::unique_ptr<hh::stats::ObservationView> telemetry_;
+    bool telemetry_running_ = false;
+    hh::sim::EventId telemetry_pending_ = hh::sim::kInvalidEventId;
     /** @} */
 
     /** @name Auditing / fault injection @{ */

@@ -104,6 +104,14 @@ struct SystemConfig
     bool metricsEnabled = false;
     /** Sampling cadence in cycles (1 ms at 3 GHz by default). */
     hh::sim::Cycles metricsPeriod = hh::sim::msToCycles(1.0);
+    /**
+     * Harvest telemetry plane (PR 7): per-epoch ObservationView rows
+     * feeding the fleet-level TelemetryHub. Off by default — the view
+     * is then never constructed and no epoch tick is scheduled.
+     */
+    bool telemetryEnabled = false;
+    /** Telemetry epoch length in cycles (1 ms at 3 GHz by default). */
+    hh::sim::Cycles telemetryPeriod = hh::sim::msToCycles(1.0);
     /** @} */
 
     /** @name Invariant auditing / fault injection (PR 3) @{ */

@@ -46,6 +46,7 @@ struct SnapTag
         kNicDeliver,       //!< a=pktKind, b=dstVm, c=reqId, d=bytes, e=arrival
         kSamplerTick,      //!< MetricSampler period
         kFaultTick,        //!< FaultInjector period
+        kTelemetryTick,    //!< ObservationView epoch period
     };
 
     std::uint32_t kind = kNone;

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "snapshot/archive.h"
+
 namespace hh::stats {
 
 /**
@@ -41,7 +43,29 @@ class Histogram
     /** Fraction of samples in bucket @p i; 0 when empty. */
     double bucketFraction(std::size_t i) const;
 
+    /** All bucket counts (fleet aggregation reads these as deltas). */
+    const std::vector<std::uint64_t> &counts() const { return counts_; }
+
+    /**
+     * Bucket-wise sum of @p other into this histogram. Both must share
+     * the exact geometry (lo, hi, bucket count); panics otherwise. The
+     * merge is a pure integer add, so merging server histograms into a
+     * fleet histogram is deterministic in any association order.
+     */
+    void merge(const Histogram &other);
+
+    /**
+     * Nearest-rank percentile estimate, @p p in [0, 100]: the lower
+     * edge of the bucket holding the sample of rank
+     * max(1, ceil(p/100 * total)). p=0 selects the first non-empty
+     * bucket, p=100 the last. Returns 0 when the histogram is empty.
+     */
+    double percentile(double p) const;
+
     void reset();
+
+    /** Geometry is fixed at construction; a mismatch fails the load. */
+    void serialize(hh::snap::Archive &ar);
 
   private:
     double lo_;
@@ -70,12 +94,39 @@ class LogHistogram
     std::size_t numBuckets() const { return counts_.size(); }
     std::uint64_t totalCount() const { return total_; }
 
+    /** Inclusive lower edge of bucket @p i: 0, 2, 4, 8, ..., 2^i. */
+    static double bucketLow(std::size_t i);
+
+    /** All bucket counts (fleet aggregation reads these as deltas). */
+    const std::vector<std::uint64_t> &counts() const { return counts_; }
+
+    /** Bucket-wise sum; bucket counts must match (panics otherwise). */
+    void merge(const LogHistogram &other);
+
+    /**
+     * Nearest-rank percentile estimate over the log buckets (see
+     * Histogram::percentile); returns the selected bucket's lower
+     * edge, 0 when empty.
+     */
+    double percentile(double p) const;
+
     void reset();
+
+    void serialize(hh::snap::Archive &ar);
 
   private:
     std::vector<std::uint64_t> counts_;
     std::uint64_t total_ = 0;
 };
+
+/**
+ * Nearest-rank percentile over an external bucket-count vector laid
+ * out in LogHistogram geometry — used on merged fleet bucket deltas
+ * without materializing a LogHistogram. Returns the selected bucket's
+ * lower edge, 0 when the counts sum to zero.
+ */
+double logBucketPercentile(const std::vector<std::uint64_t> &counts,
+                           double p);
 
 } // namespace hh::stats
 

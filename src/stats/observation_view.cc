@@ -1,0 +1,165 @@
+#include "stats/observation_view.h"
+
+#include <algorithm>
+
+namespace hh::stats {
+
+namespace {
+
+/** counts[i] - prev[i] with an implicit all-zero previous vector. */
+std::vector<std::uint64_t>
+bucketDelta(const std::vector<std::uint64_t> &cum,
+            const std::vector<std::uint64_t> &prev)
+{
+    std::vector<std::uint64_t> d(cum.size(), 0);
+    for (std::size_t i = 0; i < cum.size(); ++i)
+        d[i] = cum[i] - (i < prev.size() ? prev[i] : 0);
+    return d;
+}
+
+} // namespace
+
+void
+VmCounters::serialize(hh::snap::Archive &ar)
+{
+    ar.io(busyCycles);
+    ar.io(accesses);
+    ar.io(misses);
+    ar.io(validLines);
+    ar.io(lineCapacity);
+    ar.io(rqReady);
+    ar.io(rqOccupancy);
+    ar.io(rqOverflow);
+    ar.io(coresBound);
+    ar.io(coresLent);
+    ar.io(pendingReclaims);
+    ar.io(lentCycles);
+    ar.io(reclaims);
+    ar.io(reclaimCycles);
+}
+
+void
+ServerCounters::serialize(hh::snap::Archive &ar)
+{
+    ar.io(t);
+    ar.io(vms);
+    ar.io(batchLoaned);
+    ar.io(batchNative);
+    ar.io(reclaimHist);
+    ar.io(latencyHist);
+}
+
+void
+VmFeatures::serialize(hh::snap::Archive &ar)
+{
+    ar.io(vm);
+    ar.io(coreUtil);
+    ar.io(mpki);
+    ar.io(cacheOccupancy);
+    ar.io(rqReady);
+    ar.io(rqOccupancy);
+    ar.io(rqOverflow);
+    ar.io(coresBound);
+    ar.io(coresLent);
+    ar.io(pendingReclaims);
+    ar.io(lentCycles);
+    ar.io(reclaims);
+    ar.io(reclaimCycles);
+}
+
+void
+ObservationRow::serialize(hh::snap::Archive &ar)
+{
+    ar.io(epoch);
+    ar.io(t);
+    ar.io(vms);
+    ar.io(batchLoanedDelta);
+    ar.io(batchNativeDelta);
+    ar.io(harvestedCyclesDelta);
+    ar.io(reclaimsDelta);
+    ar.io(reclaimHistDelta);
+    ar.io(latencyHistDelta);
+}
+
+void
+ObservationView::record(const ServerCounters &cum)
+{
+    const std::uint64_t prevT = havePrev_ ? prev_.t : 0;
+    if (havePrev_ && cum.t == prevT)
+        return; // final-row call landed exactly on a tick
+    const std::uint64_t epochCycles = cum.t - prevT;
+
+    ObservationRow row;
+    row.epoch = ++epoch_;
+    row.t = cum.t;
+    row.vms.reserve(cum.vms.size());
+    for (std::size_t v = 0; v < cum.vms.size(); ++v) {
+        const VmCounters &c = cum.vms[v];
+        static const VmCounters kZero;
+        const VmCounters &p =
+            (havePrev_ && v < prev_.vms.size()) ? prev_.vms[v] : kZero;
+
+        VmFeatures f;
+        f.vm = static_cast<std::uint32_t>(v);
+        const std::uint64_t busyDelta = c.busyCycles - p.busyCycles;
+        if (c.coresBound > 0 && epochCycles > 0) {
+            f.coreUtil = static_cast<double>(busyDelta) /
+                         (static_cast<double>(epochCycles) *
+                          static_cast<double>(c.coresBound));
+            f.coreUtil = std::min(f.coreUtil, 1.0);
+        }
+        const std::uint64_t accDelta = c.accesses - p.accesses;
+        const std::uint64_t missDelta = c.misses - p.misses;
+        if (accDelta > 0)
+            f.mpki = 1000.0 * static_cast<double>(missDelta) /
+                     static_cast<double>(accDelta);
+        if (c.lineCapacity > 0)
+            f.cacheOccupancy = static_cast<double>(c.validLines) /
+                               static_cast<double>(c.lineCapacity);
+        f.rqReady = c.rqReady;
+        f.rqOccupancy = c.rqOccupancy;
+        f.rqOverflow = c.rqOverflow;
+        f.coresBound = c.coresBound;
+        f.coresLent = c.coresLent;
+        f.pendingReclaims = c.pendingReclaims;
+        f.lentCycles = c.lentCycles - p.lentCycles;
+        f.reclaims = c.reclaims - p.reclaims;
+        f.reclaimCycles = c.reclaimCycles - p.reclaimCycles;
+        row.harvestedCyclesDelta += f.lentCycles;
+        row.reclaimsDelta += f.reclaims;
+        row.vms.push_back(f);
+    }
+    row.batchLoanedDelta =
+        cum.batchLoaned - (havePrev_ ? prev_.batchLoaned : 0);
+    row.batchNativeDelta =
+        cum.batchNative - (havePrev_ ? prev_.batchNative : 0);
+    row.reclaimHistDelta = bucketDelta(
+        cum.reclaimHist,
+        havePrev_ ? prev_.reclaimHist : std::vector<std::uint64_t>{});
+    row.latencyHistDelta = bucketDelta(
+        cum.latencyHist,
+        havePrev_ ? prev_.latencyHist : std::vector<std::uint64_t>{});
+    rows_.push_back(std::move(row));
+
+    prev_ = cum;
+    havePrev_ = true;
+}
+
+std::vector<ObservationRow>
+ObservationView::takeRows()
+{
+    std::vector<ObservationRow> out = std::move(rows_);
+    rows_.clear();
+    return out;
+}
+
+void
+ObservationView::serialize(hh::snap::Archive &ar)
+{
+    ar.io(havePrev_);
+    ar.io(prev_);
+    ar.io(epoch_);
+    ar.io(rows_);
+}
+
+} // namespace hh::stats

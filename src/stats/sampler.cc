@@ -22,9 +22,12 @@ MetricSampler::sampleRow()
 {
     SampleRow row;
     row.t = sim_.now();
+    // Read exactly the columns frozen at start(): metrics registered
+    // after the sampler started would otherwise shift every later
+    // row's values against the header.
     row.values.reserve(columns_.size());
-    for (const auto &s : reg_.snapshot())
-        row.values.push_back(s.value);
+    for (const auto &name : columns_)
+        row.values.push_back(reg_.value(name));
     rows_.push_back(std::move(row));
 }
 
@@ -63,7 +66,10 @@ MetricSampler::stop()
         sim_.cancel(pending_);
         pending_ = hh::sim::kInvalidEventId;
     }
-    sampleRow();
+    // Final partial-interval row — unless a periodic tick already
+    // sampled this exact time, which would duplicate the row.
+    if (rows_.empty() || rows_.back().t != sim_.now())
+        sampleRow();
 }
 
 SampledSeries

@@ -116,6 +116,39 @@ chromeTraceJson(const std::vector<ServerTrace> &traces)
     return os.str();
 }
 
+std::string
+chromeCounterJson(const std::vector<CounterTrack> &tracks)
+{
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    bool first = true;
+    // Name each distinct pid once, before its first track.
+    std::set<unsigned> named;
+    for (const auto &t : tracks) {
+        if (named.insert(t.pid).second)
+            appendMetadata(os, t.pid,
+                           "fleet" + std::to_string(t.pid), 0,
+                           "process_name", first);
+    }
+    char buf[64];
+    for (const auto &t : tracks) {
+        for (const auto &s : t.samples) {
+            if (!first)
+                os << ",\n";
+            first = false;
+            std::snprintf(buf, sizeof buf, "%.3f",
+                          hh::sim::cyclesToUs(s.ts));
+            os << "{\"name\":\"" << t.name
+               << "\",\"ph\":\"C\",\"ts\":" << buf
+               << ",\"pid\":" << t.pid << ",\"args\":{\"value\":";
+            std::snprintf(buf, sizeof buf, "%.9g", s.value);
+            os << buf << "}}";
+        }
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
 bool
 writeChromeTrace(const std::string &path,
                  const std::vector<ServerTrace> &traces)

@@ -37,6 +37,35 @@ struct ServerTrace
  */
 std::string chromeTraceJson(const std::vector<ServerTrace> &traces);
 
+/** One sample of a counter track. */
+struct CounterSample
+{
+    hh::sim::Cycles ts = 0;
+    double value = 0;
+};
+
+/**
+ * One named counter series, rendered as a Chrome counter track
+ * ("ph":"C") under process @p pid. Used by the telemetry plane (PR 7)
+ * to plot fleet time series (harvest intensity, epoch P99, batch
+ * absorption) alongside the span traces.
+ */
+struct CounterTrack
+{
+    unsigned pid = 0;
+    std::string name;
+    std::vector<CounterSample> samples;
+};
+
+/**
+ * Render counter tracks as a Chrome trace_event JSON document. Tracks
+ * are emitted in the given order, samples in the given order within
+ * each track, values as %.9g — callers that build tracks
+ * deterministically therefore get byte-identical documents.
+ */
+std::string
+chromeCounterJson(const std::vector<CounterTrack> &tracks);
+
 /** Write chromeTraceJson() to @p path; false on I/O failure. */
 bool writeChromeTrace(const std::string &path,
                       const std::vector<ServerTrace> &traces);

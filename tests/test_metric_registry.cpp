@@ -174,6 +174,108 @@ TEST(MetricSampler, StopCancelsPendingTick)
     sampler.stop(); // Idempotent.
 }
 
+TEST(MetricSampler, EmptyRegistryStillMarksCadence)
+{
+    hh::sim::Simulator sim;
+    const MetricRegistry reg; // nothing registered
+    MetricSampler sampler(sim, reg, 100);
+    sampler.start();
+    sim.schedule(250, [] {});
+    sim.run(250);
+    sampler.stop();
+    auto series = sampler.takeSeries();
+    series.label = "s0";
+    // Rows at 0, 100, 200 and the 250 partial; each with no values.
+    ASSERT_EQ(series.rows.size(), 4u);
+    for (const auto &row : series.rows)
+        EXPECT_TRUE(row.values.empty());
+    const std::string csv = metricsCsv({series});
+    EXPECT_EQ(csv.rfind("server,t_ms\n", 0), 0u);
+}
+
+TEST(MetricSampler, PartialFinalIntervalGetsOneRow)
+{
+    hh::sim::Simulator sim;
+    MetricRegistry reg;
+    reg.registerGauge("x", [] { return 1.0; });
+    MetricSampler sampler(sim, reg, 100);
+    sampler.start();
+    // Run length 130 is not a multiple of the cadence: the stop()
+    // must record the final partial interval exactly once.
+    sim.schedule(130, [] {});
+    sim.run(130);
+    sampler.stop();
+    const auto &rows = sampler.rows();
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].t, 0u);
+    EXPECT_EQ(rows[1].t, 100u);
+    EXPECT_EQ(rows[2].t, 130u);
+}
+
+TEST(MetricSampler, StopAtTickTimeDoesNotDuplicateRow)
+{
+    hh::sim::Simulator sim;
+    MetricRegistry reg;
+    reg.registerGauge("x", [] { return 1.0; });
+    MetricSampler sampler(sim, reg, 100);
+    sampler.start();
+    // The run ends exactly on a tick: the tick samples t=200, so the
+    // stop() must not append a duplicate row at the same time.
+    sim.run(200);
+    ASSERT_EQ(sim.now(), 200u);
+    sampler.stop();
+    const auto &rows = sampler.rows();
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].t, 0u);
+    EXPECT_EQ(rows[1].t, 100u);
+    EXPECT_EQ(rows[2].t, 200u);
+}
+
+TEST(MetricSampler, StartAfterResumeSamplesFromCurrentTime)
+{
+    hh::sim::Simulator sim;
+    MetricRegistry reg;
+    reg.registerGauge("t", [&sim] { return double(sim.now()); });
+    // A checkpoint-resumed server starts its sampler with the clock
+    // already advanced; rows must begin at now(), not at 0.
+    sim.schedule(500, [] {});
+    sim.run(500);
+    MetricSampler sampler(sim, reg, 100);
+    sampler.start();
+    sim.schedule(250, [] {});
+    sim.run(750);
+    sampler.stop();
+    const auto &rows = sampler.rows();
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_EQ(rows[0].t, 500u);
+    EXPECT_EQ(rows[1].t, 600u);
+    EXPECT_EQ(rows[2].t, 700u);
+    EXPECT_EQ(rows[3].t, 750u);
+    EXPECT_DOUBLE_EQ(rows[1].values[0], 600.0);
+}
+
+TEST(MetricSampler, LateRegistrationDoesNotShiftRows)
+{
+    hh::sim::Simulator sim;
+    MetricRegistry reg;
+    reg.registerGauge("b", [] { return 2.0; });
+    MetricSampler sampler(sim, reg, 100);
+    sampler.start();
+    // A metric registered after start() must not widen later rows —
+    // the columns were frozen with the header at start time.
+    reg.registerGauge("a", [] { return 1.0; });
+    sim.schedule(150, [] {});
+    sim.run(150);
+    sampler.stop();
+    auto series = sampler.takeSeries();
+    ASSERT_EQ(series.columns.size(), 1u);
+    EXPECT_EQ(series.columns[0], "b");
+    for (const auto &row : series.rows) {
+        ASSERT_EQ(row.values.size(), 1u);
+        EXPECT_DOUBLE_EQ(row.values[0], 2.0);
+    }
+}
+
 TEST(MetricSampler, CsvHasHeaderAndSharedColumns)
 {
     hh::sim::Simulator sim;

@@ -114,6 +114,97 @@ TEST(LogHistogram, PowerOfTwoBuckets)
     EXPECT_EQ(h.totalCount(), 5u);
 }
 
+TEST(Histogram, SingleSamplePercentiles)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(3.5); // bucket 3, lower edge 3.0
+    // With one sample every percentile selects that sample's bucket.
+    EXPECT_DOUBLE_EQ(h.percentile(0), 3.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 3.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 3.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 3.0);
+}
+
+TEST(Histogram, PercentileEmptyIsZero)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    LogHistogram lh(8);
+    EXPECT_DOUBLE_EQ(lh.percentile(99), 0.0);
+}
+
+TEST(Histogram, P0AndP100SelectExtremeBuckets)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(1.5); // bucket 1
+    h.add(5.5); // bucket 5
+    h.add(8.5); // bucket 8
+    EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);   // first non-empty
+    EXPECT_DOUBLE_EQ(h.percentile(100), 8.0); // last non-empty
+    // Out-of-range p clamps rather than reading past the buckets.
+    EXPECT_DOUBLE_EQ(h.percentile(-5), h.percentile(0));
+    EXPECT_DOUBLE_EQ(h.percentile(250), h.percentile(100));
+}
+
+TEST(Histogram, MergeIsDeterministicAndOrderFree)
+{
+    Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+    Histogram a2(0.0, 10.0, 10), b2(0.0, 10.0, 10);
+    for (double v : {0.5, 2.5, 2.7, 9.9}) {
+        a.add(v);
+        a2.add(v);
+    }
+    for (double v : {2.1, 5.5}) {
+        b.add(v);
+        b2.add(v);
+    }
+    a.merge(b);  // a += b
+    b2.merge(a2); // b += a
+    ASSERT_EQ(a.totalCount(), 6u);
+    EXPECT_EQ(a.counts(), b2.counts());
+    EXPECT_EQ(a.bucketCount(2), 3u);
+    EXPECT_DOUBLE_EQ(a.percentile(50), 2.0);
+}
+
+TEST(Histogram, MergeGeometryMismatchPanics)
+{
+    Histogram a(0.0, 10.0, 10);
+    Histogram b(0.0, 10.0, 5);
+    Histogram c(0.0, 20.0, 10);
+    EXPECT_THROW(a.merge(b), std::logic_error);
+    EXPECT_THROW(a.merge(c), std::logic_error);
+    LogHistogram la(8), lb(16);
+    EXPECT_THROW(la.merge(lb), std::logic_error);
+}
+
+TEST(LogHistogram, SingleSampleAndExtremePercentiles)
+{
+    LogHistogram h(16);
+    h.add(100.0); // bucket 6: [64, 128)
+    EXPECT_DOUBLE_EQ(h.percentile(0), 64.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 64.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 64.0);
+    h.add(1.0); // bucket 0: [0, 2)
+    EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 64.0);
+}
+
+TEST(LogHistogram, FreePercentileMatchesMemberOnMergedCounts)
+{
+    LogHistogram a(12), b(12);
+    for (double v : {1.0, 3.0, 70.0, 500.0})
+        a.add(v);
+    for (double v : {3.5, 900.0})
+        b.add(v);
+    a.merge(b);
+    // The free function over the raw counts is how the TelemetryHub
+    // computes fleet percentiles from merged bucket deltas.
+    for (double p : {0.0, 25.0, 50.0, 99.0, 100.0}) {
+        EXPECT_DOUBLE_EQ(hh::stats::logBucketPercentile(a.counts(), p),
+                         a.percentile(p));
+    }
+}
+
 TEST(LatencyRecorder, ExactPercentilesSmallSet)
 {
     LatencyRecorder r;
