@@ -15,8 +15,9 @@
  * Also measures the wall-clock overhead of the observability layer
  * (request-span tracing + metric sampling, both enabled), of the
  * invariant auditor (every cross-component check sweeping at the
- * default period), and of the harvest telemetry plane (per-epoch
- * ObservationView rows) against the everything-off parallel run. Set
+ * default period), of the harvest telemetry plane (per-epoch
+ * ObservationView rows), and of an epoch-ticking harvest policy
+ * (hysteresis) against the everything-off parallel run. Set
  * HH_OVERHEAD_GATE=<percent> to make the binary fail when either
  * measured overhead exceeds the gate (used by CI; off by default
  * because single-core containers are noisy).
@@ -171,6 +172,29 @@ main(int argc, char **argv)
     std::uint64_t telemetry_rows = 0;
     for (const auto &t : tel.serverTelemetry)
         telemetry_rows += t.rows.size();
+
+    // Policy-decision overhead: same run with an epoch-ticking
+    // harvest policy (hysteresis — per-epoch feature rows plus EWMA
+    // updates and decision application). The default "static" policy
+    // never schedules an epoch tick and reads frozen decisions, so
+    // par_sec above is again the zero-cost baseline. The thresholds
+    // are neutralized (strict comparisons never leave the sticky
+    // band) so decisions stay at the static seed and the run
+    // simulates identical work — this measures the decision *plane*
+    // (tick + observe + decide), not the cost of lending differently;
+    // that behavioural delta is the frontier's job to report.
+    std::printf("parallel cluster run, hysteresis policy on...\n");
+    SystemConfig policed = cfg;
+    policed.policy = "hysteresis";
+    policed.policyLendUtil = 0.0;
+    policed.policyHoldUtil = 1.0;
+    const auto t_pol = Clock::now();
+    const ClusterResults pol =
+        runCluster(policed, scale.servers, scale.seed, workers);
+    const double pol_sec = secondsSince(t_pol);
+    const double policy_overhead_pct =
+        par_sec > 0 ? 100.0 * (pol_sec / par_sec - 1.0) : 0.0;
+    (void)pol;
 
     // Snapshot subsystem: cost of one full-state save and load at the
     // server level, then the cluster-level warm-start path — snapshot
@@ -349,6 +373,9 @@ main(int argc, char **argv)
                 "(%llu epoch rows)\n",
                 par_sec, tel_sec, telemetry_overhead_pct,
                 static_cast<unsigned long long>(telemetry_rows));
+    std::printf("policy:   off %.2fs  on %.2fs  overhead %+.1f%%  "
+                "(hysteresis)\n",
+                par_sec, pol_sec, policy_overhead_pct);
     std::printf("snapshot: save %.1fms  load %.1fms  (%zu KiB)  "
                 "warm-start %.2fs vs full %.2fs  speedup %.2fx  "
                 "bit-identical %s\n",
@@ -456,6 +483,13 @@ main(int argc, char **argv)
     std::fprintf(f, "    \"epoch_rows\": %llu\n",
                  static_cast<unsigned long long>(telemetry_rows));
     std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"policy\": {\n");
+    std::fprintf(f, "    \"policy\": \"hysteresis\",\n");
+    std::fprintf(f, "    \"baseline_sec\": %.4f,\n", par_sec);
+    std::fprintf(f, "    \"policy_sec\": %.4f,\n", pol_sec);
+    std::fprintf(f, "    \"overhead_pct\": %.2f\n",
+                 policy_overhead_pct);
+    std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"snapshot\": {\n");
     std::fprintf(f, "    \"warmup_ms\": %.3f,\n",
                  hh::sim::cyclesToMs(t_warm));
@@ -513,6 +547,13 @@ main(int argc, char **argv)
                          "telemetry overhead %.1f%% exceeds gate "
                          "%.1f%%\n",
                          telemetry_overhead_pct, gate_limit);
+            return 1;
+        }
+        if (policy_overhead_pct > gate_limit) {
+            std::fprintf(stderr,
+                         "policy-decision overhead %.1f%% exceeds "
+                         "gate %.1f%%\n",
+                         policy_overhead_pct, gate_limit);
             return 1;
         }
         if (snap_overhead_pct > gate_limit) {

@@ -36,6 +36,7 @@
 #include "exp/ledger.h"
 #include "exp/spec.h"
 #include "figures.h"
+#include "policy_frontier.h"
 #include "sim/log.h"
 #include "stats/percentile.h"
 
@@ -53,6 +54,7 @@ struct Args
     unsigned workers = 0;
     std::string specPath;
     std::string telemetryPath;
+    bool policies = false;
 };
 
 [[noreturn]] void
@@ -63,7 +65,7 @@ usage(const char *argv0)
         " [--scale quick|default|full] [--seeds N]"
         " [--ledger path | --no-ledger]"
         " [--gate off|direction|full] [--workers N] [--spec file]"
-        " [--telemetry out.jsonl]");
+        " [--telemetry out.jsonl] [--policies]");
 }
 
 Args
@@ -98,6 +100,8 @@ parseArgs(int argc, char **argv)
             a.specPath = argv[++i];
         } else if (arg == "--telemetry" && i + 1 < argc) {
             a.telemetryPath = argv[++i];
+        } else if (arg == "--policies") {
+            a.policies = true;
         } else {
             usage(argv[0]);
         }
@@ -279,6 +283,26 @@ main(int argc, char **argv)
                     hub.report().c_str());
     }
 
+    // --policies: the harvest-policy frontier sweep (one cluster run
+    // per policy at this scale) plus its two machine-checked
+    // invariants. Policy runs are plain runCluster calls outside the
+    // scheduler: the frontier compares whole-run serializations, which
+    // the ledger codec deliberately does not carry.
+    int policy_failures = 0;
+    if (args.policies) {
+        hh::cluster::SystemConfig pcfg = hh::cluster::makeSystem(
+            hh::cluster::SystemKind::HardHarvestBlock);
+        applyScale(pcfg, scale);
+        std::printf("\nHarvest-policy frontier (%u servers, "
+                    "seed %llu):\n",
+                    scale.servers,
+                    static_cast<unsigned long long>(scale.seed));
+        const auto points =
+            runPolicyFrontier(pcfg, scale, args.workers);
+        printPolicyFrontier(points);
+        policy_failures = checkPolicyFrontier(points);
+    }
+
     // Per-seed measurements; the gate judges the across-seed means.
     std::vector<hh::exp::MeasurementSet> per_seed(args.seeds);
     for (unsigned i = 0; i < args.seeds; ++i) {
@@ -314,7 +338,7 @@ main(int argc, char **argv)
         std::printf("ledger: %s now holds %zu rows\n",
                     ledger->path().c_str(), ledger->rows());
 
-    int rc = 0;
+    int rc = policy_failures ? 1 : 0;
     if (args.gate != "off") {
         const auto level = args.gate == "full"
                                ? hh::exp::GateLevel::Full

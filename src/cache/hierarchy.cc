@@ -156,6 +156,25 @@ CoreHierarchy::flushHarvestRegion(Cycles now, Cycles bound)
 }
 
 void
+CoreHierarchy::setHarvestWayFraction(double f)
+{
+    cfg_.harvestWayFraction = f;
+    if (!cfg_.partitioning)
+        return;
+    for (SetAssocArray *arr : {l1d_.get(), l1i_.get(), l2_.get(),
+                               l1tlb_.get(), l2tlb_.get()}) {
+        if (arr->geometry().ways < 2)
+            continue;
+        const WayMask old = arr->harvestWays();
+        arr->setHarvestWayCount(
+            harvestWayCount(arr->geometry(), f));
+        const WayMask leaving = old & ~arr->harvestWays();
+        if (leaving)
+            arr->flushWays(leaving);
+    }
+}
+
+void
 CoreHierarchy::resetStats()
 {
     l1d_->resetStats();

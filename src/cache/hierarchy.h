@@ -130,6 +130,16 @@ class CoreHierarchy
      */
     void flushHarvestRegion(hh::sim::Cycles now, hh::sim::Cycles bound);
 
+    /**
+     * Repartition the private structures to a new harvest-way
+     * fraction (harvest-policy epoch boundary). Ways leaving the
+     * harvest region are flushed so the Primary VM never inherits
+     * Harvest-VM lines; ways entering it get flushed by the next
+     * lend's flushHarvestRegion as usual. No-op on the way masks
+     * unless partitioning is enabled.
+     */
+    void setHarvestWayFraction(double f);
+
     /** @name Structure access for statistics/tests @{ */
     SetAssocArray &l1d() { return *l1d_; }
     SetAssocArray &l1i() { return *l1i_; }

@@ -177,7 +177,16 @@ configFingerprint(const SystemConfig &cfg)
        << " burst=" << cfg.burst.enabled << ','
        << cfg.burst.meanInterArrivalSec << ','
        << cfg.burst.meanDurationSec << ',' << cfg.burst.multiplier
-       << " seed=" << cfg.seed;
+       << " seed=" << cfg.seed
+       << " policy=" << cfg.policy
+       << " policyPeriod=" << cfg.policyPeriod
+       << " policyEwmaAlpha=" << cfg.policyEwmaAlpha
+       << " policyLendUtil=" << cfg.policyLendUtil
+       << " policyHoldUtil=" << cfg.policyHoldUtil
+       << " policyClusters=" << cfg.policyClusters
+       << " policyEpsilon=" << cfg.policyEpsilon
+       << " policyP99TargetMs=" << cfg.policyP99TargetMs
+       << " policyP99Penalty=" << cfg.policyP99Penalty;
     return os.str();
 }
 

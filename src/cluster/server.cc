@@ -65,6 +65,17 @@ ServerSim::ServerSim(const SystemConfig &cfg, const std::string &batchApp,
     buildVms(batchApp);
     buildCores();
 
+    // Harvest policy (PR 8): constructed eagerly so snapshot restore
+    // always finds its re-arm target; "legacy" keeps the pre-policy
+    // inlined knob reads (differential testing).
+    std::string policy_err;
+    policy_ = hh::policy::makeHarvestPolicy(policyConfig(),
+                                            &policy_err);
+    if (!policy_err.empty())
+        hh::sim::fatal("ServerSim: ", policy_err);
+    policy_applied_fraction_.assign(vms_.size(),
+                                    cfg_.harvestWayFraction);
+
     if (cfg_.traceEnabled)
         tracer_ = std::make_unique<hh::trace::Tracer>(
             cfg_.traceCapacity);
@@ -1147,6 +1158,23 @@ ServerSim::completeRequest(unsigned core, std::uint64_t reqId)
 bool
 ServerSim::blockHarvestAllowed(std::uint32_t vm) const
 {
+    if (policy_) {
+        switch (policy_->decision(vm).blockMode) {
+        case hh::policy::BlockHarvestMode::Never:
+            return false;
+        case hh::policy::BlockHarvestMode::AdaptiveEwma:
+            // Adaptive extension (§4.1.5): the EWMA updates at I/O
+            // block time, between policy epochs, so it is evaluated
+            // here at lend time rather than frozen into the decision.
+            return ewma_block_cycles_[vm] >=
+                   static_cast<double>(cfg_.adaptiveBlockThreshold);
+        case hh::policy::BlockHarvestMode::Always:
+            return true;
+        }
+        return true;
+    }
+    // Legacy inlined path ("policy=legacy"): kept verbatim so the
+    // StaticPolicy extraction can be differentially tested.
     if (!cfg_.harvestOnBlock)
         return false;
     // Adaptive extension (§4.1.5): when this VM's requests block
@@ -1169,15 +1197,19 @@ ServerSim::coreLendable(unsigned core) const
         return false;
     if (ctx.phase != Phase::Idle || ctx.onLoan)
         return false;
+    // Policy gate: a held VM lends nothing at all.
+    if (policy_ && !policy_->decision(vm).lendAllowed)
+        return false;
     // Term-style harvesting never lends a core whose request is
     // blocked on I/O (the core is kept for the response).
     if (!blockHarvestAllowed(vm) && ctx.anchoredBlocked > 0)
         return false;
     // Burst-buffer extension (§4.1.5): keep some idle cores ready.
-    if (cfg_.hwEmergencyBuffer > 0 &&
-        idleBoundCores(vm) <= cfg_.hwEmergencyBuffer) {
+    const unsigned ebuf = policy_
+                              ? policy_->decision(vm).emergencyBuffer
+                              : cfg_.hwEmergencyBuffer;
+    if (ebuf > 0 && idleBoundCores(vm) <= ebuf)
         return false;
-    }
     const auto *qm = ctrl_->qmFor(vm);
     return !qm->queue().hasReady();
 }
@@ -1609,6 +1641,10 @@ ServerSim::agentTick()
         sw_policy_.observe(vm, busyPrimaryCores(vm));
         if (!cfg_.harvesting)
             continue;
+        // Policy gate mirroring coreLendable's: a held VM lends
+        // nothing through the software agent either.
+        if (policy_ && !policy_->decision(vm).lendAllowed)
+            continue;
 
         // Thrash avoidance: after a reclaim, wait out a backoff
         // proportional to the cost of a core move before lending
@@ -1748,6 +1784,79 @@ ServerSim::stopTelemetry()
     telemetry_->record(telemetryCounters());
 }
 
+hh::policy::PolicyConfig
+ServerSim::policyConfig() const
+{
+    hh::policy::PolicyConfig pc;
+    pc.kind = cfg_.policy;
+    pc.vmCount = static_cast<std::uint32_t>(cfg_.primaryVms + 1);
+    pc.harvestVm = harvest_vm_;
+    pc.seed = seed_;
+    pc.harvestOnBlock = cfg_.harvestOnBlock;
+    pc.adaptiveHarvest = cfg_.adaptiveHarvest;
+    pc.hwEmergencyBuffer = cfg_.hwEmergencyBuffer;
+    pc.harvestWayFraction = cfg_.harvestWayFraction;
+    pc.lendUtil = cfg_.policyLendUtil;
+    pc.holdUtil = cfg_.policyHoldUtil;
+    pc.ewmaAlpha = cfg_.policyEwmaAlpha;
+    pc.clusters = cfg_.policyClusters;
+    pc.epsilon = cfg_.policyEpsilon;
+    pc.p99TargetMs = cfg_.policyP99TargetMs;
+    pc.p99Penalty = cfg_.policyP99Penalty;
+    return pc;
+}
+
+void
+ServerSim::policyTick()
+{
+    policy_pending_ = hh::sim::kInvalidEventId;
+    if (!policy_running_)
+        return;
+    // The policy rides its own ObservationView so its epoch cadence
+    // is independent of (and composable with) the telemetry plane's.
+    policy_view_->record(telemetryCounters());
+    const auto rows = policy_view_->takeRows();
+    for (const auto &row : rows)
+        policy_->observe(row);
+    applyPolicyDecisions();
+    policy_pending_ = sim_.schedule(
+        cfg_.policyPeriod, tag(SnapTag::kPolicyTick),
+        [this] { policyTick(); });
+}
+
+void
+ServerSim::stopPolicy()
+{
+    if (!policy_running_)
+        return;
+    policy_running_ = false;
+    if (policy_pending_ != hh::sim::kInvalidEventId) {
+        sim_.cancel(policy_pending_);
+        policy_pending_ = hh::sim::kInvalidEventId;
+    }
+}
+
+void
+ServerSim::applyPolicyDecisions()
+{
+    if (!policy_)
+        return;
+    for (auto &v : vms_) {
+        if (!v.desc.isPrimary())
+            continue;
+        const std::uint32_t vm = v.desc.id;
+        const double f = policy_->decision(vm).harvestWayFraction;
+        if (f == policy_applied_fraction_[vm])
+            continue;
+        policy_applied_fraction_[vm] = f;
+        ctrl_->qmFor(vm)->harvestMask().setFraction(f);
+        if (cfg_.partitioning) {
+            for (unsigned c : v.desc.cores)
+                cores_[c]->hierarchy().setHarvestWayFraction(f);
+        }
+    }
+}
+
 bool
 ServerSim::allDone() const
 {
@@ -1776,6 +1885,9 @@ ServerSim::noteDoneMaybeFinish()
             injector_->stop();
         // And the telemetry epoch tick (records the partial epoch).
         stopTelemetry();
+        // And the policy epoch tick (decisions after the last
+        // request are moot; the drain tail lends nothing new).
+        stopPolicy();
     }
 }
 
@@ -1871,6 +1983,16 @@ ServerSim::startRun()
             cfg_.telemetryPeriod, tag(SnapTag::kTelemetryTick),
             [this] { telemetryTick(); });
     }
+    // Policy epoch tick. The static policy wants no tick, so its
+    // event stream (and thus the run) is identical to the legacy
+    // path's — the extraction is pure refactoring there.
+    if (policy_ && policy_->wantsEpochTick()) {
+        policy_view_ = std::make_unique<hh::stats::ObservationView>();
+        policy_running_ = true;
+        policy_pending_ = sim_.schedule(
+            cfg_.policyPeriod, tag(SnapTag::kPolicyTick),
+            [this] { policyTick(); });
+    }
 
     // Harvest VM's own cores start working immediately.
     for (unsigned c : vms_[harvest_vm_].desc.cores)
@@ -1919,6 +2041,7 @@ ServerSim::finishRun()
     if (injector_)
         injector_->stop();
     stopTelemetry();
+    stopPolicy();
     // Batch slices still in flight when all requests completed drain
     // after the all-done stop; one more row at the drain time captures
     // that tail, so the fleet timeline's deltas sum exactly to the
@@ -2092,6 +2215,9 @@ ServerSim::rearmEvent(const SnapTag &t)
     case SnapTag::kTelemetryTick:
         return telemetry_ ? rearmTelemetryTick()
                           : hh::sim::Simulator::Callback{};
+    case SnapTag::kPolicyTick:
+        return policy_view_ ? rearmPolicyTick()
+                            : hh::sim::Simulator::Callback{};
     default:
         // Empty: the event queue turns this into a hard error naming
         // the tag, which is how unknown kinds surface.
@@ -2116,6 +2242,11 @@ ServerSim::serializeState(hh::snap::Archive &ar)
     // section 0x15 below.
     if (ar.loading() && cfg_.telemetryEnabled && !telemetry_)
         telemetry_ = std::make_unique<hh::stats::ObservationView>();
+    // And for the policy's epoch view (pending kPolicyTick re-arm
+    // target); policy state arrives in section 0x16 below.
+    if (ar.loading() && policy_ && policy_->wantsEpochTick() &&
+        !policy_view_)
+        policy_view_ = std::make_unique<hh::stats::ObservationView>();
 
     ar.section(0x10, "simulator");
     sim_.serialize(ar,
@@ -2249,6 +2380,35 @@ ServerSim::serializeState(hh::snap::Archive &ar)
         ar.io(telemetry_running_);
         ar.io(telemetry_pending_);
         ar.io(*telemetry_);
+    }
+    if (!ar.ok())
+        return;
+
+    // Harvest policy (PR 8). cfg_.policy is part of the config
+    // fingerprint, so cluster-level restores reject mismatches
+    // before reaching this check; the presence flag guards direct
+    // saveState/loadState users the same way section 0x15 does.
+    ar.section(0x16, "policy");
+    bool have_policy = policy_ != nullptr;
+    ar.io(have_policy);
+    if (ar.loading() && have_policy != (policy_ != nullptr)) {
+        ar.fail("checkpoint harvest-policy state does not match this "
+                "run; restore with the same policy= setting the "
+                "saving run used");
+        return;
+    }
+    if (policy_) {
+        policy_->serialize(ar);
+        ar.io(policy_applied_fraction_);
+        // The repartitioned way masks themselves ride sections 0x11
+        // (QM masks) and 0x13 (core hierarchies), so nothing is
+        // re-applied here; policy_applied_fraction_ keeps the
+        // change-detection in applyPolicyDecisions coherent.
+        if (policy_->wantsEpochTick()) {
+            ar.io(policy_running_);
+            ar.io(policy_pending_);
+            ar.io(*policy_view_);
+        }
     }
 }
 

@@ -25,6 +25,7 @@
 #include "check/auditor.h"
 #include "check/fault_inject.h"
 #include "cluster/system_config.h"
+#include "policy/harvest_policy.h"
 #include "core/context_memory.h"
 #include "core/controller.h"
 #include "cpu/core.h"
@@ -246,6 +247,12 @@ class ServerSim
         return telemetry_.get();
     }
 
+    /** The harvest policy, or nullptr under the "legacy" selector. */
+    hh::policy::HarvestPolicy *harvestPolicy()
+    {
+        return policy_.get();
+    }
+
     const SystemConfig &config() const { return cfg_; }
 
   private:
@@ -430,6 +437,23 @@ class ServerSim
     }
     /** @} */
 
+    /** @name Harvest policy (PR 8) @{ */
+    /** The PolicyConfig mirror of cfg_ (src/policy is layer-free). */
+    hh::policy::PolicyConfig policyConfig() const;
+    /** Epoch tick: feed the policy one row, apply its decisions. */
+    void policyTick();
+    /** Cancel a pending policy tick (run teardown). */
+    void stopPolicy();
+    /** Push decision changes into masks/partitions at the boundary. */
+    void applyPolicyDecisions();
+    /** Re-arm hook for a restored kPolicyTick event. */
+    hh::sim::Simulator::Callback
+    rearmPolicyTick()
+    {
+        return [this] { policyTick(); };
+    }
+    /** @} */
+
     /** @name Helpers (cont.) @{ */
     void configureCoreForHarvest(unsigned core);
     void configureCoreForPrimary(unsigned core);
@@ -514,6 +538,18 @@ class ServerSim
     std::unique_ptr<hh::stats::ObservationView> telemetry_;
     bool telemetry_running_ = false;
     hh::sim::EventId telemetry_pending_ = hh::sim::kInvalidEventId;
+    /** @} */
+
+    /** @name Harvest policy (PR 8) @{ */
+    /** Null only under the "legacy" selector. */
+    std::unique_ptr<hh::policy::HarvestPolicy> policy_;
+    /** Policy's own epoch view; null unless wantsEpochTick(). */
+    std::unique_ptr<hh::stats::ObservationView> policy_view_;
+    bool policy_running_ = false;
+    hh::sim::EventId policy_pending_ = hh::sim::kInvalidEventId;
+    /** Last harvest-way fraction pushed into each VM's masks, so the
+     *  boundary application only touches partitions that changed. */
+    std::vector<double> policy_applied_fraction_;
     /** @} */
 
     /** @name Auditing / fault injection @{ */

@@ -114,6 +114,37 @@ struct SystemConfig
     hh::sim::Cycles telemetryPeriod = hh::sim::msToCycles(1.0);
     /** @} */
 
+    /** @name Harvest policy (PR 8) @{ */
+    /**
+     * Harvest/reclaim policy selector (src/policy/): "static" (the
+     * default — freezes the knobs above into one immutable decision
+     * set, bit-identical to the legacy inlined path), "hysteresis",
+     * "critical", "bandit", or "legacy" (no policy object at all;
+     * kept for differential testing of the extraction).
+     */
+    std::string policy = "static";
+    /** Policy epoch length in cycles (1 ms at 3 GHz by default). */
+    hh::sim::Cycles policyPeriod = hh::sim::msToCycles(1.0);
+    /** Hysteresis/critical: EWMA smoothing of epoch features. */
+    double policyEwmaAlpha = 0.3;
+    /** Hysteresis: lend aggressively below this EWMA utilization. */
+    double policyLendUtil = 0.35;
+    /**
+     * Hysteresis: arm the reclaim guard band strictly above this EWMA
+     * utilization (1.0, the default, disarms it — see
+     * docs/POLICIES.md for the throughput/tail trade).
+     */
+    double policyHoldUtil = 1.0;
+    /** Critical-aware: k-means cluster count. */
+    unsigned policyClusters = 2;
+    /** Bandit: exploration probability. */
+    double policyEpsilon = 0.1;
+    /** Bandit: epoch-P99 target (ms) before the penalty kicks in. */
+    double policyP99TargetMs = 10.0;
+    /** Bandit: penalty weight per ms of epoch P99 over target. */
+    double policyP99Penalty = 1.0;
+    /** @} */
+
     /** @name Invariant auditing / fault injection (PR 3) @{ */
     /**
      * Cross-component invariant auditing. Off by default: no Auditor

@@ -1,8 +1,11 @@
 #include "exp/spec.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
+#include "cache/config.h"
+#include "policy/harvest_policy.h"
 #include "sim/log.h"
 #include "sim/time.h"
 
@@ -56,6 +59,54 @@ parseBool(const std::string &v, bool *out)
         return true;
     }
     return false;
+}
+
+/**
+ * A harvest-way fraction must carve a non-degenerate region — at
+ * least one harvest way AND at least one private way — out of every
+ * partitioned structure (the five HarvestMask structures) at the
+ * configured way scaling. A fraction that rounds to a 0-way or
+ * all-way region would silently disable the partition's isolation
+ * (the runtime clamps), so it is rejected at parse time instead.
+ */
+bool
+validHarvestFraction(const hh::cluster::SystemConfig &cfg, double f,
+                     std::string *error)
+{
+    struct Structure
+    {
+        const char *name;
+        hh::cache::Geometry geom;
+    };
+    static const Structure kMasked[] = {
+        {"L1D", hh::cache::kL1D},     {"L1I", hh::cache::kL1I},
+        {"L2", hh::cache::kL2},       {"L1TLB", hh::cache::kL1Tlb},
+        {"L2TLB", hh::cache::kL2Tlb},
+    };
+    for (const auto &s : kMasked) {
+        const hh::cache::Geometry scaled =
+            hh::cache::scaleWays(s.geom, cfg.waysFraction);
+        if (scaled.ways < 2)
+            continue; // partitioning skips 1-way structures
+        const long n =
+            std::lround(f * static_cast<double>(scaled.ways));
+        if (n >= 1 && n < static_cast<long>(scaled.ways))
+            continue;
+        if (error) {
+            std::ostringstream os;
+            os << "harvestWayFraction " << f << " rounds to a "
+               << (n < 1 ? "0-way" : "all-way")
+               << " harvest region in the " << scaled.ways << "-way "
+               << s.name << " (a valid fraction keeps 1.."
+               << (scaled.ways - 1) << " harvest ways"
+               << (cfg.waysFraction < 1.0 ? " at this waysFraction"
+                                          : "")
+               << ")";
+            *error = os.str();
+        }
+        return false;
+    }
+    return true;
 }
 
 } // namespace
@@ -123,12 +174,28 @@ applySpecKey(hh::cluster::SystemConfig &cfg, const std::string &key,
     if (key == "candidateFraction")
         return parseDouble(value, &cfg.candidateFraction) ||
                fail("bad double");
-    if (key == "harvestWayFraction")
-        return parseDouble(value, &cfg.harvestWayFraction) ||
-               fail("bad double");
-    if (key == "waysFraction")
-        return parseDouble(value, &cfg.waysFraction) ||
-               fail("bad double");
+    if (key == "harvestWayFraction") {
+        double f = 0;
+        if (!parseDouble(value, &f))
+            return fail("bad double");
+        if (!validHarvestFraction(cfg, f, error))
+            return false;
+        cfg.harvestWayFraction = f;
+        return true;
+    }
+    if (key == "waysFraction") {
+        double f = 0;
+        if (!parseDouble(value, &f))
+            return fail("bad double");
+        if (f <= 0.0 || f > 1.0)
+            return fail("waysFraction must be in (0, 1], got");
+        cfg.waysFraction = f;
+        // Re-check the fraction already configured: shrinking the
+        // structures can make a previously fine region degenerate.
+        if (!validHarvestFraction(cfg, cfg.harvestWayFraction, error))
+            return false;
+        return true;
+    }
     if (key == "llcMbPerCore")
         return parseDouble(value, &cfg.llcMbPerCore) ||
                fail("bad double");
@@ -164,6 +231,66 @@ applySpecKey(hh::cluster::SystemConfig &cfg, const std::string &key,
     if (key == "infiniteCaches")
         return parseBool(value, &cfg.infiniteCaches) ||
                fail("bad bool");
+
+    // harvest policy (PR 8)
+    if (key == "policy") {
+        if (!hh::policy::knownHarvestPolicy(value))
+            return fail("unknown harvest policy (expected legacy, "
+                        "static, hysteresis, critical or bandit), got");
+        cfg.policy = value;
+        return true;
+    }
+    if (key == "policyPeriodMs") {
+        double ms = 0;
+        if (!parseDouble(value, &ms) || ms <= 0.0)
+            return fail("bad positive double");
+        cfg.policyPeriod = hh::sim::msToCycles(ms);
+        return true;
+    }
+    if (key == "policyClusters") {
+        unsigned n = 0;
+        if (!parseUnsigned(value, &n) || n == 0)
+            return fail("bad positive unsigned");
+        cfg.policyClusters = n;
+        return true;
+    }
+    if (key == "policyEwmaAlpha") {
+        double a = 0;
+        if (!parseDouble(value, &a) || a <= 0.0 || a > 1.0)
+            return fail("EWMA alpha must be in (0, 1], got");
+        cfg.policyEwmaAlpha = a;
+        return true;
+    }
+    if (key == "policyLendUtil" || key == "policyHoldUtil") {
+        double u = 0;
+        if (!parseDouble(value, &u) || u < 0.0 || u > 1.0)
+            return fail("utilization threshold must be in [0, 1], "
+                        "got");
+        (key == "policyLendUtil" ? cfg.policyLendUtil
+                                 : cfg.policyHoldUtil) = u;
+        return true;
+    }
+    if (key == "policyEpsilon") {
+        double e = 0;
+        if (!parseDouble(value, &e) || e < 0.0 || e > 1.0)
+            return fail("epsilon must be in [0, 1], got");
+        cfg.policyEpsilon = e;
+        return true;
+    }
+    if (key == "policyP99TargetMs") {
+        double t = 0;
+        if (!parseDouble(value, &t) || t < 0.0)
+            return fail("bad non-negative double");
+        cfg.policyP99TargetMs = t;
+        return true;
+    }
+    if (key == "policyP99Penalty") {
+        double p = 0;
+        if (!parseDouble(value, &p) || p < 0.0)
+            return fail("bad non-negative double");
+        cfg.policyP99Penalty = p;
+        return true;
+    }
 
     // enums
     if (key == "repl") {

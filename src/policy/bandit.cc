@@ -1,0 +1,117 @@
+#include <algorithm>
+
+#include "policy/policies.h"
+#include "stats/histogram.h"
+
+namespace hh::policy {
+
+namespace {
+
+/** Dedicated Rng stream id for bandit exploration draws. */
+constexpr std::uint64_t kBanditStream = 0xB4DD17ULL;
+
+} // namespace
+
+const std::vector<BanditPolicy::Arm> &
+BanditPolicy::arms()
+{
+    // Ordered from most conservative to most aggressive. "default"
+    // reproduces the configured static knobs exactly (fractionDelta 0
+    // against the configured base), so the bandit can always retreat
+    // to the baseline behavior.
+    static const std::vector<Arm> kArms = {
+        {"hold", false, true, BlockHarvestMode::Always, 0, 0.0},
+        {"cautious", true, false, BlockHarvestMode::Never, 1, -0.25},
+        {"default", true, true, BlockHarvestMode::Always, 0, 0.0},
+        {"aggressive", true, false, BlockHarvestMode::Always, 0, 0.25},
+    };
+    return kArms;
+}
+
+BanditPolicy::BanditPolicy(const PolicyConfig &cfg)
+    : HarvestPolicy(cfg), rng_(cfg.seed, kBanditStream),
+      values_(arms().size(), 0.0), pulls_(arms().size(), 0)
+{
+    // Start on the baseline arm so the pre-observation decisions are
+    // the static ones; "cautious"/"default" emergency buffers stack
+    // on top of the configured hwEmergencyBuffer.
+    current_ = 2;
+    applyArm(current_);
+}
+
+void
+BanditPolicy::applyArm(std::uint32_t arm)
+{
+    const Arm &a = arms()[arm];
+    for (std::uint32_t vm = 0; vm < decisions_.size(); ++vm) {
+        if (vm == cfg_.harvestVm)
+            continue;
+        VmDecision &d = decisions_[vm];
+        d.lendAllowed = a.lendAllowed;
+        d.blockMode =
+            a.configBlockMode ? fallback_.blockMode : a.blockMode;
+        d.emergencyBuffer = cfg_.hwEmergencyBuffer + a.emergencyBuffer;
+        // Delta-free arms keep the configured fraction verbatim (the
+        // "default" arm must reproduce the static decision exactly).
+        d.harvestWayFraction =
+            a.fractionDelta == 0.0
+                ? cfg_.harvestWayFraction
+                : std::clamp(cfg_.harvestWayFraction + a.fractionDelta,
+                             0.25, 0.75);
+    }
+}
+
+void
+BanditPolicy::observe(const hh::stats::ObservationRow &row)
+{
+    // Reward the arm that was live during the epoch: batch tasks
+    // completed on loaned cores per lent core-second (the same
+    // economics TelemetryHub reports fleet-wide), minus p99Penalty
+    // per millisecond the epoch's request P99 exceeds the target. An
+    // epoch with nothing lent earns zero throughput reward, so the
+    // "hold" arm only wins while lending actively hurts the P99.
+    const double lentSec =
+        hh::sim::cyclesToSec(row.harvestedCyclesDelta);
+    const double throughput =
+        lentSec > 0.0
+            ? static_cast<double>(row.batchLoanedDelta) / lentSec
+            : 0.0;
+    const double p99Ms =
+        hh::stats::logBucketPercentile(row.latencyHistDelta, 99.0) /
+        1000.0;
+    const double reward =
+        throughput -
+        cfg_.p99Penalty * std::max(0.0, p99Ms - cfg_.p99TargetMs);
+
+    history_.push_back(current_);
+    pulls_[current_] += 1;
+    values_[current_] +=
+        (reward - values_[current_]) /
+        static_cast<double>(pulls_[current_]);
+
+    // Epsilon-greedy selection for the next epoch. Both draws happen
+    // unconditionally so the stream position is a pure function of
+    // the epoch count, not of the rewards.
+    const bool explore = rng_.bernoulli(cfg_.epsilon);
+    const std::uint32_t random = static_cast<std::uint32_t>(
+        rng_.uniformInt(static_cast<std::uint64_t>(arms().size())));
+    std::uint32_t greedy = 0;
+    for (std::uint32_t a = 1; a < values_.size(); ++a) {
+        if (values_[a] > values_[greedy])
+            greedy = a;
+    }
+    current_ = explore ? random : greedy;
+    applyArm(current_);
+}
+
+void
+BanditPolicy::serializeState(hh::snap::Archive &ar)
+{
+    ar.io(rng_);
+    ar.io(current_);
+    ar.io(values_);
+    ar.io(pulls_);
+    ar.io(history_);
+}
+
+} // namespace hh::policy

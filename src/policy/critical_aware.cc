@@ -1,0 +1,146 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "policy/policies.h"
+
+namespace hh::policy {
+
+namespace {
+
+/** One VM's clustering features: (EWMA MPKI, cache occupancy). */
+struct Point
+{
+    std::uint32_t vm;
+    double mpki;
+    double occ;
+};
+
+} // namespace
+
+CriticalAwarePolicy::CriticalAwarePolicy(const PolicyConfig &cfg)
+    : HarvestPolicy(cfg), mpkiEwma_(cfg.vmCount, 0.0),
+      seeded_(cfg.vmCount, 0), rank_(cfg.vmCount, 0)
+{
+}
+
+void
+CriticalAwarePolicy::observe(const hh::stats::ObservationRow &row)
+{
+    // 1. EWMA the epoch MPKI so a single quiet epoch does not flip a
+    //    critical VM to donor.
+    const double a = cfg_.ewmaAlpha;
+    std::vector<Point> pts;
+    pts.reserve(row.vms.size());
+    for (const auto &f : row.vms) {
+        if (f.vm >= decisions_.size() || f.vm == cfg_.harvestVm)
+            continue;
+        if (!seeded_[f.vm]) {
+            mpkiEwma_[f.vm] = f.mpki;
+            seeded_[f.vm] = 1;
+        } else {
+            mpkiEwma_[f.vm] = a * f.mpki + (1.0 - a) * mpkiEwma_[f.vm];
+        }
+        pts.push_back({f.vm, mpkiEwma_[f.vm], f.cacheOccupancy});
+    }
+    if (pts.empty())
+        return;
+
+    // 2. Deterministic k-means over (MPKI, occupancy). Centroids are
+    //    initialized evenly over the VMs sorted by MPKI (stable: ties
+    //    break toward the lower VM id), then a fixed iteration count
+    //    with lowest-index tie-breaks keeps the assignment a pure
+    //    function of the observation stream.
+    const unsigned k = std::min<unsigned>(
+        std::max(1u, cfg_.clusters),
+        static_cast<unsigned>(pts.size()));
+    std::vector<std::uint32_t> order(pts.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t x, std::uint32_t y) {
+                  if (pts[x].mpki != pts[y].mpki)
+                      return pts[x].mpki < pts[y].mpki;
+                  return pts[x].vm < pts[y].vm;
+              });
+    std::vector<double> cm(k), co(k); // centroid mpki / occupancy
+    for (unsigned c = 0; c < k; ++c) {
+        const auto &p = pts[order[(2 * c + 1) * pts.size() / (2 * k)]];
+        cm[c] = p.mpki;
+        co[c] = p.occ;
+    }
+    std::vector<unsigned> assign(pts.size(), 0);
+    for (int iter = 0; iter < 8; ++iter) {
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            unsigned best = 0;
+            double bestD = 0;
+            for (unsigned c = 0; c < k; ++c) {
+                const double dm = pts[i].mpki - cm[c];
+                const double dc = pts[i].occ - co[c];
+                const double d = dm * dm + dc * dc;
+                if (c == 0 || d < bestD) {
+                    best = c;
+                    bestD = d;
+                }
+            }
+            assign[i] = best;
+        }
+        for (unsigned c = 0; c < k; ++c) {
+            double sm = 0, so = 0;
+            std::size_t n = 0;
+            for (std::size_t i = 0; i < pts.size(); ++i) {
+                if (assign[i] != c)
+                    continue;
+                sm += pts[i].mpki;
+                so += pts[i].occ;
+                ++n;
+            }
+            if (n) {
+                cm[c] = sm / static_cast<double>(n);
+                co[c] = so / static_cast<double>(n);
+            }
+        }
+    }
+
+    // 3. Rank clusters by mean MPKI, descending: rank 0 is the most
+    //    critical (cache-hungriest) cluster.
+    std::vector<unsigned> byMpki(k);
+    std::iota(byMpki.begin(), byMpki.end(), 0);
+    std::sort(byMpki.begin(), byMpki.end(),
+              [&](unsigned x, unsigned y) {
+                  if (cm[x] != cm[y])
+                      return cm[x] > cm[y];
+                  return x < y;
+              });
+    std::vector<unsigned> rankOf(k);
+    for (unsigned r = 0; r < k; ++r)
+        rankOf[byMpki[r]] = r;
+
+    // 4. Distribute harvest-way fractions across the ranks: the most
+    //    critical cluster keeps the most private ways (0.25 harvest
+    //    fraction), the least critical donates the widest region
+    //    (0.75). Critical VMs also hold one idle core back.
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        const unsigned r = rankOf[assign[i]];
+        rank_[pts[i].vm] = r;
+        VmDecision &d = decisions_[pts[i].vm];
+        d.lendAllowed = true;
+        d.blockMode = fallback_.blockMode;
+        d.emergencyBuffer =
+            r == 0 ? std::max(1u, cfg_.hwEmergencyBuffer)
+                   : cfg_.hwEmergencyBuffer;
+        d.harvestWayFraction =
+            k == 1 ? cfg_.harvestWayFraction
+                   : 0.25 + 0.5 * static_cast<double>(r) /
+                                static_cast<double>(k - 1);
+    }
+}
+
+void
+CriticalAwarePolicy::serializeState(hh::snap::Archive &ar)
+{
+    ar.io(mpkiEwma_);
+    ar.io(seeded_);
+    ar.io(rank_);
+}
+
+} // namespace hh::policy

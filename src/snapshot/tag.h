@@ -47,6 +47,7 @@ struct SnapTag
         kSamplerTick,      //!< MetricSampler period
         kFaultTick,        //!< FaultInjector period
         kTelemetryTick,    //!< ObservationView epoch period
+        kPolicyTick,       //!< HarvestPolicy epoch period
     };
 
     std::uint32_t kind = kNone;

@@ -85,8 +85,17 @@ void
 ObservationView::record(const ServerCounters &cum)
 {
     const std::uint64_t prevT = havePrev_ ? prev_.t : 0;
-    if (havePrev_ && cum.t == prevT)
-        return; // final-row call landed exactly on a tick
+    // Zero-length-epoch guard. With a previous snapshot this is the
+    // final-row call landing exactly on a tick. Without one it is a
+    // record at t=0 — against the implicit all-zero baseline that
+    // would be a bogus zero-length all-zero row, so instead the
+    // snapshot becomes the explicit baseline (a stopped-before-first-
+    // tick run then emits no rows, matching its zero epochs).
+    if (cum.t == prevT) {
+        prev_ = cum;
+        havePrev_ = true;
+        return;
+    }
     const std::uint64_t epochCycles = cum.t - prevT;
 
     ObservationRow row;
