@@ -21,11 +21,20 @@
  * HH_OVERHEAD_GATE=<percent> to make the binary fail when either
  * measured overhead exceeds the gate (used by CI; off by default
  * because single-core containers are noisy).
+ *
+ * The "graph" section runs a service-graph fleet (src/svc/, 64
+ * servers x 3 tiers by default; HH_GRAPH_SERVERS / HH_GRAPH_REQUESTS
+ * rescale it) and records its wall-clock plus the per-server resident
+ * footprint: peak RSS growth (VmHWM) divided by the fleet size, and
+ * the RPC engine's own accounting. The footprint is judged against a
+ * fixed 128 MiB/server budget under the same HH_OVERHEAD_GATE knob —
+ * the bounded-state contract for 64-128 server fleets.
  */
 
 #include <array>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -38,6 +47,7 @@
 #include "sim/prof.h"
 #include "sim/thread_pool.h"
 #include "snapshot/archive.h"
+#include "svc/fleet.h"
 #include "workload/batch.h"
 
 namespace {
@@ -83,6 +93,26 @@ measureQueueVariant(std::uint64_t rounds)
         ops[i] = measureQueueMix<Queue>(
             rounds, hh::bench::kQueueMixPresets[i]);
     return ops;
+}
+
+/** A /proc/self/status field in kB (0 when unreadable, e.g. !linux). */
+std::uint64_t
+procStatusKb(const char *key)
+{
+    std::FILE *f = std::fopen("/proc/self/status", "r");
+    if (!f)
+        return 0;
+    char line[256];
+    std::uint64_t kb = 0;
+    const std::size_t len = std::strlen(key);
+    while (std::fgets(line, sizeof line, f)) {
+        if (std::strncmp(line, key, len) == 0 && line[len] == ':') {
+            kb = std::strtoull(line + len + 1, nullptr, 10);
+            break;
+        }
+    }
+    std::fclose(f);
+    return kb;
 }
 
 } // namespace
@@ -308,6 +338,42 @@ main(int argc, char **argv)
         exp_warm_sec > 0 ? exp_cold_sec / exp_warm_sec : 0.0;
     const auto &warm_stats = warm_sched.stats();
 
+    // Service-graph fleet footprint: a 64-server three-tier RPC-DAG
+    // fleet at a reduced arrival budget. The interesting number is
+    // resident state per server — the fleet must stay bounded at
+    // 64-128 servers — measured as peak-RSS growth over the resident
+    // set just before the fleet existed, divided by the fleet size.
+    const unsigned graph_servers = envUnsigned("HH_GRAPH_SERVERS", 64);
+    const unsigned graph_requests = envUnsigned("HH_GRAPH_REQUESTS", 8);
+    std::printf("graph fleet run (%u servers, 3 tiers, %u req/VM)"
+                "...\n",
+                graph_servers, graph_requests);
+    const hh::svc::ServiceGraphSpec gspec =
+        hh::svc::makeLayeredGraphSpec(/*depth=*/3, /*fanout=*/2,
+                                      graph_servers);
+    SystemConfig gcfg = cfg;
+    gcfg.requestsPerVm = graph_requests;
+    const std::uint64_t rss_before_kb = procStatusKb("VmRSS");
+    const auto t_gr = Clock::now();
+    const hh::svc::FleetResults gres =
+        hh::svc::runFleet(gspec, gcfg, scale.seed, workers);
+    const double graph_sec = secondsSince(t_gr);
+    const std::uint64_t hwm_after_kb = procStatusKb("VmHWM");
+    const double graph_rss_per_server_kb =
+        (hwm_after_kb > rss_before_kb && graph_servers > 0)
+            ? static_cast<double>(hwm_after_kb - rss_before_kb) /
+                  graph_servers
+            : 0.0;
+    // Judged as "overhead" against a fixed 128 MiB/server budget so
+    // the one HH_OVERHEAD_GATE knob covers it: positive means the
+    // budget is exceeded.
+    constexpr double kGraphRssBudgetKb = 128.0 * 1024.0;
+    const double graph_rss_overhead_pct =
+        graph_rss_per_server_kb > 0
+            ? 100.0 * (graph_rss_per_server_kb / kGraphRssBudgetKb -
+                       1.0)
+            : -100.0;
+
     std::printf("event-queue shootout (legacy / heap / wheel x "
                 "near / far / cancel)...\n");
     const std::uint64_t rounds = 4'000'000;
@@ -388,6 +454,16 @@ main(int argc, char **argv)
                 exp_cold_sec, exp_warm_sec, exp_speedup,
                 warm_stats.warmStarted, warm_stats.prefixGroups,
                 exp_identical ? "yes" : "NO");
+    std::printf("graph:    %u servers x %u tiers in %.2fs  "
+                "%.1f MiB/server resident (budget %.0f)  "
+                "peakLiveNodes/server %llu  engine %llu B/server\n",
+                gres.servers, gres.depth, graph_sec,
+                graph_rss_per_server_kb / 1024.0,
+                kGraphRssBudgetKb / 1024.0,
+                static_cast<unsigned long long>(
+                    gres.maxPeakLiveNodes),
+                static_cast<unsigned long long>(
+                    gres.maxFootprintBytes));
 
     std::FILE *f = std::fopen(out_path.c_str(), "w");
     if (!f) {
@@ -521,6 +597,28 @@ main(int argc, char **argv)
                  warm_stats.prefixGroups);
     std::fprintf(f, "    \"bit_identical\": %s\n",
                  exp_identical ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"graph\": {\n");
+    std::fprintf(f, "    \"servers\": %u,\n", gres.servers);
+    std::fprintf(f, "    \"depth\": %u,\n", gres.depth);
+    std::fprintf(f, "    \"requests_per_vm\": %u,\n", graph_requests);
+    std::fprintf(f, "    \"run_sec\": %.4f,\n", graph_sec);
+    std::fprintf(f, "    \"windows\": %llu,\n",
+                 static_cast<unsigned long long>(gres.windows));
+    std::fprintf(f, "    \"wire_messages\": %llu,\n",
+                 static_cast<unsigned long long>(gres.wireMessages));
+    std::fprintf(f, "    \"peak_rss_per_server_kb\": %.1f,\n",
+                 graph_rss_per_server_kb);
+    std::fprintf(f, "    \"rss_budget_per_server_kb\": %.0f,\n",
+                 kGraphRssBudgetKb);
+    std::fprintf(f, "    \"rss_overhead_pct\": %.2f,\n",
+                 graph_rss_overhead_pct);
+    std::fprintf(f, "    \"peak_live_nodes_per_server\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     gres.maxPeakLiveNodes));
+    std::fprintf(f, "    \"engine_bytes_per_server\": %llu\n",
+                 static_cast<unsigned long long>(
+                     gres.maxFootprintBytes));
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -561,6 +659,16 @@ main(int argc, char **argv)
                          "snapshot save+load overhead %.1f%% exceeds "
                          "gate %.1f%%\n",
                          snap_overhead_pct, gate_limit);
+            return 1;
+        }
+        if (graph_rss_overhead_pct > gate_limit) {
+            std::fprintf(stderr,
+                         "graph fleet resident state %.1f MiB/server "
+                         "exceeds the %.0f MiB budget by %.1f%% "
+                         "(gate %.1f%%)\n",
+                         graph_rss_per_server_kb / 1024.0,
+                         kGraphRssBudgetKb / 1024.0,
+                         graph_rss_overhead_pct, gate_limit);
             return 1;
         }
     }

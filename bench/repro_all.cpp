@@ -11,7 +11,8 @@
  * Usage:
  *   repro_all [--scale quick|default|full] [--seeds N]
  *             [--ledger path | --no-ledger] [--gate off|direction|full]
- *             [--workers N] [--spec file]
+ *             [--workers N] [--spec file] [--telemetry out.jsonl]
+ *             [--policies] [--graphs]
  *
  * `--scale` presets the HH_REQUESTS / HH_SERVERS / HH_SAMPLING knobs
  * (explicit environment variables still win under `default`).
@@ -20,9 +21,13 @@
  * means. A second invocation with the same ledger re-simulates
  * nothing ("0 simulated" in the engine summary). `--spec` adds the
  * points of a key=value experiment spec (docs/EXPERIMENTS_ENGINE.md)
- * to the same batch.
+ * to the same batch. `--policies` appends the harvest-policy
+ * frontier sweep; `--graphs` appends the service-graph fleet sweep
+ * (src/svc/) with its per-policy depth-monotone P99 check
+ * (HH_GRAPH_SERVERS overrides the fleet size).
  *
- * Exit code: nonzero when any fidelity check fails.
+ * Exit code: nonzero when any fidelity, policy, or graph check
+ * fails.
  */
 
 #include <cstdio>
@@ -37,6 +42,7 @@
 #include "exp/spec.h"
 #include "figures.h"
 #include "policy_frontier.h"
+#include "service_graph.h"
 #include "sim/log.h"
 #include "stats/percentile.h"
 
@@ -55,6 +61,7 @@ struct Args
     std::string specPath;
     std::string telemetryPath;
     bool policies = false;
+    bool graphs = false;
 };
 
 [[noreturn]] void
@@ -65,7 +72,7 @@ usage(const char *argv0)
         " [--scale quick|default|full] [--seeds N]"
         " [--ledger path | --no-ledger]"
         " [--gate off|direction|full] [--workers N] [--spec file]"
-        " [--telemetry out.jsonl] [--policies]");
+        " [--telemetry out.jsonl] [--policies] [--graphs]");
 }
 
 Args
@@ -102,6 +109,8 @@ parseArgs(int argc, char **argv)
             a.telemetryPath = argv[++i];
         } else if (arg == "--policies") {
             a.policies = true;
+        } else if (arg == "--graphs") {
+            a.graphs = true;
         } else {
             usage(argv[0]);
         }
@@ -303,6 +312,38 @@ main(int argc, char **argv)
         policy_failures = checkPolicyFrontier(points);
     }
 
+    // --graphs: the service-graph fleet sweep (src/svc/): layered
+    // RPC DAGs of depth 1..3 over every non-legacy harvest policy,
+    // with the fleet harvesting-economics table and the per-policy
+    // depth-monotone P99 check. Fleet runs are cross-server
+    // simulations outside the scheduler: the ledger codec carries
+    // single-server results only.
+    int graph_failures = 0;
+    if (args.graphs) {
+        const unsigned graph_servers = envUnsigned(
+            "HH_GRAPH_SERVERS", args.scale == "full" ? 64 : 16);
+        std::vector<std::string> policies;
+        for (const std::string &p : hh::policy::harvestPolicyNames()) {
+            if (p != "legacy")
+                policies.push_back(p);
+        }
+        // Graph fleets multiply the classic cluster's work by the
+        // fleet size, so they run at a quarter of the per-VM arrival
+        // budget (HH_REQUESTS still wins through the usual quarter).
+        BenchScale gscale = scale;
+        gscale.requests = std::max(scale.requests / 4, 16u);
+        std::printf("\nService-graph fleet economics (%u servers, "
+                    "fanout 2, %u req/VM, seed %llu):\n",
+                    graph_servers, gscale.requests,
+                    static_cast<unsigned long long>(scale.seed));
+        const auto gpoints = runGraphSweep(gscale, graph_servers,
+                                           {1, 2, 3}, /*fanout=*/2,
+                                           policies, args.workers);
+        std::printf("\n");
+        printGraphEconomics(gpoints);
+        graph_failures = checkGraphMonotone(gpoints);
+    }
+
     // Per-seed measurements; the gate judges the across-seed means.
     std::vector<hh::exp::MeasurementSet> per_seed(args.seeds);
     for (unsigned i = 0; i < args.seeds; ++i) {
@@ -338,7 +379,7 @@ main(int argc, char **argv)
         std::printf("ledger: %s now holds %zu rows\n",
                     ledger->path().c_str(), ledger->rows());
 
-    int rc = policy_failures ? 1 : 0;
+    int rc = (policy_failures || graph_failures) ? 1 : 0;
     if (args.gate != "off") {
         const auto level = args.gate == "full"
                                ? hh::exp::GateLevel::Full

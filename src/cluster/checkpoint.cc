@@ -186,7 +186,8 @@ configFingerprint(const SystemConfig &cfg)
        << " policyClusters=" << cfg.policyClusters
        << " policyEpsilon=" << cfg.policyEpsilon
        << " policyP99TargetMs=" << cfg.policyP99TargetMs
-       << " policyP99Penalty=" << cfg.policyP99Penalty;
+       << " policyP99Penalty=" << cfg.policyP99Penalty
+       << " graphSpec=" << cfg.graphSpec;
     return os.str();
 }
 

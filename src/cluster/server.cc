@@ -53,8 +53,13 @@ ServerResults::avgP50Ms() const
 
 ServerSim::ServerSim(const SystemConfig &cfg, const std::string &batchApp,
                      std::uint64_t seed)
+    : ServerSim(cfg, batchApp, GraphServerPlan{}, seed)
+{}
+
+ServerSim::ServerSim(const SystemConfig &cfg, const std::string &batchApp,
+                     const GraphServerPlan &plan, std::uint64_t seed)
     : cfg_(cfg), seed_(seed ? seed : cfg.seed), dram_(),
-      mesh_(6, 6), fabric_(), rng_(seed_, 0x5E8FULL)
+      mesh_(6, 6), fabric_(), rng_(seed_, 0x5E8FULL), graph_plan_(plan)
 {
     nic_ = std::make_unique<hh::net::Nic>(sim_);
     ctrl_ = std::make_unique<hh::core::HardHarvestController>(
@@ -140,7 +145,36 @@ ServerSim::buildVms(const std::string &batchApp)
                                 static_cast<unsigned>(
                                     desc.cores.size())),
             hh::cache::makePolicy(hh::cache::ReplKind::LRU));
-        if (desc.isPrimary()) {
+        if (desc.isPrimary() && graph_plan_.enabled) {
+            // Graph mode: the placement plan decides which slots host
+            // a tier service and which of those generate open-loop
+            // arrivals (front tier only). Unused slots stay idle —
+            // their cores are harvestable capacity.
+            const GraphVmPlan gp =
+                desc.id < graph_plan_.vms.size()
+                    ? graph_plan_.vms[desc.id]
+                    : GraphVmPlan{};
+            if (gp.used) {
+                const auto &spec =
+                    hh::workload::serviceByName(gp.service);
+                v.service =
+                    std::make_unique<hh::workload::ServiceWorkload>(
+                        spec, desc.asid, seed_);
+                if (gp.front) {
+                    const double rate =
+                        spec.rpsPerCore *
+                        static_cast<double>(desc.cores.size()) *
+                        cfg_.loadScale * gp.rateScale;
+                    v.loadgen =
+                        std::make_unique<hh::workload::LoadGenerator>(
+                            rate, cfg_.burst, seed_, desc.id);
+                    v.arrivalsRemaining = cfg_.requestsPerVm;
+                    v.warmupSkip = static_cast<unsigned>(
+                        cfg_.warmupFraction *
+                        static_cast<double>(cfg_.requestsPerVm));
+                }
+            }
+        } else if (desc.isPrimary()) {
             const auto &spec = services[desc.id % services.size()];
             v.service = std::make_unique<hh::workload::ServiceWorkload>(
                 spec, desc.asid, seed_);
@@ -646,6 +680,17 @@ ServerSim::registerInvariants()
         });
         return err;
     });
+
+    // Service-graph tree consistency: delegate to the engine, which
+    // cross-checks its nodes against this server's request states
+    // (registered unconditionally — the hook null-check keeps classic
+    // runs and the window between construction and setGraphHooks()
+    // free of it).
+    aud.addInvariant("svc", [this]() -> std::optional<std::string> {
+        if (!graph_hooks_)
+            return std::nullopt;
+        return graph_hooks_->auditInvariant();
+    });
 }
 
 void
@@ -788,7 +833,8 @@ void
 ServerSim::scheduleFirstArrivals()
 {
     for (auto &v : vms_) {
-        if (!v.desc.isPrimary() || v.arrivalsRemaining == 0)
+        if (!v.desc.isPrimary() || v.arrivalsRemaining == 0 ||
+            !v.loadgen)
             continue;
         const std::uint32_t vm = v.desc.id;
         const Cycles t = v.loadgen->next();
@@ -806,6 +852,30 @@ ServerSim::onArrival(std::uint32_t vm)
         return;
     --v.arrivalsRemaining;
 
+    if (graph_hooks_) {
+        // Graph mode: an arrival is a tree root. A saturated front VM
+        // sheds it (budget spent either way — open-loop load does not
+        // wait); the engine accounts both outcomes.
+        if (graph_hooks_->admitRoot(vm)) {
+            const std::uint64_t id = graphInjectRequest(vm);
+            graph_hooks_->onRootArrival(vm, id);
+        }
+    } else {
+        graphInjectRequest(vm);
+    }
+
+    if (v.arrivalsRemaining > 0) {
+        const Cycles t =
+            std::max(v.loadgen->next(), sim_.now() + 1);
+        sim_.scheduleAt(t, tag(SnapTag::kArrival, vm),
+                        [this, vm] { onArrival(vm); });
+    }
+}
+
+std::uint64_t
+ServerSim::graphInjectRequest(std::uint32_t vm)
+{
+    VmCtx &v = vmCtx(vm);
     const std::uint64_t id = next_request_id_++;
     hh::cpu::Request &req = requests_.create(id);
     req.id = id;
@@ -822,18 +892,23 @@ ServerSim::onArrival(std::uint32_t vm)
     pkt.dstVm = vm;
     pkt.requestId = id;
     nic_->receive(pkt);
-
-    if (v.arrivalsRemaining > 0) {
-        const Cycles t =
-            std::max(v.loadgen->next(), sim_.now() + 1);
-        sim_.scheduleAt(t, tag(SnapTag::kArrival, vm),
-                        [this, vm] { onArrival(vm); });
-    }
+    return id;
 }
 
 void
 ServerSim::onPacket(const hh::net::Packet &pkt)
 {
+    // Multi-hop RPC packets target a tree node in the engine, not a
+    // live request on this server — divert before the request lookup.
+    if (pkt.kind == hh::net::PacketKind::GraphCall ||
+        pkt.kind == hh::net::PacketKind::GraphDone) {
+        if (!graph_hooks_)
+            hh::sim::panic("ServerSim::onPacket: graph packet "
+                           "without an installed engine");
+        graph_hooks_->onGraphPacket(pkt);
+        return;
+    }
+
     const std::uint32_t vm = pkt.dstVm;
     hh::cpu::Request *found = requests_.find(pkt.requestId);
     if (!found)
@@ -1080,6 +1155,20 @@ ServerSim::onSegmentDone(unsigned core, std::uint64_t reqId)
         if (cfg_.hwCtxtSwitch)
             ctxmem_->store(reqId);
 
+        // Graph mode: the engine may claim this call site and fan out
+        // real child RPCs instead of the synthetic backend. The I/O
+        // duration is then the tree's — breakdown, EWMA and trace
+        // accrue at graphUnblock() with the actual wait.
+        if (graph_hooks_ && graph_hooks_->onCallSite(reqId)) {
+            ctx.phase = Phase::Idle;
+            ctx.runningRequest = 0;
+            ctx.idleSince = sim_.now();
+            cores_[core]->setState(sim_.now(),
+                                   hh::cpu::CoreState::Idle);
+            onCoreIdle(core);
+            return;
+        }
+
         const Cycles io_total =
             fabric_.roundTrip(256) + seg.ioTime;
         req.breakdown.io += io_total;
@@ -1129,7 +1218,15 @@ ServerSim::completeRequest(unsigned core, std::uint64_t reqId)
 
     VmCtx &v = vmCtx(req.vm);
     ++v.completed;
-    if (v.completed > v.warmupSkip) {
+    if (graph_hooks_) {
+        // Graph mode: the engine drains the tree node and records
+        // per-tier / end-to-end latencies into bounded histograms
+        // (no per-sample vectors — the footprint must stay flat at
+        // fleet scale). End-to-end roots tap latency_hist_us_ via
+        // graphRecordE2e(), keeping the TelemetryHub fleet P99 an
+        // end-to-end number.
+        graph_hooks_->onComplete(reqId);
+    } else if (v.completed > v.warmupSkip) {
         v.latencies.record(hh::sim::cyclesToMs(req.latency()));
         // Telemetry tap: epoch-resolved latency distribution for the
         // fleet P99-vs-harvest timeline (same warmup cut as p99Ms).
@@ -1367,6 +1464,66 @@ ServerSim::deliverIoResponse(std::uint32_t vm, std::uint64_t reqId)
     pkt.dstVm = vm;
     pkt.requestId = reqId;
     nic_->receive(pkt);
+}
+
+void
+ServerSim::graphUnblock(std::uint32_t vm, std::uint64_t reqId,
+                        hh::sim::Cycles blockedAt)
+{
+    hh::cpu::Request *found = requests_.find(reqId);
+    if (!found)
+        hh::sim::panic("graphUnblock: unknown request ", reqId);
+    hh::cpu::Request &req = *found;
+
+    // The synthetic-backend path charges its fixed io_total up front;
+    // here the wait was the subtree's drain time, known only now.
+    const Cycles io_total = sim_.now() - blockedAt;
+    req.breakdown.io += io_total;
+    if (tracer_)
+        tracer_->record(hh::trace::EventType::IoBlocked, blockedAt,
+                        io_total, requestTrack(req.vm), reqId);
+    ewma_block_cycles_[req.vm] =
+        0.2 * static_cast<double>(io_total) +
+        0.8 * ewma_block_cycles_[req.vm];
+    deliverIoResponse(vm, reqId);
+}
+
+void
+ServerSim::graphLoopback(const hh::net::Packet &pkt)
+{
+    // Same-server tier: keep NIC processing and the DDIO deposit but
+    // skip the fabric — the message never leaves the machine.
+    nic_->receive(pkt);
+}
+
+void
+ServerSim::graphScheduleWireArrival(const hh::net::Packet &pkt,
+                                    hh::sim::Cycles when)
+{
+    sim_.scheduleAt(when, pkt.wireTag(),
+                    [this, pkt] { nic_->receive(pkt); });
+}
+
+void
+ServerSim::setGraphDone(hh::sim::Cycles end)
+{
+    if (done_)
+        return;
+    done_ = true;
+    end_time_ = end;
+    if (sampler_)
+        sampler_->stop();
+    if (injector_)
+        injector_->stop();
+    stopTelemetry();
+    stopPolicy();
+}
+
+bool
+ServerSim::requestBlocked(std::uint64_t reqId) const
+{
+    const auto *req = requests_.find(reqId);
+    return req && req->state == hh::cpu::RequestState::Blocked;
 }
 
 void
@@ -1873,6 +2030,11 @@ ServerSim::allDone() const
 void
 ServerSim::noteDoneMaybeFinish()
 {
+    // In graph mode a server never declares itself done: a back tier
+    // with an empty queue may still receive RPCs over the wire. The
+    // fleet coordinator calls setGraphDone() once every tree drained.
+    if (graph_hooks_)
+        return;
     if (!done_ && allDone()) {
         done_ = true;
         end_time_ = sim_.now();
@@ -2052,7 +2214,10 @@ ServerSim::finishRun()
     ServerResults res;
     const Cycles end = end_time_ ? end_time_ : sim_.now();
     for (auto &v : vms_) {
-        if (!v.desc.isPrimary())
+        // Graph mode leaves unused Primary slots without a service;
+        // non-front tier VMs also record nothing here (the engine
+        // owns their latency accounting).
+        if (!v.desc.isPrimary() || !v.service)
             continue;
         ServiceResult r;
         r.name = v.service->spec().name;
@@ -2206,6 +2371,13 @@ ServerSim::rearmEvent(const SnapTag &t)
     case SnapTag::kNicDeliver:
         return nic_->rearmDelivery(
             hh::net::Packet::fromDeliveryTag(t));
+    case SnapTag::kGraphWireArrive: {
+        // A cross-server RPC still on the wire: the tag packs the
+        // whole packet, so replaying Nic::receive needs no engine
+        // state at all.
+        const auto pkt = hh::net::Packet::fromDeliveryTag(t);
+        return [this, pkt] { nic_->receive(pkt); };
+    }
     case SnapTag::kSamplerTick:
         return sampler_ ? sampler_->rearmTick()
                         : hh::sim::Simulator::Callback{};
@@ -2268,10 +2440,13 @@ ServerSim::serializeState(hh::snap::Archive &ar)
     ar.section(0x12, "vms");
     for (auto &v : vms_) {
         ar.io(*v.l3);
-        if (v.desc.isPrimary()) {
+        // Graph mode leaves unused slots without a service and
+        // non-front tiers without a loadgen; presence is decided by
+        // the placement plan at construction, so it always matches.
+        if (v.desc.isPrimary() && v.service)
             ar.io(*v.service);
+        if (v.desc.isPrimary() && v.loadgen)
             ar.io(*v.loadgen);
-        }
         ar.io(v.arrivalsRemaining);
         ar.io(v.completed);
         ar.io(v.warmupSkip);
@@ -2410,6 +2585,23 @@ ServerSim::serializeState(hh::snap::Archive &ar)
             ar.io(*policy_view_);
         }
     }
+    if (!ar.ok())
+        return;
+
+    // Service-graph engine (src/svc/ RpcEngine). The graph spec rides
+    // the config fingerprint, so cluster-level restores reject shape
+    // mismatches early; the presence flag guards direct users.
+    ar.section(0x17, "svc");
+    bool have_graph = graph_hooks_ != nullptr;
+    ar.io(have_graph);
+    if (ar.loading() && have_graph != (graph_hooks_ != nullptr)) {
+        ar.fail("checkpoint service-graph state does not match this "
+                "run; restore a graph checkpoint into a graph-mode "
+                "fleet with the same spec");
+        return;
+    }
+    if (graph_hooks_)
+        graph_hooks_->serialize(ar);
 }
 
 } // namespace hh::cluster

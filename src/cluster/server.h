@@ -132,6 +132,63 @@ struct ServerResults
     double avgP50Ms() const;
 };
 
+/** @name Service-graph seam (src/svc/) @{ */
+
+/**
+ * How one Primary VM slot participates in a service graph. Plain data
+ * so `hh_cluster` needs no dependency on `src/svc/` — the fleet layer
+ * computes placements and hands each server its plan.
+ */
+struct GraphVmPlan
+{
+    bool used = false;  //!< Slot hosts a graph tier VM.
+    bool front = false; //!< Front tier: runs the open-loop loadgen.
+    std::uint32_t tier = 0;
+    std::string service; //!< ServiceSpec name of the tier.
+    /** Alibaba-trace per-slot arrival-rate scale (front only). */
+    double rateScale = 1.0;
+};
+
+/** Per-server placement plan; `enabled == false` is classic mode. */
+struct GraphServerPlan
+{
+    bool enabled = false;
+    std::vector<GraphVmPlan> vms; //!< One per Primary VM slot.
+};
+
+/**
+ * Callbacks a server makes into the RPC-tree engine (implemented by
+ * `hh::svc::RpcEngine`). The engine outlives the run and is installed
+ * with `ServerSim::setGraphHooks` right after construction.
+ */
+class GraphHooks
+{
+  public:
+    virtual ~GraphHooks() = default;
+    /** May @p vm accept a new root right now? False = shed (the
+     *  engine accounts the shed root; the arrival budget is spent). */
+    virtual bool admitRoot(std::uint32_t vm) = 0;
+    /** A root request was injected as @p reqId on @p vm. */
+    virtual void onRootArrival(std::uint32_t vm,
+                               std::uint64_t reqId) = 0;
+    /** First I/O call site of @p reqId. Return true to take over the
+     *  block (fan out child RPCs; the server skips its synthetic
+     *  backend and waits for graphUnblock). */
+    virtual bool onCallSite(std::uint64_t reqId) = 0;
+    /** @p reqId ran all its segments; drain/record the tree node. */
+    virtual void onComplete(std::uint64_t reqId) = 0;
+    /** A GraphCall/GraphDone packet reached this server's NIC. */
+    virtual void onGraphPacket(const hh::net::Packet &pkt) = 0;
+    /** Engine state behind the server's 'svc' snapshot section. */
+    virtual void serialize(hh::snap::Archive &ar) = 0;
+    /** Cross-check tree state against the server (auditor). */
+    virtual std::optional<std::string> auditInvariant() = 0;
+    /** Resident engine footprint in bytes (bounded-memory gate). */
+    virtual std::uint64_t footprintBytes() const = 0;
+};
+
+/** @} */
+
 /**
  * One simulated server.
  */
@@ -146,6 +203,16 @@ class ServerSim
      */
     ServerSim(const SystemConfig &cfg, const std::string &batchApp,
               std::uint64_t seed = 0);
+
+    /**
+     * Graph-mode overload: @p plan replaces the default round-robin
+     * service assignment — used slots host their tier's service (only
+     * front slots generate arrivals), unused slots idle. The caller
+     * must install the engine with setGraphHooks() before startRun()
+     * or loadState().
+     */
+    ServerSim(const SystemConfig &cfg, const std::string &batchApp,
+              const GraphServerPlan &plan, std::uint64_t seed = 0);
 
     ~ServerSim();
 
@@ -254,6 +321,71 @@ class ServerSim
     }
 
     const SystemConfig &config() const { return cfg_; }
+
+    /** @name Service-graph seam (src/svc/ FleetSim + RpcEngine) @{ */
+
+    /** Install the RPC-tree engine. Not owned; must outlive the sim. */
+    void setGraphHooks(GraphHooks *hooks) { graph_hooks_ = hooks; }
+
+    /** The installed engine, or nullptr in classic mode. */
+    GraphHooks *graphHooks() { return graph_hooks_; }
+
+    /** This server's placement plan (enabled=false in classic mode). */
+    const GraphServerPlan &graphPlan() const { return graph_plan_; }
+
+    /**
+     * Inject one request on @p vm right now (root arrival body or a
+     * child RPC's service invocation). @return its request id.
+     */
+    std::uint64_t graphInjectRequest(std::uint32_t vm);
+
+    /**
+     * Unblock @p reqId, parked at its onCallSite() since @p blockedAt:
+     * accrues the real I/O wait (breakdown, EWMA, trace) and delivers
+     * the response packet that re-readies it.
+     */
+    void graphUnblock(std::uint32_t vm, std::uint64_t reqId,
+                      hh::sim::Cycles blockedAt);
+
+    /** Deliver @p pkt to this server's own NIC (same-server tier). */
+    void graphLoopback(const hh::net::Packet &pkt);
+
+    /** Schedule a cross-server wire arrival at absolute @p when. */
+    void graphScheduleWireArrival(const hh::net::Packet &pkt,
+                                  hh::sim::Cycles when);
+
+    /** Record a post-warmup end-to-end (tree-root) latency tap. */
+    void graphRecordE2e(double us)
+    {
+        latency_hist_us_.add(us);
+    }
+
+    /**
+     * Fleet-wide drain: mark the run finished at @p end. In graph
+     * mode a server never self-finishes (a transiently idle back tier
+     * is not done — more RPCs may still arrive over the wire); the
+     * fleet coordinator declares the common end time instead.
+     */
+    void setGraphDone(hh::sim::Cycles end);
+
+    /** True when the event queue is empty (fleet window barrier). */
+    bool simIdle() const { return sim_.idle(); }
+
+    /** Earliest pending event. @pre !simIdle() */
+    hh::sim::Cycles nextEventTime() const
+    {
+        return sim_.nextEventTime();
+    }
+
+    /** One-way fabric latency for a @p bytes payload. */
+    hh::sim::Cycles fabricOneWay(std::uint32_t bytes) const
+    {
+        return fabric_.oneWay(bytes);
+    }
+
+    /** Is @p reqId live and blocked on I/O? (engine audit) */
+    bool requestBlocked(std::uint64_t reqId) const;
+    /** @} */
 
   private:
     /** Phase of a core's scheduling state machine. */
@@ -557,6 +689,15 @@ class ServerSim
     std::unique_ptr<hh::check::Auditor> auditor_;
     /** Null unless cfg_.faults.enabled. */
     std::unique_ptr<hh::check::FaultInjector> injector_;
+    /** @} */
+
+    /** @name Service-graph mode (src/svc/) @{ */
+    /** Placement plan; enabled=false means classic single-hop mode. */
+    GraphServerPlan graph_plan_;
+    /** RPC-tree engine, owned by the fleet layer; null in classic
+     *  mode and between construction and setGraphHooks(). Every use
+     *  null-checks — the auditor may fire before installation. */
+    GraphHooks *graph_hooks_ = nullptr;
     /** @} */
 };
 

@@ -181,6 +181,17 @@ struct SystemConfig
     hh::workload::BurstConfig burst;
     std::uint64_t seed = 1;
     /** @} */
+
+    /** @name Service-graph mode (src/svc/) @{ */
+    /**
+     * Canonical text of the ServiceGraphSpec driving this run, empty
+     * in classic single-hop mode. Carried here (rather than in the
+     * fleet layer) so the checkpoint configFingerprint covers the
+     * graph shape — resuming a graph checkpoint under a different
+     * topology must fail up front.
+     */
+    std::string graphSpec;
+    /** @} */
 };
 
 /**

@@ -6,6 +6,15 @@
  * VM (every VM has its own network address) plus the function to
  * invoke and its input payload; the NIC deposits the payload into the
  * LLC via DDIO and hands a descriptor to the scheduler (§4.1.3).
+ *
+ * Service-graph workloads (src/svc/) add two multi-hop kinds on top
+ * of the single-hop request/response pair: `GraphCall` carries a
+ * child RPC of an in-flight request tree to another server's tier VM,
+ * and `GraphDone` reports a drained subtree back to the parent node.
+ * Both carry a reply-to triple (srcServer, srcVm, nodeRef) plus the
+ * deterministic routing salt of the subtree, so a packet caught
+ * in flight by a checkpoint can be re-armed without any engine-side
+ * lookup — the tag *is* the packet.
  */
 
 #ifndef HH_NET_PACKET_H
@@ -23,6 +32,8 @@ enum class PacketKind
 {
     NewRequest,  //!< A fresh microservice invocation.
     IoResponse,  //!< Backend response unblocking an earlier request.
+    GraphCall,   //!< Child RPC of a service-graph request tree.
+    GraphDone,   //!< Subtree-drained notification to the parent node.
 };
 
 /**
@@ -36,24 +47,75 @@ struct Packet
     std::uint32_t payloadBytes = 512; //!< Message payload size.
     hh::sim::Cycles arrival = 0;    //!< Wire arrival time at the NIC.
 
+    /** @name Multi-hop RPC fields (GraphCall / GraphDone only) @{ */
+    std::uint32_t srcServer = 0; //!< Originating server index.
+    std::uint32_t srcVm = 0;     //!< Originating VM on that server.
+    std::uint64_t nodeRef = 0;   //!< Parent RPC-tree node id.
+    std::uint64_t salt = 0;      //!< Deterministic child-routing salt.
+    std::uint32_t tier = 0;      //!< Destination (GraphCall) / source tier.
+    /** @} */
+
+    /**
+     * Pack the scalar header fields into one tag word. Bit budget:
+     * kind:4 | dstVm:10 | srcVm:10 | tier:8 | srcServer:16 |
+     * payloadBytes:16 — caps the fleet at 65536 servers, 1024 VMs per
+     * server and 64 KiB payloads, all far beyond the model's shapes.
+     */
+    std::uint64_t
+    packHeader() const
+    {
+        return (static_cast<std::uint64_t>(kind) & 0xF) |
+               (static_cast<std::uint64_t>(dstVm & 0x3FF) << 4) |
+               (static_cast<std::uint64_t>(srcVm & 0x3FF) << 14) |
+               (static_cast<std::uint64_t>(tier & 0xFF) << 24) |
+               (static_cast<std::uint64_t>(srcServer & 0xFFFF) << 32) |
+               (static_cast<std::uint64_t>(payloadBytes & 0xFFFF)
+                << 48);
+    }
+
+    /** Rebuild every header field packHeader() covered. */
+    void
+    unpackHeader(std::uint64_t h)
+    {
+        kind = static_cast<PacketKind>(h & 0xF);
+        dstVm = static_cast<std::uint32_t>((h >> 4) & 0x3FF);
+        srcVm = static_cast<std::uint32_t>((h >> 14) & 0x3FF);
+        tier = static_cast<std::uint32_t>((h >> 24) & 0xFF);
+        srcServer = static_cast<std::uint32_t>((h >> 32) & 0xFFFF);
+        payloadBytes = static_cast<std::uint32_t>((h >> 48) & 0xFFFF);
+    }
+
     /** Snap-tag for an in-flight NIC delivery of this packet. */
     hh::snap::SnapTag
     deliveryTag() const
     {
         return hh::snap::tag(hh::snap::SnapTag::kNicDeliver,
-                             static_cast<std::uint64_t>(kind), dstVm,
-                             requestId, payloadBytes, arrival);
+                             packHeader(), requestId, nodeRef, salt,
+                             arrival);
     }
 
-    /** Rebuild the packet a kNicDeliver tag describes. */
+    /**
+     * Snap-tag for a cross-server wire arrival still in flight at a
+     * fleet barrier (the receiving NIC has not seen it yet — re-arm
+     * replays `Nic::receive`, not just the deferred handler call).
+     */
+    hh::snap::SnapTag
+    wireTag() const
+    {
+        return hh::snap::tag(hh::snap::SnapTag::kGraphWireArrive,
+                             packHeader(), requestId, nodeRef, salt,
+                             arrival);
+    }
+
+    /** Rebuild the packet a kNicDeliver/kGraphWireArrive tag holds. */
     static Packet
     fromDeliveryTag(const hh::snap::SnapTag &t)
     {
         Packet pkt;
-        pkt.kind = static_cast<PacketKind>(t.a);
-        pkt.dstVm = static_cast<std::uint32_t>(t.b);
-        pkt.requestId = t.c;
-        pkt.payloadBytes = static_cast<std::uint32_t>(t.d);
+        pkt.unpackHeader(t.a);
+        pkt.requestId = t.b;
+        pkt.nodeRef = t.c;
+        pkt.salt = t.d;
         pkt.arrival = t.e;
         return pkt;
     }

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
 
 #include "sim/log.h"
 #include "sim/prof.h"
@@ -188,6 +192,46 @@ ZipfSampler::sample(Rng &rng) const
         std::min<std::ptrdiff_t>(it - cdf_.begin(),
                                  static_cast<std::ptrdiff_t>(cdf_.size()) -
                                      1));
+}
+
+std::shared_ptr<const ZipfSampler>
+sharedZipfSampler(std::size_t n, double theta)
+{
+    struct Key
+    {
+        std::size_t n;
+        std::uint64_t theta_bits; //!< Exact-bits key, no FP compare.
+        bool operator==(const Key &o) const
+        {
+            return n == o.n && theta_bits == o.theta_bits;
+        }
+    };
+    struct KeyHash
+    {
+        std::size_t operator()(const Key &k) const
+        {
+            return std::hash<std::size_t>{}(k.n) * 0x9E3779B97F4A7C15ULL ^
+                   std::hash<std::uint64_t>{}(k.theta_bits);
+        }
+    };
+    static std::mutex mu;
+    static std::unordered_map<Key, std::weak_ptr<const ZipfSampler>,
+                              KeyHash>
+        cache;
+
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(theta));
+    std::memcpy(&bits, &theta, sizeof(bits));
+    const Key key{n, bits};
+
+    const std::lock_guard<std::mutex> lock(mu);
+    if (auto it = cache.find(key); it != cache.end()) {
+        if (auto hit = it->second.lock())
+            return hit;
+    }
+    auto made = std::make_shared<const ZipfSampler>(n, theta);
+    cache[key] = made;
+    return made;
 }
 
 } // namespace hh::sim

@@ -13,6 +13,7 @@
 #define HH_SIM_RNG_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace hh::snap {
@@ -128,6 +129,20 @@ class ZipfSampler
     static constexpr std::size_t kIndexBuckets = 256;
     std::vector<std::uint32_t> bucket_;
 };
+
+/**
+ * Process-wide cache of Zipf samplers keyed by (n, theta).
+ *
+ * A sampler is immutable after construction (sample() is const and
+ * carries its own Rng), so instances with identical CDF parameters
+ * can share one table. Service-graph fleets place the same tier
+ * service on dozens of servers — without sharing, every server would
+ * rebuild and hold its own copy of the same CDF plus 256-bucket
+ * index. Thread-safe: servers construct concurrently under
+ * runParallel.
+ */
+std::shared_ptr<const ZipfSampler> sharedZipfSampler(std::size_t n,
+                                                     double theta);
 
 } // namespace hh::sim
 

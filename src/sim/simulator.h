@@ -70,6 +70,12 @@ class Simulator
     /** True when no events remain. */
     bool idle() const { return queue_.empty(); }
 
+    /**
+     * Timestamp of the earliest pending event (conservative-window
+     * coordination across simulators). @pre !idle().
+     */
+    Cycles nextEventTime() const { return queue_.nextTime(); }
+
     /** Number of pending events. */
     std::size_t pendingEvents() const { return queue_.size(); }
 

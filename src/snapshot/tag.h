@@ -48,6 +48,8 @@ struct SnapTag
         kFaultTick,        //!< FaultInjector period
         kTelemetryTick,    //!< ObservationView epoch period
         kPolicyTick,       //!< HarvestPolicy epoch period
+        // Service-graph fleet coordination (src/svc/):
+        kGraphWireArrive,  //!< a..e = packed Packet (multi-hop RPC)
     };
 
     std::uint32_t kind = kNone;

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Declarative service-graph specifications.
+ *
+ * A `ServiceGraphSpec` describes a multi-tier RPC topology: each tier
+ * reuses one of the microservice `ServiceSpec`s, fans out a fixed
+ * number of child RPCs into the next tier (synchronously — the parent
+ * blocks at its first I/O call site — or asynchronously at
+ * completion), and is placed on a contiguous server range with a
+ * fixed number of VMs per server. Tier 0 is the front tier: it is the
+ * only one driven by open-loop arrivals, with per-VM rate scales
+ * drawn from the Alibaba-like utilization distribution
+ * (`src/workload/alibaba.*`) so the fleet is load-imbalanced the way
+ * a real cluster is.
+ *
+ * Specs parse from text files with line-numbered validation in the
+ * `src/exp/` style, and render back to a canonical text that rides
+ * the checkpoint configFingerprint — resuming a graph checkpoint
+ * under a different topology fails up front.
+ */
+
+#ifndef HH_SVC_GRAPH_SPEC_H
+#define HH_SVC_GRAPH_SPEC_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/server.h"
+#include "cluster/system_config.h"
+
+namespace hh::svc {
+
+/** One tier of the graph. */
+struct TierSpec
+{
+    std::string service;     //!< ServiceSpec name (workload reuse).
+    unsigned fanout = 0;     //!< Child RPCs per node into tier+1.
+    bool sync = true;        //!< Parent blocks at its I/O call site.
+    unsigned serverLo = 0;   //!< First server hosting this tier.
+    unsigned serverHi = 0;   //!< Last server (inclusive).
+    unsigned vmsPerServer = 1;
+};
+
+/** A full graph topology. */
+struct ServiceGraphSpec
+{
+    std::string name = "graph";
+    unsigned servers = 0;
+    /**
+     * One-way cross-server RPC latency in us. Intentionally a graph
+     * parameter (default: a conservative 20 us datacenter RPC): it is
+     * also the fleet coordinator's conservative-window lookahead, so
+     * the number of synchronization windows per run scales with it.
+     */
+    double rpcLatencyUs = 20.0;
+    /**
+     * Bounded-queue admission cap: a VM already holding this many
+     * live tree nodes sheds new roots/child calls (accounted, never
+     * silent). Bounds per-server resident state at any fan-out.
+     */
+    unsigned maxLiveNodesPerVm = 4096;
+    std::vector<TierSpec> tiers;
+
+    unsigned depth() const
+    {
+        return static_cast<unsigned>(tiers.size());
+    }
+
+    /**
+     * Deterministic canonical rendering; parses back to an identical
+     * spec and feeds the checkpoint configFingerprint.
+     */
+    std::string canonicalText() const;
+};
+
+/**
+ * Parse a spec from text (`graph.key = value` / `tierN.key = value`
+ * lines, '#' comments). On failure returns false with @p error set to
+ * a "line N: ..." message. The parsed spec is also validated
+ * structurally (tiers contiguous from 0, leaf tier fanout 0, server
+ * ranges in bounds, known service names).
+ */
+bool parseGraphSpec(const std::string &text, ServiceGraphSpec *out,
+                    std::string *error);
+
+/**
+ * Structural validation against a server shape. @p primaryVms is the
+ * per-server Primary slot count the placement may fill.
+ */
+bool validateGraphSpec(const ServiceGraphSpec &spec,
+                       unsigned primaryVms, std::string *error);
+
+/**
+ * Canonical D-tier benchmark graph: @p servers split into @p depth
+ * contiguous ranges (front range first), fan-out @p fanout between
+ * consecutive tiers, sync calls, leaf tier fanout 0. Services cycle
+ * through the DeathStarBench-like table front-to-back.
+ */
+ServiceGraphSpec makeLayeredGraphSpec(unsigned depth, unsigned fanout,
+                                      unsigned servers);
+
+/**
+ * Where every tier VM lives: tierSlots[t] lists (server, vm) pairs in
+ * ascending (server, vm) order. Shared read-only by every server's
+ * RPC engine — child routing is `mix(salt, child) % slots`.
+ */
+struct GraphRouting
+{
+    std::vector<std::vector<std::pair<unsigned, unsigned>>> tierSlots;
+};
+
+/** A materialized placement: per-server plans plus shared routing. */
+struct GraphPlacement
+{
+    std::vector<hh::cluster::GraphServerPlan> plans;
+    std::shared_ptr<const GraphRouting> routing;
+};
+
+/**
+ * Assign tier VMs to Primary slots server by server and draw the
+ * front tier's Alibaba rate scales (in (server, vm) order from one
+ * @p seed-derived stream, so the placement is deterministic).
+ * Fatal on capacity violations — call validateGraphSpec first.
+ */
+GraphPlacement buildGraphPlacement(const ServiceGraphSpec &spec,
+                                   const hh::cluster::SystemConfig &cfg,
+                                   std::uint64_t seed);
+
+} // namespace hh::svc
+
+#endif // HH_SVC_GRAPH_SPEC_H

@@ -51,9 +51,11 @@ ServiceWorkload::ServiceWorkload(const ServiceSpec &spec,
     : spec_(spec),
       space_(asid, spec.codePages, spec.sharedDataPages),
       rng_(seed, 0x5E57ULL + asid),
-      code_zipf_(spec.codePages, spec.zipfTheta),
-      shared_zipf_(std::max<std::uint32_t>(1, spec.sharedDataPages),
-                   spec.zipfTheta)
+      code_zipf_(hh::sim::sharedZipfSampler(spec.codePages,
+                                            spec.zipfTheta)),
+      shared_zipf_(hh::sim::sharedZipfSampler(
+          std::max<std::uint32_t>(1, spec.sharedDataPages),
+          spec.zipfTheta))
 {
 }
 
@@ -110,7 +112,7 @@ ServiceWorkload::nextAccess(const InvocationPlan &plan)
         a.isInstr = true;
         a.shared = true;
         a.page = space_.codePage(
-            static_cast<std::uint32_t>(code_zipf_.sample(rng_)));
+            static_cast<std::uint32_t>(code_zipf_->sample(rng_)));
         return a;
     }
 
@@ -118,7 +120,7 @@ ServiceWorkload::nextAccess(const InvocationPlan &plan)
     if (spec_.sharedDataPages > 0 && rng_.bernoulli(spec_.sharedFrac)) {
         a.shared = true;
         a.page = space_.sharedDataPage(
-            static_cast<std::uint32_t>(shared_zipf_.sample(rng_)));
+            static_cast<std::uint32_t>(shared_zipf_->sample(rng_)));
     } else if (!plan.privatePages.empty()) {
         a.shared = false;
         a.page = plan.privatePages[rng_.uniformInt(
@@ -127,7 +129,7 @@ ServiceWorkload::nextAccess(const InvocationPlan &plan)
         // Degenerate spec with no private pages: fall back to shared.
         a.shared = true;
         a.page = space_.sharedDataPage(
-            static_cast<std::uint32_t>(shared_zipf_.sample(rng_)));
+            static_cast<std::uint32_t>(shared_zipf_->sample(rng_)));
     }
     return a;
 }

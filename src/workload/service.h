@@ -15,6 +15,7 @@
 #define HH_WORKLOAD_SERVICE_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -149,8 +150,11 @@ class ServiceWorkload
     ServiceSpec spec_;
     AddressSpace space_;
     hh::sim::Rng rng_;
-    hh::sim::ZipfSampler code_zipf_;
-    hh::sim::ZipfSampler shared_zipf_;
+    /** Shared across instances with identical (pages, theta): the
+     *  CDF + bucket index are immutable, and a service-graph fleet
+     *  replicates the same tier spec on dozens of servers. */
+    std::shared_ptr<const hh::sim::ZipfSampler> code_zipf_;
+    std::shared_ptr<const hh::sim::ZipfSampler> shared_zipf_;
 };
 
 } // namespace hh::workload
