@@ -16,8 +16,10 @@
  * (request-span tracing + metric sampling, both enabled), of the
  * invariant auditor (every cross-component check sweeping at the
  * default period), of the harvest telemetry plane (per-epoch
- * ObservationView rows), and of an epoch-ticking harvest policy
- * (hysteresis) against the everything-off parallel run. Set
+ * ObservationView rows), of an epoch-ticking harvest policy
+ * (hysteresis), and of the cache-lease plane armed but idle
+ * (src/lease/, zero-way grant budget — must stay bit-identical to
+ * the disabled baseline) against the everything-off parallel run. Set
  * HH_OVERHEAD_GATE=<percent> to make the binary fail when either
  * measured overhead exceeds the gate (used by CI; off by default
  * because single-core containers are noisy).
@@ -225,6 +227,30 @@ main(int argc, char **argv)
     const double policy_overhead_pct =
         par_sec > 0 ? 100.0 * (pol_sec / par_sec - 1.0) : 0.0;
     (void)pol;
+
+    // Cache-lease plane overhead: same run with the CacheLeaseManager
+    // constructed and its periodic tick armed, but a zero-way grant
+    // budget so no lease is ever granted — the enabled-but-idle cost
+    // of the tick, the overflow-probe rebinds and the per-access
+    // lease branch. With no grants the simulated work is unchanged,
+    // so the runs must stay bit-identical; when disabled (par_sec
+    // above) no manager exists and no tick is scheduled, so the
+    // baseline is again the true zero-cost path. Like every wall-
+    // clock number here, single-core hosts make the absolute times
+    // noisy (host.single_core_host in the JSON flags that).
+    std::printf("parallel cluster run, cache lease idle...\n");
+    SystemConfig leased = cfg;
+    leased.cacheLendEnabled = true;
+    leased.cacheLendL3Ways = 0;
+    leased.cacheLendL2WayFraction = 0.0;
+    const auto t_lease = Clock::now();
+    const ClusterResults lease =
+        runCluster(leased, scale.servers, scale.seed, workers);
+    const double lease_sec = secondsSince(t_lease);
+    const double lease_overhead_pct =
+        par_sec > 0 ? 100.0 * (lease_sec / par_sec - 1.0) : 0.0;
+    const bool lease_identical =
+        lease.serialized() == par.serialized();
 
     // Snapshot subsystem: cost of one full-state save and load at the
     // server level, then the cluster-level warm-start path — snapshot
@@ -442,6 +468,11 @@ main(int argc, char **argv)
     std::printf("policy:   off %.2fs  on %.2fs  overhead %+.1f%%  "
                 "(hysteresis)\n",
                 par_sec, pol_sec, policy_overhead_pct);
+    std::printf("cache-lease: off %.2fs  idle %.2fs  overhead "
+                "%+.1f%%  (%llu grants)  bit-identical %s\n",
+                par_sec, lease_sec, lease_overhead_pct,
+                static_cast<unsigned long long>(lease.leaseGrants),
+                lease_identical ? "yes" : "NO");
     std::printf("snapshot: save %.1fms  load %.1fms  (%zu KiB)  "
                 "warm-start %.2fs vs full %.2fs  speedup %.2fx  "
                 "bit-identical %s\n",
@@ -566,6 +597,16 @@ main(int argc, char **argv)
     std::fprintf(f, "    \"overhead_pct\": %.2f\n",
                  policy_overhead_pct);
     std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"cache_harvest\": {\n");
+    std::fprintf(f, "    \"baseline_sec\": %.4f,\n", par_sec);
+    std::fprintf(f, "    \"lease_idle_sec\": %.4f,\n", lease_sec);
+    std::fprintf(f, "    \"overhead_pct\": %.2f,\n",
+                 lease_overhead_pct);
+    std::fprintf(f, "    \"lease_grants\": %llu,\n",
+                 static_cast<unsigned long long>(lease.leaseGrants));
+    std::fprintf(f, "    \"bit_identical\": %s\n",
+                 lease_identical ? "true" : "false");
+    std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"snapshot\": {\n");
     std::fprintf(f, "    \"warmup_ms\": %.3f,\n",
                  hh::sim::cyclesToMs(t_warm));
@@ -654,6 +695,13 @@ main(int argc, char **argv)
                          policy_overhead_pct, gate_limit);
             return 1;
         }
+        if (lease_overhead_pct > gate_limit) {
+            std::fprintf(stderr,
+                         "cache-lease idle overhead %.1f%% exceeds "
+                         "gate %.1f%%\n",
+                         lease_overhead_pct, gate_limit);
+            return 1;
+        }
         if (snap_overhead_pct > gate_limit) {
             std::fprintf(stderr,
                          "snapshot save+load overhead %.1f%% exceeds "
@@ -678,6 +726,12 @@ main(int argc, char **argv)
                      "violations\n",
                      static_cast<unsigned long long>(
                          aud.auditViolations));
+        return 1;
+    }
+    if (!lease_identical) {
+        std::fprintf(stderr,
+                     "cache-lease idle run is not bit-identical to "
+                     "the disabled baseline\n");
         return 1;
     }
     if (!snap_identical) {

@@ -12,7 +12,7 @@
  *   repro_all [--scale quick|default|full] [--seeds N]
  *             [--ledger path | --no-ledger] [--gate off|direction|full]
  *             [--workers N] [--spec file] [--telemetry out.jsonl]
- *             [--policies] [--graphs]
+ *             [--policies] [--graphs] [--cache-harvest]
  *
  * `--scale` presets the HH_REQUESTS / HH_SERVERS / HH_SAMPLING knobs
  * (explicit environment variables still win under `default`).
@@ -24,10 +24,12 @@
  * to the same batch. `--policies` appends the harvest-policy
  * frontier sweep; `--graphs` appends the service-graph fleet sweep
  * (src/svc/) with its per-policy depth-monotone P99 check
- * (HH_GRAPH_SERVERS overrides the fleet size).
+ * (HH_GRAPH_SERVERS overrides the fleet size); `--cache-harvest`
+ * appends the cache-capacity harvesting sweep (src/lease/) with its
+ * machine-checked cache-check invariants.
  *
- * Exit code: nonzero when any fidelity, policy, or graph check
- * fails.
+ * Exit code: nonzero when any fidelity, policy, graph, or
+ * cache-harvest check fails.
  */
 
 #include <cstdio>
@@ -40,6 +42,7 @@
 #include "exp/fidelity.h"
 #include "exp/ledger.h"
 #include "exp/spec.h"
+#include "cache_harvest.h"
 #include "figures.h"
 #include "policy_frontier.h"
 #include "service_graph.h"
@@ -62,6 +65,7 @@ struct Args
     std::string telemetryPath;
     bool policies = false;
     bool graphs = false;
+    bool cacheHarvest = false;
 };
 
 [[noreturn]] void
@@ -72,7 +76,8 @@ usage(const char *argv0)
         " [--scale quick|default|full] [--seeds N]"
         " [--ledger path | --no-ledger]"
         " [--gate off|direction|full] [--workers N] [--spec file]"
-        " [--telemetry out.jsonl] [--policies] [--graphs]");
+        " [--telemetry out.jsonl] [--policies] [--graphs]"
+        " [--cache-harvest]");
 }
 
 Args
@@ -111,6 +116,8 @@ parseArgs(int argc, char **argv)
             a.policies = true;
         } else if (arg == "--graphs") {
             a.graphs = true;
+        } else if (arg == "--cache-harvest") {
+            a.cacheHarvest = true;
         } else {
             usage(argv[0]);
         }
@@ -312,6 +319,24 @@ main(int argc, char **argv)
         policy_failures = checkPolicyFrontier(points);
     }
 
+    // --cache-harvest: the cache-capacity harvesting sweep
+    // (src/lease/): core-only / cache-only / combined harvesting over
+    // the same scale with the auditor on, plus the machine-checked
+    // cache-check invariants. Like the policy frontier these are
+    // plain runCluster calls outside the scheduler — the audited,
+    // lease-carrying results are outside the ledger codec.
+    int cache_failures = 0;
+    if (args.cacheHarvest) {
+        std::printf("\nCache-capacity harvesting (%u servers, "
+                    "seed %llu):\n",
+                    scale.servers,
+                    static_cast<unsigned long long>(scale.seed));
+        const auto cpoints =
+            runCacheHarvestSweep(scale, args.workers);
+        printCacheHarvest(cpoints);
+        cache_failures = checkCacheHarvest(cpoints);
+    }
+
     // --graphs: the service-graph fleet sweep (src/svc/): layered
     // RPC DAGs of depth 1..3 over every non-legacy harvest policy,
     // with the fleet harvesting-economics table and the per-policy
@@ -379,7 +404,8 @@ main(int argc, char **argv)
         std::printf("ledger: %s now holds %zu rows\n",
                     ledger->path().c_str(), ledger->rows());
 
-    int rc = (policy_failures || graph_failures) ? 1 : 0;
+    int rc =
+        (policy_failures || graph_failures || cache_failures) ? 1 : 0;
     if (args.gate != "off") {
         const auto level = args.gate == "full"
                                ? hh::exp::GateLevel::Full

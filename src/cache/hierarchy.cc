@@ -1,5 +1,6 @@
 #include "cache/hierarchy.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sim/log.h"
@@ -120,7 +121,21 @@ CoreHierarchy::access(Cycles now, const MemAccess &a)
 
     if (l3_) {
         lat += l3_->geometry().latency;
-        if (l3_->access(line_key, shared).hit)
+        // Ways leased cross-VM (the L3 partition's harvest mask) are
+        // reserved for the borrower; the owner fills around them.
+        const WayMask own = l3_->allWays() & ~l3_->harvestWays();
+        if (l3_->access(line_key, shared, own ? own : l3_->allWays())
+                .hit) {
+            return lat;
+        }
+    }
+
+    // Leased ways borrowed from another VM's partition. No extra
+    // latency: CAT way masks constrain fills, not lookups — the
+    // leased ways sit in the same physical L3 slice the set index
+    // already selected, so a hit here is an ordinary L3 hit.
+    if (lease_l3_ && lease_l3_ways_) {
+        if (lease_l3_->access(line_key, shared, lease_l3_ways_).hit)
             return lat;
     }
 
@@ -156,6 +171,21 @@ CoreHierarchy::flushHarvestRegion(Cycles now, Cycles bound)
 }
 
 void
+CoreHierarchy::repartitionArray(SetAssocArray &arr, unsigned extraWays)
+{
+    if (arr.geometry().ways < 2)
+        return;
+    const WayMask old = arr.harvestWays();
+    const unsigned base =
+        harvestWayCount(arr.geometry(), cfg_.harvestWayFraction);
+    arr.setHarvestWayCount(
+        std::min(base + extraWays, arr.geometry().ways - 1));
+    const WayMask leaving = old & ~arr.harvestWays();
+    if (leaving)
+        arr.flushWays(leaving);
+}
+
+void
 CoreHierarchy::setHarvestWayFraction(double f)
 {
     cfg_.harvestWayFraction = f;
@@ -163,15 +193,17 @@ CoreHierarchy::setHarvestWayFraction(double f)
         return;
     for (SetAssocArray *arr : {l1d_.get(), l1i_.get(), l2_.get(),
                                l1tlb_.get(), l2tlb_.get()}) {
-        if (arr->geometry().ways < 2)
-            continue;
-        const WayMask old = arr->harvestWays();
-        arr->setHarvestWayCount(
-            harvestWayCount(arr->geometry(), f));
-        const WayMask leaving = old & ~arr->harvestWays();
-        if (leaving)
-            arr->flushWays(leaving);
+        repartitionArray(*arr, arr == l2_.get() ? l2_lease_bonus_ : 0);
     }
+}
+
+void
+CoreHierarchy::setL2LeaseBonus(unsigned ways)
+{
+    l2_lease_bonus_ = ways;
+    if (!cfg_.partitioning)
+        return;
+    repartitionArray(*l2_, ways);
 }
 
 void

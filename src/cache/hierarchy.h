@@ -120,6 +120,37 @@ class CoreHierarchy
     /** Currently bound L3 partition (snapshot rebinding, tests). */
     SetAssocArray *l3Partition() const { return l3_; }
 
+    /** @name Cross-VM cache leasing (src/lease/) @{ */
+    /**
+     * Bind a lender VM's L3 partition as overflow capacity for batch
+     * work on this core: after a miss in the core's own L3 partition,
+     * the leased ways of @p l3 are probed/filled before DRAM. Null
+     * @p l3 (the default) disables the probe at the cost of one
+     * untaken branch. The binding is derived scheduling state and is
+     * *not* serialized — the owner recomputes it after restoring,
+     * mirroring setL3().
+     */
+    void
+    setLeaseL3(SetAssocArray *l3, WayMask ways)
+    {
+        lease_l3_ = l3;
+        lease_l3_ways_ = ways;
+    }
+    SetAssocArray *leaseL3() const { return lease_l3_; }
+    WayMask leaseL3Ways() const { return lease_l3_ways_; }
+
+    /**
+     * Extra private-L2 ways granted to the harvest region while this
+     * core's VM leases cache capacity cross-VM. Folded into the L2
+     * harvest mask on top of harvestWayFraction (clamped so the
+     * primary region keeps at least one way); shrinking the bonus
+     * flushes the departing ways, so no harvested line outlives its
+     * lease. No-op on the masks unless partitioning is enabled.
+     */
+    void setL2LeaseBonus(unsigned ways);
+    unsigned l2LeaseBonus() const { return l2_lease_bonus_; }
+    /** @} */
+
     /** Flush and invalidate everything (wbinvd-style). */
     void flushAll();
 
@@ -185,6 +216,13 @@ class CoreHierarchy
         ar.io(seen_lines_);
         ar.io(seen_pages_);
         ar.io(accesses_);
+        ar.io(l2_lease_bonus_);
+        // The policy mutates the harvest fraction at run time and a
+        // lease grant/release recomputes the L2 base from it, so the
+        // live value must survive a restore (the construction-time
+        // config would silently shift the partition on the next
+        // setL2LeaseBonus).
+        ar.io(cfg_.harvestWayFraction);
     }
 
   private:
@@ -194,6 +232,9 @@ class CoreHierarchy
 
     std::unique_ptr<SetAssocArray> makeArray(const Geometry &g) const;
 
+    /** Recompute one array's harvest mask, flushing departing ways. */
+    void repartitionArray(SetAssocArray &arr, unsigned extraWays);
+
     HierarchyConfig cfg_;
     std::unique_ptr<SetAssocArray> l1d_;
     std::unique_ptr<SetAssocArray> l1i_;
@@ -202,6 +243,12 @@ class CoreHierarchy
     std::unique_ptr<SetAssocArray> l2tlb_;
     SetAssocArray *l3_ = nullptr;
     hh::mem::Dram *dram_ = nullptr;
+
+    /** Borrowed L3 overflow partition (cache lease), or null. */
+    SetAssocArray *lease_l3_ = nullptr;
+    WayMask lease_l3_ways_ = 0;
+    /** Extra L2 harvest ways while this core's VM leases capacity. */
+    unsigned l2_lease_bonus_ = 0;
 
     bool harvest_mode_ = false;
     /** Primary may use harvest ways again from this time on. */

@@ -282,6 +282,16 @@ SetAssocArray::validCount() const
     return n;
 }
 
+std::uint64_t
+SetAssocArray::validCountInWays(WayMask mask) const
+{
+    mask &= all_ways_;
+    std::uint64_t n = 0;
+    for (const WayMask valid : valid_bits_)
+        n += static_cast<unsigned>(std::popcount(valid & mask));
+    return n;
+}
+
 const WayState &
 SetAssocArray::wayState(std::uint32_t set, unsigned way) const
 {

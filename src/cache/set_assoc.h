@@ -17,6 +17,8 @@
 #ifndef HH_CACHE_SET_ASSOC_H
 #define HH_CACHE_SET_ASSOC_H
 
+#include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -114,6 +116,35 @@ class SetAssocArray
 
     /** Number of valid entries across the array (tests). */
     std::uint64_t validCount() const;
+
+    /**
+     * Number of valid entries within the given ways (partition-move
+     * tests, cache-lease flush accounting).
+     */
+    std::uint64_t validCountInWays(WayMask mask) const;
+
+    /**
+     * Visit every valid entry in the given ways as fn(set, way, tag).
+     * Walks the packed valid/tag mirrors, so the lease auditor can
+     * scan returned ways without touching the WayState records.
+     */
+    template <typename Fn>
+    void
+    forEachValidInWays(WayMask mask, Fn &&fn) const
+    {
+        mask &= all_ways_;
+        if (!mask)
+            return;
+        for (std::uint32_t s = 0; s < geom_.sets; ++s) {
+            const std::size_t si =
+                static_cast<std::size_t>(s) * geom_.ways;
+            for (WayMask m = valid_bits_[s] & mask; m; m &= m - 1) {
+                const auto w = static_cast<unsigned>(
+                    std::countr_zero(m));
+                fn(s, w, tags_[si + w]);
+            }
+        }
+    }
 
     /** Per-way inspection hook for tests. */
     const WayState &wayState(std::uint32_t set, unsigned way) const;

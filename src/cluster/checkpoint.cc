@@ -187,6 +187,11 @@ configFingerprint(const SystemConfig &cfg)
        << " policyEpsilon=" << cfg.policyEpsilon
        << " policyP99TargetMs=" << cfg.policyP99TargetMs
        << " policyP99Penalty=" << cfg.policyP99Penalty
+       << " cacheLendEnabled=" << cfg.cacheLendEnabled
+       << " cacheLendL2WayFraction=" << cfg.cacheLendL2WayFraction
+       << " cacheLendL3Ways=" << cfg.cacheLendL3Ways
+       << " cacheLendPeriod=" << cfg.cacheLendPeriod
+       << " cacheLendTerm=" << cfg.cacheLendTerm
        << " graphSpec=" << cfg.graphSpec;
     return os.str();
 }

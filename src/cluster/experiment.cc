@@ -47,6 +47,14 @@ ClusterResults::serialized() const
         os << app << ' ' << tput << '\n';
     os << avgBusyCores << ' ' << utilization << ' ' << coreLoans
        << ' ' << coreReclaims << ' ' << primaryL2HitRate << '\n';
+    // Lease section: absent unless the cache-lease subsystem did
+    // anything, so default-config serializations are unchanged.
+    if (leaseGrants || leaseRecalls || leaseExpiries ||
+        leaseFlushedLines || leaseWayCycles) {
+        os << "lease " << leaseGrants << ' ' << leaseRecalls << ' '
+           << leaseExpiries << ' ' << leaseFlushedLines << ' '
+           << leaseWayCycles << '\n';
+    }
     // Audit section: absent unless auditing ran, so default-config
     // serializations are unchanged. Covers the sweep/violation/fault
     // counts plus every (capped) report verbatim — the determinism
@@ -223,6 +231,11 @@ aggregateClusterResults(const SystemConfig &cfg, unsigned servers,
         agg.coreLoans += run.coreLoans;
         agg.coreReclaims += run.coreReclaims;
         agg.primaryL2HitRate += run.primaryL2HitRate;
+        agg.leaseGrants += run.telemetry.leaseGrants;
+        agg.leaseRecalls += run.telemetry.leaseRecalls;
+        agg.leaseExpiries += run.telemetry.leaseExpiries;
+        agg.leaseFlushedLines += run.telemetry.leaseFlushedLines;
+        agg.leaseWayCycles += run.telemetry.leaseWayCycles;
     }
     agg.avgBusyCores /= servers;
     agg.utilization /= servers;

@@ -34,6 +34,14 @@ struct ClusterResults
     std::uint64_t coreReclaims = 0;
     double primaryL2HitRate = 0;
 
+    /** @name Cache-capacity leasing (src/lease/), summed @{ */
+    std::uint64_t leaseGrants = 0;
+    std::uint64_t leaseRecalls = 0;
+    std::uint64_t leaseExpiries = 0;
+    std::uint64_t leaseFlushedLines = 0;
+    std::uint64_t leaseWayCycles = 0;
+    /** @} */
+
     /** @name Observability (filled only when enabled) @{ */
     /** Per-server trace buffers (pid = server index). */
     std::vector<hh::trace::ServerTrace> traces;

@@ -1,6 +1,7 @@
 #include "cluster/server.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdlib>
 #include <unordered_set>
@@ -80,6 +81,13 @@ ServerSim::ServerSim(const SystemConfig &cfg, const std::string &batchApp,
         hh::sim::fatal("ServerSim: ", policy_err);
     policy_applied_fraction_.assign(vms_.size(),
                                     cfg_.harvestWayFraction);
+
+    // Cache-capacity leasing (src/lease/): constructed only when the
+    // second harvest dimension is on, so disabled runs carry no lease
+    // state and their snapshots stay layout-compatible.
+    if (cfg_.cacheLendEnabled)
+        lease_mgr_ = std::make_unique<hh::lease::CacheLeaseManager>(
+            static_cast<unsigned>(vms_.size()), cfg_.cacheLendTerm);
 
     if (cfg_.traceEnabled)
         tracer_ = std::make_unique<hh::trace::Tracer>(
@@ -691,6 +699,44 @@ ServerSim::registerInvariants()
             return std::nullopt;
         return graph_hooks_->auditInvariant();
     });
+
+    // Cache-lease consistency: every lender L3's harvest mask agrees
+    // with its lease slot, and no borrower (batch-ASID) line survives
+    // in ways whose lease ended — "no harvested line outlives its
+    // lease". Registered unconditionally (null-check) so invariant
+    // order is config-independent.
+    aud.addInvariant("lease", [this]() -> std::optional<std::string> {
+        using hh::sim::detail::concat;
+        if (!lease_mgr_)
+            return std::nullopt;
+        const std::uint32_t batchAsid = vms_[harvest_vm_].desc.asid;
+        for (const auto &v : vms_) {
+            if (!v.desc.isPrimary() || !v.l3)
+                continue;
+            const auto &l = lease_mgr_->lease(v.desc.id);
+            const hh::cache::WayMask held =
+                l.active ? l.l3Ways : hh::cache::WayMask{0};
+            if (v.l3->harvestWays() != held)
+                return concat("vm ", v.desc.id,
+                              " L3 harvest mask disagrees with its "
+                              "lease slot");
+            std::optional<std::string> err;
+            v.l3->forEachValidInWays(
+                l.everLeased & ~held,
+                [&](std::uint32_t, unsigned way, hh::cache::Addr t) {
+                    if (err)
+                        return;
+                    if (static_cast<std::uint32_t>(t >> 48) ==
+                        batchAsid)
+                        err = concat("vm ", v.desc.id, " L3 way ", way,
+                                     " holds a batch line after its "
+                                     "lease ended");
+                });
+            if (err)
+                return err;
+        }
+        return std::nullopt;
+    });
 }
 
 void
@@ -826,6 +872,38 @@ ServerSim::registerFaultActions()
         ctx.pendingEvent = sim_.schedule(
             delay, tag(SnapTag::kSegmentDone, core, reqId),
             [this, core, reqId] { onSegmentDone(core, reqId); });
+    });
+
+    // Lease overstay: plant a batch-ASID line in an L3 way whose
+    // lease has ended — the positive control for the auditor's
+    // "lease" invariant (flush-on-return must normally make this
+    // state unreachable). Registered unconditionally so the action
+    // roster (and the injector's serialized fire counts) does not
+    // depend on the cache-lease config; without a returned leased
+    // way it is a no-op.
+    inj.addAction("lease_overstay", [this](hh::sim::Rng &rng) {
+        if (done_ || !lease_mgr_)
+            return;
+        for (const auto &v : vms_) {
+            if (!v.desc.isPrimary() || !v.l3)
+                continue;
+            const auto &l = lease_mgr_->lease(v.desc.id);
+            const hh::cache::WayMask held =
+                l.active ? l.l3Ways : hh::cache::WayMask{0};
+            const hh::cache::WayMask returned = l.everLeased & ~held;
+            if (!returned)
+                continue;
+            const auto way = static_cast<unsigned>(
+                std::countr_zero(returned));
+            const hh::cache::Addr page =
+                (static_cast<hh::cache::Addr>(
+                     vms_[harvest_vm_].desc.asid)
+                 << 42) |
+                rng.uniformInt(std::uint64_t{1} << 20);
+            v.l3->access(page * hh::cache::kLinesPerPage, true,
+                         hh::cache::WayMask{1} << way);
+            return;
+        }
     });
 }
 
@@ -1517,6 +1595,7 @@ ServerSim::setGraphDone(hh::sim::Cycles end)
         injector_->stop();
     stopTelemetry();
     stopPolicy();
+    stopLease();
 }
 
 bool
@@ -1533,6 +1612,8 @@ ServerSim::configureCoreForHarvest(unsigned core)
     hier.setL3(vms_[harvest_vm_].l3.get());
     const bool borrowed = cores_[core]->boundVm() != harvest_vm_;
     hier.setHarvestMode(cfg_.partitioning && borrowed);
+    // The core now runs batch work: point it at leased overflow ways.
+    rebindLeaseOverflow();
 }
 
 void
@@ -1541,6 +1622,8 @@ ServerSim::configureCoreForPrimary(unsigned core)
     auto &hier = cores_[core]->hierarchy();
     hier.setL3(vms_[cores_[core]->boundVm()].l3.get());
     hier.setHarvestMode(false);
+    // Reclaimed cores lose their overflow binding with the loan.
+    rebindLeaseOverflow();
 }
 
 void
@@ -1906,11 +1989,25 @@ ServerSim::telemetryCounters()
         vc.lentCycles += vm_lent_cycles_[v];
         vc.reclaims = vm_reclaims_[v];
         vc.reclaimCycles = vm_reclaim_cycles_[v];
+        if (lease_mgr_ && lease_mgr_->active(vms_[v].desc.id)) {
+            const auto &l = lease_mgr_->lease(vms_[v].desc.id);
+            vc.leasedWays = static_cast<std::uint32_t>(
+                std::popcount(l.l3Ways));
+            vc.leasedOccupancy =
+                vms_[v].l3->validCountInWays(l.l3Ways);
+        }
     }
     s.batchLoaned = batch_tasks_loaned_;
     s.batchNative = batch_tasks_done_ - batch_tasks_loaned_;
     s.reclaimHist = reclaim_hist_.counts();
     s.latencyHist = latency_hist_us_.counts();
+    if (lease_mgr_) {
+        s.leaseGrants = lease_mgr_->grants();
+        s.leaseRecalls = lease_mgr_->recalls();
+        s.leaseExpiries = lease_mgr_->expiries();
+        s.leaseFlushedLines = lease_mgr_->flushedLines();
+        s.leaseWayCycles = lease_mgr_->wayCycles(s.t);
+    }
     return s;
 }
 
@@ -1953,6 +2050,9 @@ ServerSim::policyConfig() const
     pc.adaptiveHarvest = cfg_.adaptiveHarvest;
     pc.hwEmergencyBuffer = cfg_.hwEmergencyBuffer;
     pc.harvestWayFraction = cfg_.harvestWayFraction;
+    pc.cacheLendEnabled = cfg_.cacheLendEnabled;
+    pc.cacheLendL2WayFraction = cfg_.cacheLendL2WayFraction;
+    pc.cacheLendL3Ways = cfg_.cacheLendL3Ways;
     pc.lendUtil = cfg_.policyLendUtil;
     pc.holdUtil = cfg_.policyHoldUtil;
     pc.ewmaAlpha = cfg_.policyEwmaAlpha;
@@ -2014,6 +2114,140 @@ ServerSim::applyPolicyDecisions()
     }
 }
 
+// ---------------------------------------------------- cache leasing
+
+bool
+ServerSim::vmHasIdleCapacity(std::uint32_t vm) const
+{
+    // A VM with an idle or lent core is not using its full cache
+    // footprint either — that is the capacity the lease harvests.
+    for (unsigned c : vms_[vm].desc.cores) {
+        const CoreCtx &ctx = core_ctx_[c];
+        if (ctx.onLoan || ctx.phase == Phase::Idle)
+            return true;
+    }
+    return false;
+}
+
+void
+ServerSim::leaseTick()
+{
+    lease_pending_ = hh::sim::kInvalidEventId;
+    if (!lease_running_)
+        return;
+    for (const auto &v : vms_) {
+        if (!v.desc.isPrimary())
+            continue;
+        const std::uint32_t vm = v.desc.id;
+        // The policy's per-VM cache-lend decision; the "legacy"
+        // selector falls back to the raw config knobs (== static).
+        bool allowed = cfg_.cacheLendEnabled;
+        double l2f = cfg_.cacheLendL2WayFraction;
+        unsigned l3w = cfg_.cacheLendL3Ways;
+        if (policy_) {
+            const auto &d = policy_->decision(vm);
+            allowed = d.cacheLendAllowed;
+            l2f = d.cacheLendL2Fraction;
+            l3w = d.cacheLendL3Ways;
+        }
+        if (lease_mgr_->active(vm)) {
+            if (!allowed)
+                leaseRelease(vm, false);
+            else if (lease_mgr_->expired(vm, sim_.now()))
+                leaseRelease(vm, true); // eligible to re-grant below
+        }
+        if (!lease_mgr_->active(vm) && allowed && l3w > 0 &&
+            vmHasIdleCapacity(vm))
+            leaseGrant(vm, l2f, l3w);
+    }
+    lease_pending_ = sim_.schedule(
+        std::max<Cycles>(1, cfg_.cacheLendPeriod),
+        tag(SnapTag::kLeaseTick), [this] { leaseTick(); });
+}
+
+void
+ServerSim::stopLease()
+{
+    if (!lease_running_)
+        return;
+    lease_running_ = false;
+    if (lease_pending_ != hh::sim::kInvalidEventId) {
+        sim_.cancel(lease_pending_);
+        lease_pending_ = hh::sim::kInvalidEventId;
+    }
+}
+
+void
+ServerSim::leaseGrant(std::uint32_t vm, double l2Fraction,
+                      unsigned l3Ways)
+{
+    auto &v = vms_[vm];
+    auto &l3 = *v.l3;
+    // Lease the low ways, capped so the owner always keeps one.
+    const unsigned ways = std::min<unsigned>(
+        l3Ways, l3.geometry().ways - 1);
+    if (ways == 0)
+        return;
+    const auto mask = static_cast<hh::cache::WayMask>(
+        (hh::cache::WayMask{1} << ways) - 1);
+    // L2 bonus: extra harvest ways on the lender's cores, so batch
+    // work landing there sees more private capacity. Only meaningful
+    // under partitioning (the mask is a no-op otherwise).
+    std::uint32_t bonus = 0;
+    if (cfg_.partitioning && l2Fraction > 0.0 &&
+        !v.desc.cores.empty()) {
+        const auto &l2g = cores_[v.desc.cores.front()]
+                              ->hierarchy()
+                              .l2()
+                              .geometry();
+        bonus = static_cast<std::uint32_t>(
+            std::lround(l2Fraction * l2g.ways));
+    }
+    lease_mgr_->grant(vm, l3, sim_.now(), mask, bonus);
+    if (bonus) {
+        for (unsigned c : v.desc.cores)
+            cores_[c]->hierarchy().setL2LeaseBonus(bonus);
+    }
+    rebindLeaseOverflow();
+}
+
+void
+ServerSim::leaseRelease(std::uint32_t vm, bool expired)
+{
+    auto &v = vms_[vm];
+    const std::uint32_t bonus = lease_mgr_->lease(vm).l2Bonus;
+    lease_mgr_->release(vm, *v.l3, sim_.now(), expired);
+    if (bonus) {
+        for (unsigned c : v.desc.cores)
+            cores_[c]->hierarchy().setL2LeaseBonus(0);
+    }
+    rebindLeaseOverflow();
+}
+
+void
+ServerSim::rebindLeaseOverflow()
+{
+    if (!lease_mgr_)
+        return;
+    // Round-robin the batch-running cores over the active lenders'
+    // leased ways. Pure function of (lease set, loan set), so the
+    // binding is derived state: recomputed here on every change and
+    // after snapshot load, never serialized.
+    const auto lenders = lease_mgr_->activeLenders();
+    for (unsigned c = 0; c < cores_.size(); ++c) {
+        auto &hier = cores_[c]->hierarchy();
+        const bool batchSide =
+            cores_[c]->boundVm() == harvest_vm_ || core_ctx_[c].onLoan;
+        if (!batchSide || lenders.empty()) {
+            hier.setLeaseL3(nullptr, 0);
+            continue;
+        }
+        const unsigned lender = lenders[c % lenders.size()];
+        hier.setLeaseL3(vms_[lender].l3.get(),
+                        lease_mgr_->lease(lender).l3Ways);
+    }
+}
+
 bool
 ServerSim::allDone() const
 {
@@ -2050,6 +2284,9 @@ ServerSim::noteDoneMaybeFinish()
         // And the policy epoch tick (decisions after the last
         // request are moot; the drain tail lends nothing new).
         stopPolicy();
+        // And the lease tick (active leases stay put; the drain
+        // tail grants and recalls nothing new).
+        stopLease();
     }
 }
 
@@ -2155,6 +2392,13 @@ ServerSim::startRun()
             cfg_.policyPeriod, tag(SnapTag::kPolicyTick),
             [this] { policyTick(); });
     }
+    // Cache-lease grant/recall tick (second harvest dimension).
+    if (lease_mgr_) {
+        lease_running_ = true;
+        lease_pending_ = sim_.schedule(
+            std::max<Cycles>(1, cfg_.cacheLendPeriod),
+            tag(SnapTag::kLeaseTick), [this] { leaseTick(); });
+    }
 
     // Harvest VM's own cores start working immediately.
     for (unsigned c : vms_[harvest_vm_].desc.cores)
@@ -2204,6 +2448,7 @@ ServerSim::finishRun()
         injector_->stop();
     stopTelemetry();
     stopPolicy();
+    stopLease();
     // Batch slices still in flight when all requests completed drain
     // after the all-done stop; one more row at the drain time captures
     // that tail, so the fleet timeline's deltas sum exactly to the
@@ -2313,6 +2558,13 @@ ServerSim::finishRun()
     }
     res.telemetry.harvestedCycles = harvested;
     res.telemetry.endTime = end;
+    if (lease_mgr_) {
+        res.telemetry.leaseGrants = lease_mgr_->grants();
+        res.telemetry.leaseRecalls = lease_mgr_->recalls();
+        res.telemetry.leaseExpiries = lease_mgr_->expiries();
+        res.telemetry.leaseFlushedLines = lease_mgr_->flushedLines();
+        res.telemetry.leaseWayCycles = lease_mgr_->wayCycles(end);
+    }
     if (telemetry_)
         res.telemetry.rows = telemetry_->takeRows();
     return res;
@@ -2390,6 +2642,9 @@ ServerSim::rearmEvent(const SnapTag &t)
     case SnapTag::kPolicyTick:
         return policy_view_ ? rearmPolicyTick()
                             : hh::sim::Simulator::Callback{};
+    case SnapTag::kLeaseTick:
+        return lease_mgr_ ? rearmLeaseTick()
+                          : hh::sim::Simulator::Callback{};
     default:
         // Empty: the event queue turns this into a hard error naming
         // the tag, which is how unknown kinds surface.
@@ -2602,6 +2857,32 @@ ServerSim::serializeState(hh::snap::Archive &ar)
     }
     if (graph_hooks_)
         graph_hooks_->serialize(ar);
+    if (!ar.ok())
+        return;
+
+    // Cache-capacity leasing (src/lease/). cacheLendEnabled rides the
+    // config fingerprint, so cluster-level restores reject mismatches
+    // early; the presence flag guards direct saveState/loadState
+    // users like sections 0x15-0x17 do. The lender L3 harvest masks
+    // and the lenders' L2 bonus masks ride sections 0x12/0x13 with
+    // their arrays; the core->lender overflow bindings are derived
+    // state recomputed below.
+    ar.section(0x18, "lease");
+    bool have_lease = lease_mgr_ != nullptr;
+    ar.io(have_lease);
+    if (ar.loading() && have_lease != (lease_mgr_ != nullptr)) {
+        ar.fail("checkpoint cache-lease state does not match this "
+                "run; restore with the same cacheLendEnabled setting "
+                "the saving run used");
+        return;
+    }
+    if (lease_mgr_) {
+        lease_mgr_->serialize(ar);
+        ar.io(lease_running_);
+        ar.io(lease_pending_);
+        if (ar.loading())
+            rebindLeaseOverflow();
+    }
 }
 
 } // namespace hh::cluster

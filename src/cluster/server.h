@@ -25,6 +25,7 @@
 #include "check/auditor.h"
 #include "check/fault_inject.h"
 #include "cluster/system_config.h"
+#include "lease/cache_lease.h"
 #include "policy/harvest_policy.h"
 #include "core/context_memory.h"
 #include "core/controller.h"
@@ -89,6 +90,16 @@ struct ServerTelemetry
     std::uint64_t batchNative = 0; //!< ... on the Harvest VM's own.
     std::uint64_t harvestedCycles = 0; //!< Core-cycles spent on loan.
     std::uint64_t endTime = 0;         //!< Run end (cycles).
+
+    /** @name Cache-capacity leasing (src/lease/) @{ */
+    std::uint64_t leaseGrants = 0;   //!< Leases granted.
+    std::uint64_t leaseRecalls = 0;  //!< Leases recalled by decision.
+    std::uint64_t leaseExpiries = 0; //!< Leases lapsed at term.
+    /** Lines flushed at grant/recall/expiry (§4.2 semantics). */
+    std::uint64_t leaseFlushedLines = 0;
+    /** Integral of leased-out L3 ways over time (way-cycles). */
+    std::uint64_t leaseWayCycles = 0;
+    /** @} */
 };
 
 /** Results of one server run. */
@@ -318,6 +329,12 @@ class ServerSim
     hh::policy::HarvestPolicy *harvestPolicy()
     {
         return policy_.get();
+    }
+
+    /** The cache-lease manager, or nullptr unless cacheLendEnabled. */
+    hh::lease::CacheLeaseManager *leaseManager()
+    {
+        return lease_mgr_.get();
     }
 
     const SystemConfig &config() const { return cfg_; }
@@ -586,6 +603,28 @@ class ServerSim
     }
     /** @} */
 
+    /** @name Cache-capacity leasing (src/lease/) @{ */
+    /** Lease tick: expire/recall/grant per the policy, reschedule. */
+    void leaseTick();
+    /** Cancel a pending lease tick (run teardown). */
+    void stopLease();
+    /** Grant @p vm's lease (flush + mask the leased ways). */
+    void leaseGrant(std::uint32_t vm, double l2Fraction,
+                    unsigned l3Ways);
+    /** Release @p vm's lease (flush-on-return). */
+    void leaseRelease(std::uint32_t vm, bool expired);
+    /** Does @p vm have an idle or lent core (idle cache to spare)? */
+    bool vmHasIdleCapacity(std::uint32_t vm) const;
+    /** Point every batch-running core at a lender's leased ways. */
+    void rebindLeaseOverflow();
+    /** Re-arm hook for a restored kLeaseTick event. */
+    hh::sim::Simulator::Callback
+    rearmLeaseTick()
+    {
+        return [this] { leaseTick(); };
+    }
+    /** @} */
+
     /** @name Helpers (cont.) @{ */
     void configureCoreForHarvest(unsigned core);
     void configureCoreForPrimary(unsigned core);
@@ -682,6 +721,13 @@ class ServerSim
     /** Last harvest-way fraction pushed into each VM's masks, so the
      *  boundary application only touches partitions that changed. */
     std::vector<double> policy_applied_fraction_;
+    /** @} */
+
+    /** @name Cache-capacity leasing (src/lease/) @{ */
+    /** Null unless cfg_.cacheLendEnabled. */
+    std::unique_ptr<hh::lease::CacheLeaseManager> lease_mgr_;
+    bool lease_running_ = false;
+    hh::sim::EventId lease_pending_ = hh::sim::kInvalidEventId;
     /** @} */
 
     /** @name Auditing / fault injection @{ */

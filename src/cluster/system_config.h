@@ -145,6 +145,30 @@ struct SystemConfig
     double policyP99Penalty = 1.0;
     /** @} */
 
+    /** @name Cache-capacity harvesting (src/lease/) @{ */
+    /**
+     * Cross-VM cache-way leasing: idle Primary VMs lend private L2
+     * ways and a slice of their L3 CAT partition to the batch VM
+     * under explicit leases (grant -> use -> recall/expiry ->
+     * flush-on-return). Off by default: no CacheLeaseManager is
+     * constructed and no lease tick is scheduled, so existing runs
+     * are bit-identical to before the subsystem existed.
+     */
+    bool cacheLendEnabled = false;
+    /**
+     * Extra L2 harvest-way fraction granted to a lender's cores while
+     * its lease is active (on top of harvestWayFraction; the sum is
+     * clamped so the primary region keeps at least one way).
+     */
+    double cacheLendL2WayFraction = 0.25;
+    /** L3 partition ways leased to the batch VM (low ways first). */
+    unsigned cacheLendL3Ways = 4;
+    /** Lease-manager decision cadence in cycles (1 ms at 3 GHz). */
+    hh::sim::Cycles cacheLendPeriod = hh::sim::msToCycles(1.0);
+    /** Lease term: a grant auto-expires after this many cycles. */
+    hh::sim::Cycles cacheLendTerm = hh::sim::msToCycles(4.0);
+    /** @} */
+
     /** @name Invariant auditing / fault injection (PR 3) @{ */
     /**
      * Cross-component invariant auditing. Off by default: no Auditor

@@ -105,6 +105,11 @@ TelemetryHub::addServer(ServerTelemetry t)
         f.batchNativeDelta += row.batchNativeDelta;
         f.harvestedCyclesDelta += row.harvestedCyclesDelta;
         f.reclaimsDelta += row.reclaimsDelta;
+        for (const auto &vm : row.vms) {
+            f.leasedWays += vm.leasedWays;
+            f.leaseOccupancyDelta += vm.leaseOccupancyDelta;
+        }
+        f.leaseWayCyclesDelta += row.leaseWayCyclesDelta;
         epochBudget_[i] +=
             (row.t - prevT) * static_cast<std::uint64_t>(cfg_.cores);
         mergeCounts(epochLatency_[i], row.latencyHistDelta);
@@ -133,7 +138,7 @@ TelemetryHub::summary() const
     TelemetrySummary s;
     s.servers = static_cast<unsigned>(servers_.size());
     s.coresPerServer = cfg_.cores;
-    std::uint64_t end = 0, harvested = 0;
+    std::uint64_t end = 0, harvested = 0, wayCycles = 0;
     std::vector<std::uint64_t> reclaimHist, latencyHist;
     for (const auto &t : servers_) {
         end = std::max(end, t.endTime);
@@ -141,9 +146,15 @@ TelemetryHub::summary() const
         s.batchLoaned += t.batchLoaned;
         s.batchNative += t.batchNative;
         s.reclaims += t.reclaims;
+        s.leaseGrants += t.leaseGrants;
+        s.leaseRecalls += t.leaseRecalls;
+        s.leaseExpiries += t.leaseExpiries;
+        s.leaseFlushedLines += t.leaseFlushedLines;
+        wayCycles += t.leaseWayCycles;
         mergeCounts(reclaimHist, t.reclaimHist);
         mergeCounts(latencyHist, t.latencyHist);
     }
+    s.leaseWaySeconds = hh::sim::cyclesToSec(wayCycles);
     s.horizonSec = hh::sim::cyclesToSec(end);
     s.harvestedCoreSeconds = hh::sim::cyclesToSec(harvested);
     s.batchPerLentCoreSecond =
@@ -183,7 +194,10 @@ TelemetryHub::jsonl() const
             << ",\"batch_loaned\":" << f.batchLoanedDelta
             << ",\"batch_native\":" << f.batchNativeDelta
             << ",\"harvested_cycles\":" << f.harvestedCyclesDelta
-            << ",\"reclaims\":" << f.reclaimsDelta;
+            << ",\"reclaims\":" << f.reclaimsDelta
+            << ",\"lease_ways\":" << f.leasedWays
+            << ",\"lease_occ_delta\":" << f.leaseOccupancyDelta
+            << ",\"lease_way_cycles\":" << f.leaseWayCyclesDelta;
         sealRow(os, row.str());
     }
     for (std::size_t srv = 0; srv < servers_.size(); ++srv) {
@@ -202,7 +216,9 @@ TelemetryHub::jsonl() const
                     << vm.pendingReclaims << ",\"lent_cycles\":"
                     << vm.lentCycles << ",\"reclaims\":"
                     << vm.reclaims << ",\"reclaim_cycles\":"
-                    << vm.reclaimCycles;
+                    << vm.reclaimCycles << ",\"lease_ways\":"
+                    << vm.leasedWays << ",\"lease_occ_delta\":"
+                    << vm.leaseOccupancyDelta;
                 sealRow(os, row.str());
             }
         }
@@ -219,7 +235,12 @@ TelemetryHub::jsonl() const
             << s.reclaims << ",\"reclaim_p50_us\":"
             << num(s.reclaimP50Us) << ",\"reclaim_p99_us\":"
             << num(s.reclaimP99Us) << ",\"latency_p99_ms\":"
-            << num(s.latencyP99Ms);
+            << num(s.latencyP99Ms) << ",\"lease_grants\":"
+            << s.leaseGrants << ",\"lease_recalls\":"
+            << s.leaseRecalls << ",\"lease_expiries\":"
+            << s.leaseExpiries << ",\"lease_flushed\":"
+            << s.leaseFlushedLines << ",\"lease_way_s\":"
+            << num(s.leaseWaySeconds);
         sealRow(os, row.str());
     }
     return os.str();
@@ -228,11 +249,12 @@ TelemetryHub::jsonl() const
 std::vector<hh::trace::CounterTrack>
 TelemetryHub::counterTracks() const
 {
-    hh::trace::CounterTrack intensity, p99, loaned, reclaims;
+    hh::trace::CounterTrack intensity, p99, loaned, reclaims, leased;
     intensity.name = "harvest_intensity";
     p99.name = "fleet_p99_ms";
     loaned.name = "batch_loaned_per_epoch";
     reclaims.name = "reclaims_per_epoch";
+    leased.name = "leased_l3_ways";
     for (const auto &f : timeline_) {
         intensity.samples.push_back({f.t, f.harvestIntensity});
         p99.samples.push_back({f.t, f.p99Ms});
@@ -240,9 +262,11 @@ TelemetryHub::counterTracks() const
             {f.t, static_cast<double>(f.batchLoanedDelta)});
         reclaims.samples.push_back(
             {f.t, static_cast<double>(f.reclaimsDelta)});
+        leased.samples.push_back(
+            {f.t, static_cast<double>(f.leasedWays)});
     }
     return {std::move(intensity), std::move(p99), std::move(loaned),
-            std::move(reclaims)};
+            std::move(reclaims), std::move(leased)};
 }
 
 std::string
@@ -295,6 +319,16 @@ TelemetryHub::report() const
        << num(s.reclaimP50Us) << " us, p99 " << num(s.reclaimP99Us)
        << " us)\n"
        << "  fleet request P99: " << num(s.latencyP99Ms) << " ms\n";
+    if (s.leaseGrants > 0) {
+        os << "\nCache-lease economics\n"
+           << "  leases: " << s.leaseGrants << " granted, "
+           << s.leaseRecalls << " recalled, " << s.leaseExpiries
+           << " expired\n"
+           << "  leased way-seconds: " << num(s.leaseWaySeconds)
+           << "\n"
+           << "  lines flushed at handoff/return: "
+           << s.leaseFlushedLines << "\n";
+    }
     if (peakInt && peakP99) {
         os << "\nTimeline peaks\n"
            << "  max harvest intensity: "

@@ -41,6 +41,14 @@ struct FleetEpochRow
     std::uint64_t batchNativeDelta = 0;
     std::uint64_t harvestedCyclesDelta = 0;
     std::uint64_t reclaimsDelta = 0;
+    /** @name Cache-lease signals (src/lease/) @{ */
+    /** End-of-epoch L3 ways leased out, summed over servers/VMs. */
+    std::uint64_t leasedWays = 0;
+    /** Borrower-line occupancy change in leased ways over the epoch. */
+    std::int64_t leaseOccupancyDelta = 0;
+    /** Leased-way-cycles lent out during the epoch. */
+    std::uint64_t leaseWayCyclesDelta = 0;
+    /** @} */
 };
 
 /** Fleet-level harvesting economics over the whole run. */
@@ -59,6 +67,14 @@ struct TelemetrySummary
     double reclaimP50Us = 0; //!< Fleet reclaim-latency median.
     double reclaimP99Us = 0; //!< Fleet reclaim-latency tail.
     double latencyP99Ms = 0; //!< Fleet post-warmup request P99.
+    /** @name Cache-lease economics (src/lease/) @{ */
+    std::uint64_t leaseGrants = 0;
+    std::uint64_t leaseRecalls = 0;
+    std::uint64_t leaseExpiries = 0;
+    std::uint64_t leaseFlushedLines = 0;
+    /** L3 way-seconds of capacity lent across the fleet. */
+    double leaseWaySeconds = 0;
+    /** @} */
 };
 
 /**

@@ -109,6 +109,52 @@ validHarvestFraction(const hh::cluster::SystemConfig &cfg, double f,
     return true;
 }
 
+/**
+ * A cache-lend L2 fraction must carve a usable, non-degenerate bonus
+ * out of the lender cores' L2 at the configured way scaling: at least
+ * one extra harvest way (a fraction that rounds to zero silently
+ * leases nothing) while still leaving the owner at least one private
+ * way on top of the configured harvestWayFraction region. Mirrors
+ * validHarvestFraction's parse-time rejection of silent clamps.
+ */
+bool
+validCacheLendL2Fraction(const hh::cluster::SystemConfig &cfg,
+                         double f, std::string *error)
+{
+    if (f == 0.0)
+        return true; // explicit "no L2 bonus"
+    const hh::cache::Geometry scaled =
+        hh::cache::scaleWays(hh::cache::kL2, cfg.waysFraction);
+    if (scaled.ways < 2)
+        return true; // partitioning skips 1-way structures
+    const long bonus =
+        std::lround(f * static_cast<double>(scaled.ways));
+    const long base = std::lround(cfg.harvestWayFraction *
+                                  static_cast<double>(scaled.ways));
+    if (bonus >= 1 && base + bonus < static_cast<long>(scaled.ways)) {
+        return true;
+    }
+    if (error) {
+        std::ostringstream os;
+        if (bonus < 1) {
+            os << "cacheLendL2WayFraction " << f
+               << " rounds to a 0-way lease bonus in the "
+               << scaled.ways << "-way L2"
+               << (cfg.waysFraction < 1.0 ? " at this waysFraction"
+                                          : "")
+               << " (use 0 to disable the L2 bonus explicitly)";
+        } else {
+            os << "cacheLendL2WayFraction " << f << " plus "
+               << "harvestWayFraction " << cfg.harvestWayFraction
+               << " covers all " << scaled.ways
+               << " L2 ways (the owner must keep at least one "
+                  "private way)";
+        }
+        *error = os.str();
+    }
+    return false;
+}
+
 } // namespace
 
 bool
@@ -289,6 +335,54 @@ applySpecKey(hh::cluster::SystemConfig &cfg, const std::string &key,
         if (!parseDouble(value, &p) || p < 0.0)
             return fail("bad non-negative double");
         cfg.policyP99Penalty = p;
+        return true;
+    }
+
+    // cache-capacity leasing (src/lease/)
+    if (key == "cacheLendEnabled")
+        return parseBool(value, &cfg.cacheLendEnabled) ||
+               fail("bad bool");
+    if (key == "cacheLendL3Ways") {
+        unsigned n = 0;
+        if (!parseUnsigned(value, &n))
+            return fail("bad unsigned");
+        // The per-VM L3 partitions are fixed 16-way; a 0-way lease is
+        // no lease and a 16-way lease would evict the owner from its
+        // own partition, so both degenerate masks are rejected here.
+        if (n < 1 || n > 15) {
+            if (error)
+                *error = "key \"" + key + "\": leased L3 ways must "
+                         "be in 1..15 (the owner keeps the rest of "
+                         "its 16-way partition), got \"" + value +
+                         "\"";
+            return false;
+        }
+        cfg.cacheLendL3Ways = n;
+        return true;
+    }
+    if (key == "cacheLendL2WayFraction") {
+        double f = 0;
+        if (!parseDouble(value, &f))
+            return fail("bad double");
+        if (f < 0.0 || f >= 1.0)
+            return fail("L2 lease fraction must be in [0, 1), got");
+        if (!validCacheLendL2Fraction(cfg, f, error))
+            return false;
+        cfg.cacheLendL2WayFraction = f;
+        return true;
+    }
+    if (key == "cacheLendPeriodMs") {
+        double ms = 0;
+        if (!parseDouble(value, &ms) || ms <= 0.0)
+            return fail("bad positive double");
+        cfg.cacheLendPeriod = hh::sim::msToCycles(ms);
+        return true;
+    }
+    if (key == "cacheLendTermMs") {
+        double ms = 0;
+        if (!parseDouble(value, &ms) || ms <= 0.0)
+            return fail("bad positive double");
+        cfg.cacheLendTerm = hh::sim::msToCycles(ms);
         return true;
     }
 

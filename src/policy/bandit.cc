@@ -58,6 +58,8 @@ BanditPolicy::applyArm(std::uint32_t arm)
                 ? cfg_.harvestWayFraction
                 : std::clamp(cfg_.harvestWayFraction + a.fractionDelta,
                              0.25, 0.75);
+        // Cache leases follow the arm's core-lend aggressiveness.
+        d.cacheLendAllowed = cfg_.cacheLendEnabled && a.lendAllowed;
     }
 }
 

@@ -132,6 +132,9 @@ CriticalAwarePolicy::observe(const hh::stats::ObservationRow &row)
             k == 1 ? cfg_.harvestWayFraction
                    : 0.25 + 0.5 * static_cast<double>(r) /
                                 static_cast<double>(k - 1);
+        // The cache-hungriest cluster keeps its L3 slice; everyone
+        // else may lease it out.
+        d.cacheLendAllowed = cfg_.cacheLendEnabled && r != 0;
     }
 }
 

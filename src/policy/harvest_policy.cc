@@ -23,6 +23,10 @@ HarvestPolicy::staticDecision(const PolicyConfig &cfg)
                       : BlockHarvestMode::Always;
     d.emergencyBuffer = cfg.hwEmergencyBuffer;
     d.harvestWayFraction = cfg.harvestWayFraction;
+    d.cacheLendAllowed = cfg.cacheLendEnabled;
+    d.cacheLendL2Fraction =
+        cfg.cacheLendEnabled ? cfg.cacheLendL2WayFraction : 0.0;
+    d.cacheLendL3Ways = cfg.cacheLendEnabled ? cfg.cacheLendL3Ways : 0;
     return d;
 }
 
@@ -70,6 +74,8 @@ HysteresisPolicy::observe(const hh::stats::ObservationRow &row)
             d.emergencyBuffer = 0;
             d.harvestWayFraction =
                 std::min(0.75, cfg_.harvestWayFraction + 0.25);
+            // Idle cores come with idle cache: offer the lease too.
+            d.cacheLendAllowed = cfg_.cacheLendEnabled;
         } else if (ewma_[f.vm] > cfg_.holdUtil) {
             // Busy VM: reclaim guard band — keep one idle core back
             // so a burst is absorbed without a reclaim, and narrow
@@ -79,6 +85,8 @@ HysteresisPolicy::observe(const hh::stats::ObservationRow &row)
                 std::max(1u, cfg_.hwEmergencyBuffer);
             d.harvestWayFraction =
                 std::max(0.25, cfg_.harvestWayFraction - 0.25);
+            // Busy VM: recall its cache lease along with the guard.
+            d.cacheLendAllowed = false;
         }
         // Inside [lendUtil, holdUtil]: hysteresis — keep the previous
         // decision so a VM hovering at one threshold does not flap

@@ -82,6 +82,15 @@ struct VmDecision
     /** Harvest-region size of the partitioned private caches. */
     double harvestWayFraction = 0.5;
 
+    /** @name Cache-capacity leasing (src/lease/) @{ */
+    /** Gate: may this VM lease cache ways to the batch VM? */
+    bool cacheLendAllowed = false;
+    /** Extra L2 harvest-way fraction on the lender's cores. */
+    double cacheLendL2Fraction = 0.0;
+    /** L3 partition ways offered to the batch VM (low ways first). */
+    std::uint32_t cacheLendL3Ways = 0;
+    /** @} */
+
     void
     serialize(hh::snap::Archive &ar)
     {
@@ -89,6 +98,9 @@ struct VmDecision
         ar.io(blockMode);
         ar.io(emergencyBuffer);
         ar.io(harvestWayFraction);
+        ar.io(cacheLendAllowed);
+        ar.io(cacheLendL2Fraction);
+        ar.io(cacheLendL3Ways);
     }
 };
 
@@ -109,6 +121,12 @@ struct PolicyConfig
     bool adaptiveHarvest = false;
     unsigned hwEmergencyBuffer = 0;
     double harvestWayFraction = 0.5;
+    /** @} */
+
+    /** @name Cache-capacity leasing (mirrors cacheLend* knobs) @{ */
+    bool cacheLendEnabled = false;
+    double cacheLendL2WayFraction = 0.25;
+    unsigned cacheLendL3Ways = 4;
     /** @} */
 
     /** @name Dynamic-policy parameters @{ */

@@ -50,6 +50,8 @@ struct SnapTag
         kPolicyTick,       //!< HarvestPolicy epoch period
         // Service-graph fleet coordination (src/svc/):
         kGraphWireArrive,  //!< a..e = packed Packet (multi-hop RPC)
+        // Cache-capacity leasing (src/lease/):
+        kLeaseTick,        //!< CacheLeaseManager grant/recall period
     };
 
     std::uint32_t kind = kNone;

@@ -36,6 +36,8 @@ VmCounters::serialize(hh::snap::Archive &ar)
     ar.io(lentCycles);
     ar.io(reclaims);
     ar.io(reclaimCycles);
+    ar.io(leasedWays);
+    ar.io(leasedOccupancy);
 }
 
 void
@@ -47,6 +49,11 @@ ServerCounters::serialize(hh::snap::Archive &ar)
     ar.io(batchNative);
     ar.io(reclaimHist);
     ar.io(latencyHist);
+    ar.io(leaseGrants);
+    ar.io(leaseRecalls);
+    ar.io(leaseExpiries);
+    ar.io(leaseFlushedLines);
+    ar.io(leaseWayCycles);
 }
 
 void
@@ -65,6 +72,8 @@ VmFeatures::serialize(hh::snap::Archive &ar)
     ar.io(lentCycles);
     ar.io(reclaims);
     ar.io(reclaimCycles);
+    ar.io(leasedWays);
+    ar.io(leaseOccupancyDelta);
 }
 
 void
@@ -79,6 +88,11 @@ ObservationRow::serialize(hh::snap::Archive &ar)
     ar.io(reclaimsDelta);
     ar.io(reclaimHistDelta);
     ar.io(latencyHistDelta);
+    ar.io(leaseGrantsDelta);
+    ar.io(leaseRecallsDelta);
+    ar.io(leaseExpiriesDelta);
+    ar.io(leaseFlushedDelta);
+    ar.io(leaseWayCyclesDelta);
 }
 
 void
@@ -134,6 +148,10 @@ ObservationView::record(const ServerCounters &cum)
         f.lentCycles = c.lentCycles - p.lentCycles;
         f.reclaims = c.reclaims - p.reclaims;
         f.reclaimCycles = c.reclaimCycles - p.reclaimCycles;
+        f.leasedWays = c.leasedWays;
+        f.leaseOccupancyDelta =
+            static_cast<std::int64_t>(c.leasedOccupancy) -
+            static_cast<std::int64_t>(p.leasedOccupancy);
         row.harvestedCyclesDelta += f.lentCycles;
         row.reclaimsDelta += f.reclaims;
         row.vms.push_back(f);
@@ -148,6 +166,17 @@ ObservationView::record(const ServerCounters &cum)
     row.latencyHistDelta = bucketDelta(
         cum.latencyHist,
         havePrev_ ? prev_.latencyHist : std::vector<std::uint64_t>{});
+    row.leaseGrantsDelta =
+        cum.leaseGrants - (havePrev_ ? prev_.leaseGrants : 0);
+    row.leaseRecallsDelta =
+        cum.leaseRecalls - (havePrev_ ? prev_.leaseRecalls : 0);
+    row.leaseExpiriesDelta =
+        cum.leaseExpiries - (havePrev_ ? prev_.leaseExpiries : 0);
+    row.leaseFlushedDelta =
+        cum.leaseFlushedLines -
+        (havePrev_ ? prev_.leaseFlushedLines : 0);
+    row.leaseWayCyclesDelta =
+        cum.leaseWayCycles - (havePrev_ ? prev_.leaseWayCycles : 0);
     rows_.push_back(std::move(row));
 
     prev_ = cum;

@@ -51,6 +51,10 @@ struct VmCounters
     std::uint64_t lentCycles = 0;     //!< cumulative core-cycles on loan
     std::uint64_t reclaims = 0;       //!< cumulative reclaim count
     std::uint64_t reclaimCycles = 0;  //!< cumulative reclaim latency sum
+    /** Instantaneous: L3 ways this VM currently leases out. */
+    std::uint32_t leasedWays = 0;
+    /** Instantaneous: valid lines resident in those leased ways. */
+    std::uint64_t leasedOccupancy = 0;
 
     void serialize(hh::snap::Archive &ar);
 };
@@ -66,6 +70,13 @@ struct ServerCounters
     std::vector<std::uint64_t> reclaimHist;
     /** Cumulative request-latency (us) log-histogram bucket counts. */
     std::vector<std::uint64_t> latencyHist;
+    /** @name Cache-lease taps (cumulative; src/lease/) @{ */
+    std::uint64_t leaseGrants = 0;
+    std::uint64_t leaseRecalls = 0;
+    std::uint64_t leaseExpiries = 0;
+    std::uint64_t leaseFlushedLines = 0;
+    std::uint64_t leaseWayCycles = 0;
+    /** @} */
 
     void serialize(hh::snap::Archive &ar);
 };
@@ -98,6 +109,10 @@ struct VmFeatures
     std::uint64_t reclaims = 0;
     /** Sum of those reclaims' latencies (cycles). */
     std::uint64_t reclaimCycles = 0;
+    /** End-of-epoch L3 ways this VM leases out (cache harvest). */
+    std::uint32_t leasedWays = 0;
+    /** Borrower-line change in the leased ways over the epoch. */
+    std::int64_t leaseOccupancyDelta = 0;
 
     void serialize(hh::snap::Archive &ar);
 };
@@ -117,6 +132,14 @@ struct ObservationRow
     std::vector<std::uint64_t> reclaimHistDelta;
     /** Per-epoch request-latency (us) log-histogram bucket deltas. */
     std::vector<std::uint64_t> latencyHistDelta;
+    /** @name Cache-lease epoch deltas (src/lease/) @{ */
+    std::uint64_t leaseGrantsDelta = 0;
+    std::uint64_t leaseRecallsDelta = 0;
+    std::uint64_t leaseExpiriesDelta = 0;
+    std::uint64_t leaseFlushedDelta = 0;
+    /** Leased-way-cycles lent out during the epoch. */
+    std::uint64_t leaseWayCyclesDelta = 0;
+    /** @} */
 
     void serialize(hh::snap::Archive &ar);
 };

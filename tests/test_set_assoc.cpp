@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <vector>
+
 #include "cache/repl_lru.h"
 #include "cache/set_assoc.h"
 
@@ -210,6 +213,115 @@ TEST(SetAssoc, WayStateOutOfRangePanics)
     auto a = makeArray(2, 2);
     EXPECT_THROW(a.wayState(2, 0), std::logic_error);
     EXPECT_THROW(a.wayState(0, 2), std::logic_error);
+}
+
+// ----------------------------------- partition moves (cache leases)
+
+/**
+ * One harvest-mask transition as the cache-lease subsystem performs
+ * it: fill the array, flush the ways leaving the old region, install
+ * the new mask. See CacheLeaseManager::grant()/release().
+ */
+struct PartitionMoveCase
+{
+    const char *label;
+    WayMask before;    //!< harvest mask before the move
+    WayMask after;     //!< harvest mask after the move
+};
+
+class SetAssocPartitionMove
+    : public ::testing::TestWithParam<PartitionMoveCase>
+{};
+
+TEST_P(SetAssocPartitionMove, DepartingWaysFlushSurvivorsKeepState)
+{
+    const auto &c = GetParam();
+    auto a = makeArray(2, 8);
+    a.setHarvestWays(c.before);
+    // Fill every way of both sets; alternate the shared bit so
+    // surviving entries prove their metadata rides along.
+    for (hh::cache::Addr k = 0; k < 16; ++k)
+        a.access(k, (k & 1) != 0);
+    ASSERT_EQ(a.validCount(), 16u);
+
+    // The move: ways leaving the harvest region are flushed (both
+    // grant and release flush the leased ways), then the mask flips.
+    const WayMask departing = c.before & ~c.after;
+    const WayMask arriving = c.after & ~c.before;
+    a.flushWays(departing);
+    a.setHarvestWays(c.after);
+    EXPECT_EQ(a.harvestWays(), c.after & a.allWays());
+
+    // Departing ways are empty, untouched ways kept everything.
+    EXPECT_EQ(a.validCountInWays(departing), 0u);
+    const WayMask untouched = a.allWays() & ~departing;
+    EXPECT_EQ(a.validCountInWays(untouched),
+              2ull * std::popcount(untouched));
+    EXPECT_EQ(a.validCount(), a.validCountInWays(a.allWays()));
+
+    // Arriving ways were not flushed by the move (the manager
+    // flushes them at grant time, a separate step).
+    EXPECT_EQ(a.validCountInWays(arriving),
+              2ull * std::popcount(arriving));
+
+    // Survivors keep tag and shared bit: the enumeration sees
+    // exactly the filled keys, with the parity metadata intact.
+    std::uint64_t seen = 0;
+    a.forEachValidInWays(untouched, [&](std::uint32_t s, unsigned w,
+                                        hh::cache::Addr tag) {
+        ++seen;
+        EXPECT_EQ(tag & 1u, static_cast<hh::cache::Addr>(s));
+        EXPECT_EQ(a.wayState(s, w).shared, (tag & 1) != 0);
+    });
+    EXPECT_EQ(seen, a.validCountInWays(untouched));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Moves, SetAssocPartitionMove,
+    ::testing::Values(
+        PartitionMoveCase{"shrink", 0b0000'1111, 0b0000'0011},
+        PartitionMoveCase{"grow", 0b0000'0011, 0b0000'1111},
+        PartitionMoveCase{"disjoint", 0b0000'1100, 0b0011'0000},
+        PartitionMoveCase{"single_way", 0b0000'0001, 0b0000'0010},
+        PartitionMoveCase{"to_nothing", 0b0000'0111, 0b0000'0000},
+        PartitionMoveCase{"from_nothing", 0b0000'0000,
+                          0b0000'0001}));
+
+TEST(SetAssocWayScan, CountAndEnumerationAgree)
+{
+    auto a = makeArray(4, 4);
+    // Sparse fill: only sets 0 and 2, restricted to ways {0, 2}.
+    a.access(0, true, 0b0101);
+    a.access(8, true, 0b0101);  // set 0 again, second allowed way
+    a.access(2, false, 0b0101); // set 2
+    EXPECT_EQ(a.validCountInWays(0b0101), 3u);
+    EXPECT_EQ(a.validCountInWays(0b1010), 0u);
+    EXPECT_EQ(a.validCountInWays(0), 0u);
+    // Out-of-range mask bits are ignored, not miscounted.
+    EXPECT_EQ(a.validCountInWays(~WayMask{0}), 3u);
+    std::uint64_t seen = 0;
+    a.forEachValidInWays(~WayMask{0},
+                         [&](std::uint32_t, unsigned w,
+                             hh::cache::Addr) {
+                             ++seen;
+                             EXPECT_TRUE(w == 0 || w == 2);
+                         });
+    EXPECT_EQ(seen, 3u);
+}
+
+TEST(SetAssocWayScan, FlushedEntriesDisappearFromTheScan)
+{
+    auto a = makeArray(1, 4);
+    for (hh::cache::Addr k = 0; k < 4; ++k)
+        a.access(k, true);
+    a.flushWays(0b0110);
+    std::vector<hh::cache::Addr> tags;
+    a.forEachValidInWays(~WayMask{0},
+                         [&](std::uint32_t, unsigned,
+                             hh::cache::Addr t) { tags.push_back(t); });
+    ASSERT_EQ(tags.size(), 2u);
+    EXPECT_EQ(a.validCountInWays(0b0110), 0u);
+    EXPECT_EQ(a.validCountInWays(0b1001), 2u);
 }
 
 /** Property: filling N distinct keys never exceeds capacity. */
